@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Baseline causal-multicast protocols the paper compares against.
+//!
+//! Section 6 evaluates urcgc "mainly with the CBCAST primitive" of ISIS
+//! (Birman, Schiper, Stephenson 1991) and, where possible, with Psync
+//! (Peterson, Buchholz, Schlichting 1989). Both are provided in two forms:
+//!
+//! * **executable** — [`cbcast::CbcastNode`] and [`psync::PsyncNode`] run on
+//!   the same [`urcgc_simnet`] simulator as urcgc, so reliable-path delays
+//!   and traffic are measured, not asserted;
+//! * **analytic** — [`analytic`] carries the published cost formulas the
+//!   paper itself uses for the failure-path comparison (Figure 5's
+//!   `K(5f+6)` view-change latency, Table 1's message counts and sizes),
+//!   since CBCAST's failure handling is a *blocking* protocol whose cost
+//!   the paper models rather than simulates.
+
+pub mod analytic;
+pub mod cbcast;
+pub mod psync;
+pub mod urgc;
+
+pub use analytic::{CbcastCost, PsyncCost, UrcgcCost};
+pub use cbcast::CbcastNode;
+pub use psync::PsyncNode;
+pub use urgc::UrgcTotalNode;

@@ -1,0 +1,90 @@
+//! Ablation — causality interpretation (Section 3 / Definition 3.1).
+//!
+//! The paper argues the *general* (application-published) interpretation
+//! preserves more concurrency than the *temporal* restriction CBCAST
+//! adopted: under temporal causality every message depends on everything
+//! its sender had seen, so one missing message stalls the entire stream;
+//! under explicit causality only true dependents wait. This binary
+//! quantifies that under omission failures.
+//!
+//! Run: `cargo run --release -p urcgc-bench --bin ablation_causality`
+
+use urcgc::sim::{DepPolicy, Workload};
+use urcgc::{CausalityMode, ProtocolConfig};
+use urcgc_bench::{banner, run_scenario};
+use urcgc_metrics::Table;
+use urcgc_simnet::FaultPlan;
+
+fn main() {
+    const N: usize = 8;
+    const SEED: u64 = 909;
+    const MSGS: u64 = 20;
+
+    banner(
+        "Ablation — causality interpretation",
+        &format!("n = {N}, {MSGS} msgs/process, omission 1/100, seed = {SEED}"),
+    );
+
+    let modes: [(&str, CausalityMode, DepPolicy); 4] = [
+        (
+            "own-chain only (max concurrency)",
+            CausalityMode::SingleRootPerProcess,
+            DepPolicy::OwnChain,
+        ),
+        (
+            "single-root + foreign dep (paper)",
+            CausalityMode::SingleRootPerProcess,
+            DepPolicy::LatestForeign,
+        ),
+        (
+            "general (explicit DAG)",
+            CausalityMode::General,
+            DepPolicy::LatestForeign,
+        ),
+        (
+            "temporal (CBCAST-style)",
+            CausalityMode::Temporal,
+            DepPolicy::OwnChain, // deps are implicit under temporal
+        ),
+    ];
+
+    let mut table = Table::new([
+        "interpretation",
+        "mean D (rtd)",
+        "p95 D",
+        "max D",
+        "peak waiting",
+        "mean deps/msg",
+    ]);
+    for (label, mode, policy) in modes {
+        let cfg = ProtocolConfig::new(N).with_k(3).with_causality(mode);
+        let report = run_scenario(
+            cfg,
+            Workload::bernoulli(0.8, MSGS, 16).with_deps(policy),
+            FaultPlan::none().omission_rate(1.0 / 100.0),
+            SEED,
+            60_000,
+        );
+        // Mean dependency-list length is a proxy for label size on the
+        // wire; read it from data traffic mean sizes instead of re-running:
+        // data size = fixed header (31 B) + 10 B per dep + payload 16.
+        let data = report.stats.traffic.get("data");
+        let mean_deps = ((data.mean_size() - 47.0) / 10.0).max(0.0);
+        table.row([
+            label.to_string(),
+            format!("{:.2}", report.delays.mean().unwrap_or(f64::NAN)),
+            format!("{:.2}", report.delays.percentile(95.0).unwrap_or(f64::NAN)),
+            format!("{:.2}", report.delays.max().unwrap_or(f64::NAN)),
+            report.max_waiting().to_string(),
+            format!("{mean_deps:.1}"),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("Reading: temporal causality drags the full seen-set into every");
+    println!("label (deps/msg ≈ n−1) and a single omission stalls *all* of a");
+    println!("process's subsequent deliveries — highest tail delay and");
+    println!("waiting-list peaks. Explicit interpretations keep labels short");
+    println!("and let unrelated sequences flow past a loss. This is the");
+    println!("concurrency argument of Section 3, measured.");
+}

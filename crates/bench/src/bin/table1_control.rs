@@ -1,0 +1,101 @@
+//! Table 1 — amount of control messages and their size in bytes, urcgc vs
+//! CBCAST, under reliable and crash conditions.
+//!
+//! Paper's rows (per stability decision / failure-handling episode):
+//!
+//! | protocol | reliable msgs | reliable size | crash msgs          | crash size |
+//! |----------|---------------|---------------|---------------------|------------|
+//! | urcgc    | 2(n−1)        | n(36 + l/4)   | 2(2K+f)(n−1)        | unchanged  |
+//! | CBCAST   | n+1           | 4(n+1)        | K((f+1)(2n−3)+1)    | 4(n−1) flush |
+//!
+//! The binary prints the analytic rows next to *measured* urcgc traffic
+//! from a simulation run (our wire codec's real byte counts).
+//!
+//! Run: `cargo run --release -p urcgc-bench --bin table1_control`
+
+use urcgc::sim::Workload;
+use urcgc::ProtocolConfig;
+use urcgc_baselines::{CbcastCost, UrcgcCost};
+use urcgc_bench::{banner, run_scenario, write_artifact};
+use urcgc_metrics::Table;
+use urcgc_simnet::FaultPlan;
+
+fn main() {
+    const K: u32 = 3;
+    const F: u32 = 1;
+    const SEED: u64 = 101;
+
+    banner(
+        "Table 1 — control message amount and size: urcgc vs CBCAST",
+        &format!("K = {K}, f = {F}, seed = {SEED}; sizes in bytes"),
+    );
+
+    let mut analytic = Table::new([
+        "n",
+        "urcgc rel msgs",
+        "urcgc rel size",
+        "cbcast rel msgs",
+        "cbcast rel size",
+        "urcgc crash msgs",
+        "cbcast crash msgs",
+    ]);
+    for n in [5usize, 15, 40] {
+        let u = UrcgcCost { n, k: K };
+        let c = CbcastCost { n, k: K };
+        analytic.row([
+            n.to_string(),
+            u.control_msgs_reliable().to_string(),
+            format!("~{}", u.control_size_paper(16)),
+            c.control_msgs_reliable().to_string(),
+            c.control_size_reliable().to_string(),
+            u.control_msgs_crash(F).to_string(),
+            c.control_msgs_crash(F).to_string(),
+        ]);
+    }
+    println!("Analytic (paper formulas, per subrun / per episode):");
+    println!("{}", analytic.render());
+
+    // Measured: run urcgc and report per-subrun control traffic and real
+    // encoded sizes.
+    let mut measured = Table::new([
+        "n",
+        "ctl msgs/subrun",
+        "2(n-1)",
+        "req mean B",
+        "dec mean B",
+        "fits 576B IP dgram",
+    ]);
+    for n in [5usize, 15, 40] {
+        let cfg = ProtocolConfig::new(n).with_k(K);
+        let report = run_scenario(
+            cfg,
+            Workload::fixed_count(10, 16),
+            FaultPlan::none(),
+            SEED,
+            20_000,
+        );
+        let subruns = (report.rounds / 2).max(1);
+        let req = report.stats.traffic.get("request");
+        let dec = report.stats.traffic.get("decision");
+        let per_subrun = (req.count + dec.count) as f64 / subruns as f64;
+        measured.row([
+            n.to_string(),
+            format!("{per_subrun:.1}"),
+            (2 * (n - 1)).to_string(),
+            format!("{:.0}", req.mean_size()),
+            format!("{:.0}", dec.mean_size()),
+            (dec.mean_size() <= 576.0).to_string(),
+        ]);
+    }
+    println!("Measured (urcgc simulation, reliable conditions):");
+    println!("{}", measured.render());
+    let _ = write_artifact("table1_analytic.csv", &analytic.to_csv());
+    let _ = write_artifact("table1_measured.csv", &measured.to_csv());
+
+    println!("Paper shape: CBCAST generates fewer and shorter control");
+    println!("messages under reliable conditions; under crashes its message");
+    println!("count K((f+1)(2n-3)+1) overtakes urcgc's steady 2(2K+f)(n-1),");
+    println!("and urcgc's message size stays constant while CBCAST grows.");
+    println!("Checkpoint from the paper: an urcgc control message for n = 15");
+    println!("fits one minimum-size (576 B) IP datagram.");
+}

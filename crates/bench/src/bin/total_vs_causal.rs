@@ -1,0 +1,69 @@
+//! Total order (urgc) vs causal order (urcgc) — the Section 2 motivation,
+//! measured.
+//!
+//! "Some applications … need a multicast service that ensures a total
+//! ordering … Other applications … need to specify their own ordering
+//! according to application dependent causal relations." The cost of the
+//! stronger order is *head-of-line blocking*: under loss, a missing message
+//! stalls everything sequenced after it, related or not, while urcgc only
+//! stalls true causal dependents.
+//!
+//! Run: `cargo run --release -p urcgc-bench --bin total_vs_causal`
+
+use urcgc::sim::{DepPolicy, Workload};
+use urcgc::ProtocolConfig;
+use urcgc_baselines::cbcast::Load;
+use urcgc_baselines::urgc::run_urgc_total;
+use urcgc_bench::{banner, run_scenario};
+use urcgc_metrics::Table;
+use urcgc_simnet::FaultPlan;
+
+fn main() {
+    const N: usize = 8;
+    const MSGS: u64 = 15;
+    const SEED: u64 = 1212;
+
+    banner(
+        "Total order (urgc) vs causal order (urcgc)",
+        &format!("n = {N}, {MSGS} msgs/process, seed = {SEED}; delays in rtd"),
+    );
+
+    let mut table = Table::new([
+        "omission rate",
+        "urcgc mean D",
+        "urcgc max D",
+        "urgc-total mean D",
+        "urgc-total max D",
+    ]);
+    for (label, rate) in [("none", 0.0), ("1/100", 0.01), ("1/20", 0.05)] {
+        let causal = run_scenario(
+            ProtocolConfig::new(N).with_k(3),
+            Workload::fixed_count(MSGS, 16).with_deps(DepPolicy::OwnChain),
+            FaultPlan::none().omission_rate(rate),
+            SEED,
+            60_000,
+        );
+        let total = run_urgc_total(
+            N,
+            Load::fixed(MSGS, 16),
+            FaultPlan::none().omission_rate(rate),
+            SEED,
+            60_000,
+        );
+        table.row([
+            label.to_string(),
+            format!("{:.2}", causal.delays.mean().unwrap_or(f64::NAN)),
+            format!("{:.2}", causal.delays.max().unwrap_or(f64::NAN)),
+            format!("{:.2}", total.delays.mean().unwrap_or(f64::NAN)),
+            format!("{:.2}", total.delays.max().unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("Reading: with no losses the total-order service pays only its");
+    println!("ordering latency (messages wait for the coordinator's batch —");
+    println!("up to a subrun). Under loss the gap widens: a single missing");
+    println!("message head-of-line blocks the whole global sequence, while");
+    println!("urcgc's causal service keeps unrelated sequences flowing.");
+    println!("This is Section 2's motivation for causal ordering, measured.");
+}

@@ -1,0 +1,103 @@
+//! `urcgc_sim` — a command-line front end to the deterministic simulator:
+//! configure a group, a workload and a fault plan, run to quiescence, and
+//! get the protocol report (plus an optional CSV of the history series).
+//!
+//! Examples:
+//!
+//! ```text
+//! urcgc_sim --n 10 --msgs 40 --omission 0.002
+//! urcgc_sim --n 15 --k 2 --crash 7@12 --coord-crashes 2@4 --csv hist.csv
+//! urcgc_sim --n 40 --flow-threshold 320 --load 0.5 --msgs 12
+//! ```
+
+use std::process::ExitCode;
+
+use urcgc::sim::{GroupHarness, Workload};
+use urcgc_bench::cli::{parse_args, SimCliConfig};
+use urcgc_bench::{max_history_series, render_series};
+use urcgc_metrics::Table;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg: SimCliConfig = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "urcgc_sim: n = {}, K = {}, R = {}, causality = {}, seed = {}",
+        cfg.protocol.n, cfg.protocol.k, cfg.protocol.r, cfg.protocol.causality, cfg.seed
+    );
+    let mut h = GroupHarness::builder(cfg.protocol.clone())
+        .workload(
+            Workload::bernoulli(cfg.load, cfg.msgs, cfg.payload).with_deps(cfg.deps),
+        )
+        .faults(cfg.faults.clone())
+        .seed(cfg.seed)
+        .max_rounds(cfg.max_rounds)
+        .build();
+    let report = h.run_to_completion(cfg.max_rounds);
+
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["rounds (rtd)", &format!("{} ({:.1})", report.rounds, report.rtd())]);
+    t.row(["generated", &report.generated_total.to_string()]);
+    t.row(["processed by all", &report.fully_processed.to_string()]);
+    t.row(["lost with crashes", &report.unprocessed.to_string()]);
+    t.row(["partially processed", &report.partially_processed.to_string()]);
+    t.row([
+        "mean delay (rtd)",
+        &format!("{:.2}", report.delays.mean().unwrap_or(f64::NAN)),
+    ]);
+    t.row([
+        "p95 delay (rtd)",
+        &format!("{:.2}", report.delays.percentile(95.0).unwrap_or(f64::NAN)),
+    ]);
+    t.row(["peak history", &report.max_history().to_string()]);
+    t.row(["peak waiting", &report.max_waiting().to_string()]);
+    t.row([
+        "statuses",
+        &format!(
+            "{:?}",
+            report.statuses.iter().map(|s| format!("{s:?}")).collect::<Vec<_>>()
+        ),
+    ]);
+    t.row([
+        "atomicity",
+        if report.atomicity_holds() { "holds" } else { "VIOLATED" },
+    ]);
+    t.row([
+        "frontier agreement",
+        if report.frontiers_agree() { "holds" } else { "VIOLATED" },
+    ]);
+    let total = report.stats.traffic.total();
+    t.row([
+        "wire traffic",
+        &format!("{} frames, {} bytes", total.count, total.bytes),
+    ]);
+    println!("{}", t.render());
+
+    let series = max_history_series(&report);
+    println!("history length over time (max across group):");
+    println!("{}", render_series(&series, 12));
+
+    if let Some(path) = &cfg.csv {
+        let mut ts = urcgc_metrics::TimeSeries::new();
+        for &(r, l) in &series {
+            ts.push(urcgc_simnet::rounds_to_rtd(r), l as f64);
+        }
+        if let Err(e) = std::fs::write(path, ts.to_csv("rtd", "history")) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("history series written to {path}");
+    }
+
+    if report.atomicity_holds() && report.frontiers_agree() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,237 @@
+//! Command-line parsing for the `urcgc_sim` binary.
+//!
+//! Hand-rolled (the workspace deliberately carries no argument-parsing
+//! dependency): `--flag value` pairs, repeatable `--crash`, and a `--help`
+//! text. Parsing is pure — it returns a [`SimCliConfig`] or an error
+//! string — so it is unit-testable without process machinery.
+
+use urcgc::sim::DepPolicy;
+use urcgc::{CausalityMode, ProtocolConfig};
+use urcgc_simnet::FaultPlan;
+use urcgc_types::{ProcessId, Round};
+
+/// Everything the CLI run needs.
+#[derive(Clone, Debug)]
+pub struct SimCliConfig {
+    /// Protocol parameters.
+    pub protocol: ProtocolConfig,
+    /// Messages per process.
+    pub msgs: u64,
+    /// Per-round generation probability.
+    pub load: f64,
+    /// Payload bytes.
+    pub payload: usize,
+    /// Fault plan.
+    pub faults: FaultPlan,
+    /// Dependency policy.
+    pub deps: DepPolicy,
+    /// RNG seed.
+    pub seed: u64,
+    /// Round limit.
+    pub max_rounds: u64,
+    /// Optional CSV output path for the history series.
+    pub csv: Option<String>,
+}
+
+/// The `--help` text.
+pub const HELP: &str = "\
+urcgc_sim — run a deterministic urcgc group simulation
+
+USAGE:
+  urcgc_sim [OPTIONS]
+
+OPTIONS:
+  --n N                 group cardinality (default 8)
+  --k K                 failure-detection bound K (default 3)
+  --msgs M              messages per process (default 20)
+  --load P              per-round generation probability (default 1.0)
+  --payload B           payload bytes (default 16)
+  --omission RATE       i.i.d. omission rate, e.g. 0.002 (default 0)
+  --corruption RATE     in-flight corruption rate (default 0)
+  --crash PID@ROUND     crash process PID at ROUND (repeatable)
+  --coord-crashes F@S   F consecutive coordinator crashes from subrun S
+  --flow-threshold T    history flow-control threshold (default off)
+  --causality MODE      general | single-root | temporal (default single-root)
+  --deps POLICY         own | foreign (default foreign)
+  --seed S              RNG seed (default 1)
+  --max-rounds R        hard round limit (default 100000)
+  --csv PATH            write the group history series as CSV
+  --help                print this help
+";
+
+/// Parses CLI arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<SimCliConfig, String> {
+    let mut n = 8usize;
+    let mut k = 3u32;
+    let mut msgs = 20u64;
+    let mut load = 1.0f64;
+    let mut payload = 16usize;
+    let mut omission = 0.0f64;
+    let mut corruption = 0.0f64;
+    let mut crashes: Vec<(u16, u64)> = Vec::new();
+    let mut coord_crashes: Option<(u32, u64)> = None;
+    let mut flow: Option<usize> = None;
+    let mut causality = CausalityMode::SingleRootPerProcess;
+    let mut deps = DepPolicy::LatestForeign;
+    let mut seed = 1u64;
+    let mut max_rounds = 100_000u64;
+    let mut csv = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--n" => n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--k" => k = value()?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--msgs" => msgs = value()?.parse().map_err(|e| format!("--msgs: {e}"))?,
+            "--load" => load = value()?.parse().map_err(|e| format!("--load: {e}"))?,
+            "--payload" => payload = value()?.parse().map_err(|e| format!("--payload: {e}"))?,
+            "--omission" => {
+                omission = value()?.parse().map_err(|e| format!("--omission: {e}"))?
+            }
+            "--corruption" => {
+                corruption = value()?.parse().map_err(|e| format!("--corruption: {e}"))?
+            }
+            "--crash" => {
+                let v = value()?.to_string();
+                let (pid, round) = v
+                    .split_once('@')
+                    .ok_or_else(|| format!("--crash wants PID@ROUND, got {v}"))?;
+                crashes.push((
+                    pid.parse().map_err(|e| format!("--crash pid: {e}"))?,
+                    round.parse().map_err(|e| format!("--crash round: {e}"))?,
+                ));
+            }
+            "--coord-crashes" => {
+                let v = value()?.to_string();
+                let (f, s) = v
+                    .split_once('@')
+                    .ok_or_else(|| format!("--coord-crashes wants F@SUBRUN, got {v}"))?;
+                coord_crashes = Some((
+                    f.parse().map_err(|e| format!("--coord-crashes f: {e}"))?,
+                    s.parse().map_err(|e| format!("--coord-crashes subrun: {e}"))?,
+                ));
+            }
+            "--flow-threshold" => {
+                flow = Some(value()?.parse().map_err(|e| format!("--flow-threshold: {e}"))?)
+            }
+            "--causality" => {
+                causality = match value()? {
+                    "general" => CausalityMode::General,
+                    "single-root" => CausalityMode::SingleRootPerProcess,
+                    "temporal" => CausalityMode::Temporal,
+                    other => return Err(format!("unknown causality mode {other}")),
+                }
+            }
+            "--deps" => {
+                deps = match value()? {
+                    "own" => DepPolicy::OwnChain,
+                    "foreign" => DepPolicy::LatestForeign,
+                    other => return Err(format!("unknown dep policy {other}")),
+                }
+            }
+            "--seed" => seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--max-rounds" => {
+                max_rounds = value()?.parse().map_err(|e| format!("--max-rounds: {e}"))?
+            }
+            "--csv" => csv = Some(value()?.to_string()),
+            "--help" | "-h" => return Err(HELP.to_string()),
+            other => return Err(format!("unknown flag {other}\n\n{HELP}")),
+        }
+    }
+
+    if !(0.0..=1.0).contains(&load) {
+        return Err("--load must be within 0..=1".into());
+    }
+    let mut protocol = ProtocolConfig::new(n).with_k(k).with_causality(causality);
+    if let Some((f, _)) = coord_crashes {
+        protocol = protocol.with_f_allowance(f.max(1));
+    }
+    if let Some(t) = flow {
+        protocol = protocol.with_history_threshold(t);
+    }
+    protocol.validate().map_err(|e| e.to_string())?;
+
+    let mut faults = FaultPlan::none()
+        .omission_rate(omission)
+        .corruption_rate(corruption);
+    for (pid, round) in crashes {
+        if pid as usize >= n {
+            return Err(format!("--crash: p{pid} outside group of {n}"));
+        }
+        faults = faults.crash_at(ProcessId(pid), Round(round));
+    }
+    if let Some((f, s)) = coord_crashes {
+        faults = faults.consecutive_coordinator_crashes(s, f, n);
+    }
+
+    Ok(SimCliConfig {
+        protocol,
+        msgs,
+        load,
+        payload,
+        faults,
+        deps,
+        seed,
+        max_rounds,
+        csv,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<SimCliConfig, String> {
+        let v: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        parse_args(&v)
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let c = parse(&[]).unwrap();
+        assert_eq!(c.protocol.n, 8);
+        assert_eq!(c.protocol.k, 3);
+        assert_eq!(c.msgs, 20);
+        assert_eq!(c.load, 1.0);
+        assert!(c.csv.is_none());
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let c = parse(&[
+            "--n", "12", "--k", "2", "--msgs", "5", "--load", "0.4", "--payload", "64",
+            "--omission", "0.01", "--corruption", "0.002", "--crash", "7@10", "--crash",
+            "8@20", "--coord-crashes", "2@3", "--flow-threshold", "96", "--causality",
+            "general", "--deps", "own", "--seed", "99", "--max-rounds", "500", "--csv",
+            "/tmp/x.csv",
+        ])
+        .unwrap();
+        assert_eq!(c.protocol.n, 12);
+        assert_eq!(c.protocol.k, 2);
+        assert_eq!(c.protocol.history_threshold, Some(96));
+        assert_eq!(c.protocol.causality, CausalityMode::General);
+        assert_eq!(c.deps, DepPolicy::OwnChain);
+        assert_eq!(c.faults.crash_count(), 4, "2 member + 2 coordinator");
+        assert!((c.faults.send_omission_prob - 0.005).abs() < 1e-12);
+        assert_eq!(c.csv.as_deref(), Some("/tmp/x.csv"));
+        assert_eq!(c.max_rounds, 500);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse(&["--n"]).unwrap_err().contains("missing value"));
+        assert!(parse(&["--crash", "3-10"]).unwrap_err().contains("PID@ROUND"));
+        assert!(parse(&["--wat"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["--load", "1.5"]).unwrap_err().contains("within"));
+        assert!(parse(&["--causality", "chaotic"])
+            .unwrap_err()
+            .contains("unknown causality"));
+        assert!(parse(&["--crash", "9@1"]).unwrap_err().contains("outside group"));
+        assert!(parse(&["--help"]).unwrap_err().contains("USAGE"));
+    }
+}

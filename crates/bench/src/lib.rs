@@ -1,0 +1,188 @@
+#![warn(missing_docs)]
+
+//! Shared experiment plumbing for the `fig*`/`table*` binaries.
+//!
+//! Every binary regenerates one table or figure from Section 6 of the
+//! paper; see `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! recorded paper-vs-measured results. All runs are deterministic given the
+//! seed printed in their headers.
+
+pub mod cli;
+pub mod transported;
+
+use urcgc::sim::{GroupHarness, GroupReport, Workload};
+use urcgc::ProtocolConfig;
+use urcgc_simnet::FaultPlan;
+use urcgc_types::{ProcessId, Subrun};
+
+/// Prints an experiment banner.
+pub fn banner(title: &str, what: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("{what}");
+    println!("================================================================");
+}
+
+/// Runs one urcgc scenario to completion and returns the report.
+pub fn run_scenario(
+    cfg: ProtocolConfig,
+    workload: Workload,
+    faults: FaultPlan,
+    seed: u64,
+    max_rounds: u64,
+) -> GroupReport {
+    let mut h = GroupHarness::builder(cfg)
+        .workload(workload)
+        .faults(faults)
+        .seed(seed)
+        .max_rounds(max_rounds)
+        .build();
+    h.run_to_completion(max_rounds)
+}
+
+/// Measures urcgc's group-composition/stability agreement time `T` after a
+/// crash episode (Figure 5): one *server* (non-coordinator) process crashes
+/// at the episode start — the paper's `f = 0` case "describes the crash of
+/// a server process" — and additionally the coordinators of the next `f`
+/// subruns crash right before broadcasting their decisions.
+///
+/// Steps the simulation round by round and reports the number of subruns
+/// (= rtd) from the episode start until the first surviving process
+/// applies a `full_group` decision in which every crashed process is
+/// marked dead. The paper's bound is `T ≤ 2K + f`.
+pub fn measure_urcgc_recovery_time(n: usize, k: u32, f: u32, seed: u64) -> Option<u64> {
+    assert!(n >= f as usize + 3, "need a survivor and a victim");
+    let first_crash_subrun: u64 = 2;
+    let cfg = ProtocolConfig::new(n).with_k(k).with_f_allowance(f.max(1));
+    // The crashed server: the member whose coordinator turn is farthest
+    // away, so it does not interfere with the coordinator-crash schedule.
+    let victim = ProcessId::from_index(n - 1);
+    let faults = FaultPlan::none()
+        .crash_at(victim, Subrun(first_crash_subrun).request_round())
+        .consecutive_coordinator_crashes(first_crash_subrun, f, n);
+    let mut crashed: Vec<ProcessId> = (0..f as u64)
+        .map(|i| ProcessId::coordinator_for(Subrun(first_crash_subrun + i), n))
+        .collect();
+    crashed.push(victim);
+    let observer = ProcessId::from_index(
+        (0..n)
+            .find(|&i| !crashed.contains(&ProcessId::from_index(i)))
+            .expect("some process survives"),
+    );
+    let mut h = GroupHarness::builder(cfg)
+        .workload(Workload::fixed_count(4, 8))
+        .faults(faults)
+        .seed(seed)
+        .build();
+    let limit = 2 * (first_crash_subrun + (2 * k as u64 + f as u64) * 4 + 40);
+    for _ in 0..limit {
+        h.step();
+        let d = h.net().node(observer).engine().last_decision();
+        if d.full_group
+            && d.subrun.0 >= first_crash_subrun
+            && crashed.iter().all(|c| !d.process_state[c.index()])
+        {
+            return Some(d.subrun.0 - first_crash_subrun + 1);
+        }
+    }
+    None
+}
+
+/// Group-wide per-round history series: max across processes at each round.
+pub fn max_history_series(report: &GroupReport) -> Vec<(u64, usize)> {
+    let mut out: Vec<(u64, usize)> = Vec::new();
+    for series in &report.history_series {
+        for &(round, len) in series {
+            match out.iter_mut().find(|(r, _)| *r == round) {
+                Some((_, l)) => *l = (*l).max(len),
+                None => out.push((round, len)),
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Renders a `(round, len)` series as an `rtd  len` listing, thinned to at
+/// most `max_points` rows.
+pub fn render_series(series: &[(u64, usize)], max_points: usize) -> String {
+    let mut ts = urcgc_metrics::TimeSeries::new();
+    for &(r, l) in series {
+        ts.push(urcgc_simnet::rounds_to_rtd(r), l as f64);
+    }
+    ts.thin(max_points).render("rtd", "history")
+}
+
+/// Renders a `(round, len)` series as an ASCII chart (the "figure" view).
+pub fn chart_series(series: &[(u64, usize)]) -> String {
+    let mut ts = urcgc_metrics::TimeSeries::new();
+    for &(r, l) in series {
+        ts.push(urcgc_simnet::rounds_to_rtd(r), l as f64);
+    }
+    ts.render_ascii_chart(56, 8)
+}
+
+/// Writes an experiment artifact (CSV or any text) under
+/// `target/experiments/`, creating the directory as needed. Returns the
+/// path written.
+pub fn write_artifact(name: &str, contents: &str) -> std::io::Result<String> {
+    let dir = "target/experiments";
+    std::fs::create_dir_all(dir)?;
+    let path = format!("{dir}/{name}");
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urcgc::sim::Workload;
+
+    #[test]
+    fn scenario_runner_produces_reports() {
+        let report = run_scenario(
+            ProtocolConfig::new(4),
+            Workload::fixed_count(3, 8),
+            FaultPlan::none(),
+            1,
+            500,
+        );
+        assert!(report.all_processed_everything());
+    }
+
+    #[test]
+    fn recovery_time_close_to_analytic_bound() {
+        // Paper: T ≤ 2K + f. Measured T must be positive and within the
+        // bound (it is usually ≈ K + f: the bound is worst-case).
+        for (k, f) in [(2u32, 0u32), (2, 1), (3, 2)] {
+            let t = measure_urcgc_recovery_time(7, k, f, 33).expect("agreement reached");
+            let bound = (2 * k + f) as u64;
+            assert!(
+                t >= f as u64 && t <= bound + 1,
+                "K={k} f={f}: T={t} outside [f, 2K+f+1]={bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_history_series_takes_pointwise_max() {
+        let report = run_scenario(
+            ProtocolConfig::new(3),
+            Workload::fixed_count(5, 8),
+            FaultPlan::none(),
+            2,
+            500,
+        );
+        let series = max_history_series(&report);
+        assert!(!series.is_empty());
+        let max_in_series = series.iter().map(|&(_, l)| l).max().unwrap();
+        assert_eq!(max_in_series, report.max_history());
+    }
+
+    #[test]
+    fn series_renderer_thins() {
+        let series: Vec<(u64, usize)> = (0..200).map(|r| (r, r as usize)).collect();
+        let out = render_series(&series, 10);
+        assert!(out.lines().count() <= 13);
+    }
+}

@@ -1,0 +1,61 @@
+//! End-to-end smoke tests of the `urcgc_sim` CLI binary: spawn the real
+//! executable, check output and exit codes.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_urcgc_sim"))
+        .args(args)
+        .output()
+        .expect("spawn urcgc_sim");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn happy_path_prints_report_and_exits_zero() {
+    let (stdout, _, ok) = run(&["--n", "5", "--msgs", "6", "--seed", "3"]);
+    assert!(ok, "non-zero exit");
+    assert!(stdout.contains("atomicity"));
+    assert!(stdout.contains("holds"));
+    assert!(stdout.contains("processed by all"));
+    assert!(stdout.contains("history length over time"));
+}
+
+#[test]
+fn crash_scenario_reports_and_exits_zero() {
+    let (stdout, _, ok) = run(&[
+        "--n", "6", "--k", "2", "--msgs", "8", "--crash", "5@9", "--seed", "4",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("lost with crashes"));
+}
+
+#[test]
+fn bad_flags_exit_nonzero_with_usage() {
+    let (_, stderr, ok) = run(&["--wat"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"));
+    assert!(stderr.contains("USAGE"));
+    let (_, stderr, ok) = run(&["--crash", "99@1"]);
+    assert!(!ok);
+    assert!(stderr.contains("outside group"));
+}
+
+#[test]
+fn csv_flag_writes_the_series() {
+    let dir = std::env::temp_dir().join("urcgc_sim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("hist.csv");
+    let path_str = path.to_str().unwrap();
+    let (stdout, _, ok) = run(&["--n", "4", "--msgs", "4", "--csv", path_str]);
+    assert!(ok);
+    assert!(stdout.contains("written to"));
+    let csv = std::fs::read_to_string(&path).unwrap();
+    assert!(csv.starts_with("rtd,history"));
+    assert!(csv.lines().count() > 2);
+    let _ = std::fs::remove_file(path);
+}

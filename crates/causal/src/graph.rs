@@ -1,0 +1,372 @@
+//! The published causal-dependency DAG.
+//!
+//! Definition 3.1 requires the relation `→p` to be acyclic and closes it
+//! transitively. [`CausalGraph`] stores the *direct* dependencies each
+//! message publishes and answers ancestry (transitive-closure) queries on
+//! demand. It is used by tests and verification harnesses as the ground
+//! truth of "msg →p msg′", and by applications running in
+//! [`CausalityMode::General`](urcgc_types::CausalityMode::General) to
+//! validate hand-built dependency lists before sending.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use core::fmt;
+
+use urcgc_types::Mid;
+
+/// Inserting a message whose dependency list would create a cycle (or a
+/// self-dependency) violates Definition 3.1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleError {
+    /// The message whose insertion was rejected.
+    pub mid: Mid,
+    /// A dependency through which the cycle closes.
+    pub via: Mid,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inserting {} with dependency {} would create a causal cycle",
+            self.mid, self.via
+        )
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// A DAG over mids, edges pointing from a message to its direct causes.
+#[derive(Clone, Debug, Default)]
+pub struct CausalGraph {
+    deps: HashMap<Mid, Vec<Mid>>,
+}
+
+impl CausalGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of messages recorded.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether no messages are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Whether `mid` is recorded.
+    pub fn contains(&self, mid: Mid) -> bool {
+        self.deps.contains_key(&mid)
+    }
+
+    /// The direct causes `mid` published, if recorded.
+    pub fn direct_deps(&self, mid: Mid) -> Option<&[Mid]> {
+        self.deps.get(&mid).map(Vec::as_slice)
+    }
+
+    /// Records `mid` with its published direct causes.
+    ///
+    /// Dependencies on messages not (yet) recorded are allowed — messages
+    /// arrive in arbitrary network order — but a dependency path from any
+    /// *recorded* cause back to `mid` is rejected, as is `mid` depending on
+    /// itself. Re-inserting an identical `mid` is idempotent; re-inserting
+    /// with different deps keeps the original (mids are immutable once
+    /// published).
+    pub fn insert(&mut self, mid: Mid, deps: &[Mid]) -> Result<(), CycleError> {
+        if self.deps.contains_key(&mid) {
+            return Ok(());
+        }
+        for &d in deps {
+            if d == mid {
+                return Err(CycleError { mid, via: d });
+            }
+            if self.reaches(d, mid) {
+                return Err(CycleError { mid, via: d });
+            }
+        }
+        self.deps.insert(mid, deps.to_vec());
+        Ok(())
+    }
+
+    /// Whether a dependency path leads from `from` to `to` (i.e. `to` is a
+    /// causal ancestor of `from`), following only recorded edges.
+    pub fn reaches(&self, from: Mid, to: Mid) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(cur) = queue.pop_front() {
+            if let Some(ds) = self.deps.get(&cur) {
+                for &d in ds {
+                    if d == to {
+                        return true;
+                    }
+                    if seen.insert(d) {
+                        queue.push_back(d);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether `a →p b` under the transitive closure of the recorded
+    /// dependencies (strict: `a != b` required).
+    pub fn causally_precedes(&self, a: Mid, b: Mid) -> bool {
+        a != b && self.reaches(b, a)
+    }
+
+    /// All recorded causal ancestors of `mid` (not including `mid`).
+    pub fn ancestors(&self, mid: Mid) -> HashSet<Mid> {
+        let mut out = HashSet::new();
+        let mut queue = VecDeque::from([mid]);
+        while let Some(cur) = queue.pop_front() {
+            if let Some(ds) = self.deps.get(&cur) {
+                for &d in ds {
+                    if out.insert(d) {
+                        queue.push_back(d);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All recorded messages that causally depend (directly or transitively)
+    /// on `root`, not including `root` itself. This is the set destroyed by
+    /// orphan-sequence elimination.
+    pub fn descendants(&self, root: Mid) -> HashSet<Mid> {
+        // Dependencies point child → parent; walk the reverse relation.
+        let mut out = HashSet::new();
+        loop {
+            let mut grew = false;
+            for (&m, ds) in &self.deps {
+                if out.contains(&m) || m == root {
+                    continue;
+                }
+                if ds.iter().any(|d| *d == root || out.contains(d)) {
+                    out.insert(m);
+                    grew = true;
+                }
+            }
+            if !grew {
+                return out;
+            }
+        }
+    }
+
+    /// Removes `mid` and returns whether it was present. Edges from other
+    /// messages to `mid` remain (they describe published history).
+    pub fn remove(&mut self, mid: Mid) -> bool {
+        self.deps.remove(&mid).is_some()
+    }
+
+    /// Whether `a` and `b` are concurrent: neither causally precedes the
+    /// other. Concurrent messages may be processed in any relative order —
+    /// this is the concurrency the paper's general interpretation preserves.
+    pub fn concurrent(&self, a: Mid, b: Mid) -> bool {
+        a != b && !self.causally_precedes(a, b) && !self.causally_precedes(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urcgc_types::ProcessId;
+
+    fn mid(p: u16, s: u64) -> Mid {
+        Mid::new(ProcessId(p), s)
+    }
+
+    #[test]
+    fn linear_chain_precedence() {
+        let mut g = CausalGraph::new();
+        g.insert(mid(0, 1), &[]).unwrap();
+        g.insert(mid(0, 2), &[mid(0, 1)]).unwrap();
+        g.insert(mid(0, 3), &[mid(0, 2)]).unwrap();
+        assert!(g.causally_precedes(mid(0, 1), mid(0, 3)));
+        assert!(!g.causally_precedes(mid(0, 3), mid(0, 1)));
+        assert!(!g.causally_precedes(mid(0, 1), mid(0, 1)));
+    }
+
+    #[test]
+    fn cross_process_dependency() {
+        let mut g = CausalGraph::new();
+        g.insert(mid(0, 1), &[]).unwrap();
+        g.insert(mid(1, 1), &[mid(0, 1)]).unwrap();
+        assert!(g.causally_precedes(mid(0, 1), mid(1, 1)));
+        assert!(!g.concurrent(mid(0, 1), mid(1, 1)));
+    }
+
+    #[test]
+    fn concurrent_messages_detected() {
+        let mut g = CausalGraph::new();
+        g.insert(mid(0, 1), &[]).unwrap();
+        g.insert(mid(1, 1), &[]).unwrap();
+        assert!(g.concurrent(mid(0, 1), mid(1, 1)));
+    }
+
+    #[test]
+    fn self_dependency_rejected() {
+        let mut g = CausalGraph::new();
+        let err = g.insert(mid(0, 1), &[mid(0, 1)]).unwrap_err();
+        assert_eq!(err.mid, mid(0, 1));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = CausalGraph::new();
+        g.insert(mid(0, 1), &[mid(1, 1)]).unwrap(); // dep on not-yet-seen ok
+        // Now 1#1 depending on 0#1 would close the cycle.
+        let err = g.insert(mid(1, 1), &[mid(0, 1)]).unwrap_err();
+        assert_eq!(err.via, mid(0, 1));
+    }
+
+    #[test]
+    fn reinsert_is_idempotent_and_keeps_original() {
+        let mut g = CausalGraph::new();
+        g.insert(mid(0, 1), &[]).unwrap();
+        g.insert(mid(0, 2), &[mid(0, 1)]).unwrap();
+        g.insert(mid(0, 2), &[]).unwrap(); // ignored
+        assert_eq!(g.direct_deps(mid(0, 2)).unwrap(), &[mid(0, 1)]);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn ancestors_and_descendants_are_inverse_views() {
+        let mut g = CausalGraph::new();
+        g.insert(mid(0, 1), &[]).unwrap();
+        g.insert(mid(1, 1), &[mid(0, 1)]).unwrap();
+        g.insert(mid(2, 1), &[mid(1, 1)]).unwrap();
+        g.insert(mid(3, 1), &[]).unwrap(); // unrelated
+        let anc = g.ancestors(mid(2, 1));
+        assert_eq!(anc, [mid(0, 1), mid(1, 1)].into_iter().collect());
+        let desc = g.descendants(mid(0, 1));
+        assert_eq!(desc, [mid(1, 1), mid(2, 1)].into_iter().collect());
+        assert!(g.descendants(mid(3, 1)).is_empty());
+    }
+
+    #[test]
+    fn diamond_closure() {
+        // 0#1 ← {1#1, 2#1} ← 3#1 : classic diamond.
+        let mut g = CausalGraph::new();
+        g.insert(mid(0, 1), &[]).unwrap();
+        g.insert(mid(1, 1), &[mid(0, 1)]).unwrap();
+        g.insert(mid(2, 1), &[mid(0, 1)]).unwrap();
+        g.insert(mid(3, 1), &[mid(1, 1), mid(2, 1)]).unwrap();
+        assert!(g.causally_precedes(mid(0, 1), mid(3, 1)));
+        assert!(g.concurrent(mid(1, 1), mid(2, 1)));
+        assert_eq!(g.descendants(mid(0, 1)).len(), 3);
+    }
+
+    #[test]
+    fn remove_keeps_other_nodes() {
+        let mut g = CausalGraph::new();
+        g.insert(mid(0, 1), &[]).unwrap();
+        g.insert(mid(0, 2), &[mid(0, 1)]).unwrap();
+        assert!(g.remove(mid(0, 1)));
+        assert!(!g.remove(mid(0, 1)));
+        assert!(g.contains(mid(0, 2)));
+    }
+
+    #[test]
+    fn cycle_error_displays_both_mids() {
+        let e = CycleError {
+            mid: mid(0, 1),
+            via: mid(1, 2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("p0#1") && s.contains("p1#2"));
+    }
+}
+
+impl CausalGraph {
+    /// Produces a causal linearization of all recorded messages: an order
+    /// in which every message appears after all of its *recorded* causes
+    /// (dependencies on unrecorded mids are treated as already satisfied —
+    /// they refer to history outside the batch). Deterministic: ties are
+    /// broken by mid order. Useful for replaying a batch of messages (for
+    /// example a recovered history range) through application state.
+    pub fn linearize(&self) -> Vec<Mid> {
+        let mut remaining: HashMap<Mid, usize> = self
+            .deps
+            .iter()
+            .map(|(&m, ds)| {
+                let unsatisfied = ds.iter().filter(|d| self.deps.contains_key(d)).count();
+                (m, unsatisfied)
+            })
+            .collect();
+        // Ready set kept sorted for determinism.
+        let mut ready: std::collections::BTreeSet<Mid> = remaining
+            .iter()
+            .filter(|(_, &c)| c == 0)
+            .map(|(&m, _)| m)
+            .collect();
+        let mut out = Vec::with_capacity(self.deps.len());
+        while let Some(&next) = ready.iter().next() {
+            ready.remove(&next);
+            out.push(next);
+            // Decrement every message that lists `next` as a cause.
+            for (&m, ds) in &self.deps {
+                if ds.contains(&next) {
+                    if let Some(c) = remaining.get_mut(&m) {
+                        *c -= 1;
+                        if *c == 0 {
+                            ready.insert(m);
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.deps.len(), "graph must be acyclic");
+        out
+    }
+}
+
+#[cfg(test)]
+mod linearize_tests {
+    use super::*;
+    use urcgc_types::ProcessId;
+
+    fn mid(p: u16, s: u64) -> Mid {
+        Mid::new(ProcessId(p), s)
+    }
+
+    #[test]
+    fn linearization_respects_all_edges() {
+        let mut g = CausalGraph::new();
+        g.insert(mid(0, 1), &[]).unwrap();
+        g.insert(mid(1, 1), &[mid(0, 1)]).unwrap();
+        g.insert(mid(2, 1), &[mid(0, 1)]).unwrap();
+        g.insert(mid(0, 2), &[mid(1, 1), mid(2, 1)]).unwrap();
+        let order = g.linearize();
+        assert_eq!(order.len(), 4);
+        let pos = |m: Mid| order.iter().position(|&x| x == m).unwrap();
+        assert!(pos(mid(0, 1)) < pos(mid(1, 1)));
+        assert!(pos(mid(0, 1)) < pos(mid(2, 1)));
+        assert!(pos(mid(1, 1)) < pos(mid(0, 2)));
+        assert!(pos(mid(2, 1)) < pos(mid(0, 2)));
+    }
+
+    #[test]
+    fn unrecorded_deps_are_treated_as_satisfied() {
+        let mut g = CausalGraph::new();
+        // Depends on p9#9, which is not part of the batch.
+        g.insert(mid(0, 1), &[mid(9, 9)]).unwrap();
+        assert_eq!(g.linearize(), vec![mid(0, 1)]);
+    }
+
+    #[test]
+    fn linearization_is_deterministic() {
+        let mut g = CausalGraph::new();
+        for p in 0..4u16 {
+            g.insert(mid(p, 1), &[]).unwrap();
+        }
+        assert_eq!(g.linearize(), vec![mid(0, 1), mid(1, 1), mid(2, 1), mid(3, 1)]);
+    }
+}

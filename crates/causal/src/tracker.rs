@@ -1,0 +1,193 @@
+//! Per-origin processing frontiers.
+//!
+//! A process `q` may process a received message only once it has processed
+//! every message the new one causally depends on (Section 4). The tracker
+//! records, per origin, which sequence numbers have been processed, in the
+//! compressed form of a contiguous prefix plus an out-of-order overflow set
+//! (the overflow set is only populated under the *general* causality
+//! interpretation, where an origin's own messages may be concurrent).
+
+use std::collections::BTreeSet;
+
+use urcgc_types::{Mid, ProcessId, NO_SEQ};
+
+/// Tracks which messages this process has processed.
+#[derive(Clone, Debug)]
+pub struct DeliveryTracker {
+    /// Per origin: highest `s` such that all of `1..=s` are processed.
+    prefix: Vec<u64>,
+    /// Per origin: processed seqs beyond the contiguous prefix.
+    beyond: Vec<BTreeSet<u64>>,
+}
+
+impl DeliveryTracker {
+    /// A tracker for a group of `n` origins with nothing processed.
+    pub fn new(n: usize) -> Self {
+        DeliveryTracker {
+            prefix: vec![NO_SEQ; n],
+            beyond: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Group cardinality.
+    pub fn n(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Whether `mid` has been processed.
+    pub fn is_processed(&self, mid: Mid) -> bool {
+        let i = mid.origin.index();
+        if i >= self.n() || mid.seq == NO_SEQ {
+            return false;
+        }
+        mid.seq <= self.prefix[i] || self.beyond[i].contains(&mid.seq)
+    }
+
+    /// Marks `mid` processed, compacting the prefix. Returns `false` if it
+    /// was already processed.
+    pub fn mark_processed(&mut self, mid: Mid) -> bool {
+        let i = mid.origin.index();
+        assert!(i < self.n(), "mid origin {} outside group", mid.origin);
+        assert_ne!(mid.seq, NO_SEQ, "NO_SEQ is not a message");
+        if self.is_processed(mid) {
+            return false;
+        }
+        if mid.seq == self.prefix[i] + 1 {
+            self.prefix[i] = mid.seq;
+            // Absorb any out-of-order seqs that are now contiguous.
+            while self.beyond[i].remove(&(self.prefix[i] + 1)) {
+                self.prefix[i] += 1;
+            }
+        } else {
+            self.beyond[i].insert(mid.seq);
+        }
+        true
+    }
+
+    /// Whether every dependency in `deps` has been processed — the paper's
+    /// deliverability condition.
+    pub fn deliverable(&self, deps: &[Mid]) -> bool {
+        deps.iter().all(|&d| self.is_processed(d))
+    }
+
+    /// The dependencies in `deps` that are still missing.
+    pub fn missing<'a>(&'a self, deps: &'a [Mid]) -> impl Iterator<Item = Mid> + 'a {
+        deps.iter().copied().filter(move |&d| !self.is_processed(d))
+    }
+
+    /// `last_processed[q]` as reported in subrun requests: the contiguous
+    /// processing prefix for origin `q`.
+    pub fn last_processed(&self, q: ProcessId) -> u64 {
+        self.prefix.get(q.index()).copied().unwrap_or(NO_SEQ)
+    }
+
+    /// The full `last_processed` vector carried by a request PDU.
+    pub fn last_processed_vector(&self) -> Vec<u64> {
+        self.prefix.clone()
+    }
+
+    /// Total number of messages processed.
+    pub fn processed_count(&self) -> u64 {
+        self.prefix.iter().sum::<u64>() + self.beyond.iter().map(|b| b.len() as u64).sum::<u64>()
+    }
+
+    /// Fast-forwards origin `q`'s prefix to at least `seq` (used when a
+    /// decision orders the destruction of an unrecoverable gap: the group
+    /// agrees to *skip* the lost messages and restart the sequence after
+    /// them).
+    pub fn skip_to(&mut self, q: ProcessId, seq: u64) {
+        let i = q.index();
+        if i >= self.n() {
+            return;
+        }
+        if self.prefix[i] < seq {
+            self.prefix[i] = seq;
+            while self.beyond[i].remove(&(self.prefix[i] + 1)) {
+                self.prefix[i] += 1;
+            }
+        }
+        self.beyond[i].retain(|&s| s > self.prefix[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mid(p: u16, s: u64) -> Mid {
+        Mid::new(ProcessId(p), s)
+    }
+
+    #[test]
+    fn fresh_tracker_has_processed_nothing() {
+        let t = DeliveryTracker::new(3);
+        assert!(!t.is_processed(mid(0, 1)));
+        assert_eq!(t.last_processed(ProcessId(0)), NO_SEQ);
+        assert_eq!(t.processed_count(), 0);
+    }
+
+    #[test]
+    fn prefix_advances_in_order() {
+        let mut t = DeliveryTracker::new(2);
+        assert!(t.mark_processed(mid(0, 1)));
+        assert!(t.mark_processed(mid(0, 2)));
+        assert_eq!(t.last_processed(ProcessId(0)), 2);
+        assert!(!t.mark_processed(mid(0, 1)), "duplicate must report false");
+    }
+
+    #[test]
+    fn out_of_order_absorbed_when_gap_fills() {
+        let mut t = DeliveryTracker::new(1);
+        t.mark_processed(mid(0, 3));
+        t.mark_processed(mid(0, 2));
+        assert_eq!(t.last_processed(ProcessId(0)), 0, "gap at 1 remains");
+        assert!(t.is_processed(mid(0, 3)));
+        t.mark_processed(mid(0, 1));
+        assert_eq!(t.last_processed(ProcessId(0)), 3, "prefix compacts");
+        assert_eq!(t.processed_count(), 3);
+    }
+
+    #[test]
+    fn deliverable_checks_all_deps() {
+        let mut t = DeliveryTracker::new(2);
+        t.mark_processed(mid(0, 1));
+        assert!(t.deliverable(&[mid(0, 1)]));
+        assert!(!t.deliverable(&[mid(0, 1), mid(1, 1)]));
+        assert!(t.deliverable(&[]), "no deps is trivially deliverable");
+        let missing: Vec<_> = t.missing(&[mid(0, 1), mid(1, 1)]).collect();
+        assert_eq!(missing, vec![mid(1, 1)]);
+    }
+
+    #[test]
+    fn skip_to_jumps_gaps_and_absorbs_beyond() {
+        let mut t = DeliveryTracker::new(1);
+        t.mark_processed(mid(0, 5));
+        t.skip_to(ProcessId(0), 4);
+        assert_eq!(t.last_processed(ProcessId(0)), 5, "5 absorbed after skip");
+        t.skip_to(ProcessId(0), 3);
+        assert_eq!(t.last_processed(ProcessId(0)), 5, "skip never regresses");
+    }
+
+    #[test]
+    fn unknown_origin_is_never_processed() {
+        let t = DeliveryTracker::new(1);
+        assert!(!t.is_processed(mid(9, 1)));
+        assert_eq!(t.last_processed(ProcessId(9)), NO_SEQ);
+    }
+
+    #[test]
+    #[should_panic(expected = "NO_SEQ")]
+    fn marking_no_seq_panics() {
+        let mut t = DeliveryTracker::new(1);
+        t.mark_processed(mid(0, NO_SEQ));
+    }
+
+    #[test]
+    fn last_processed_vector_matches_per_origin_queries() {
+        let mut t = DeliveryTracker::new(3);
+        t.mark_processed(mid(1, 1));
+        t.mark_processed(mid(2, 1));
+        t.mark_processed(mid(2, 2));
+        assert_eq!(t.last_processed_vector(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Vector clocks.
+//!
+//! Used by the CBCAST baseline (Birman, Schiper, Stephenson 1991) — whose
+//! causal delivery condition is expressed on vector timestamps — and by the
+//! test suites as an *independent oracle*: vector-clock order must agree
+//! with the explicit-dependency order the urcgc engine enforces whenever the
+//! latter runs in temporal mode.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+use urcgc_types::ProcessId;
+
+/// A fixed-width vector clock over a group of `n` processes.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct VectorClock {
+    v: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock for a group of `n`.
+    pub fn zero(n: usize) -> Self {
+        VectorClock { v: vec![0; n] }
+    }
+
+    /// Builds a clock from explicit components.
+    pub fn from_components(v: Vec<u64>) -> Self {
+        VectorClock { v }
+    }
+
+    /// Group cardinality.
+    pub fn n(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Component for process `p`.
+    pub fn get(&self, p: ProcessId) -> u64 {
+        self.v.get(p.index()).copied().unwrap_or(0)
+    }
+
+    /// Raw components.
+    pub fn components(&self) -> &[u64] {
+        &self.v
+    }
+
+    /// Increments `p`'s component (local event / send at `p`).
+    pub fn tick(&mut self, p: ProcessId) {
+        self.v[p.index()] += 1;
+    }
+
+    /// Component-wise maximum (merge on receive).
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(self.n(), other.n(), "clock width mismatch");
+        for (a, b) in self.v.iter_mut().zip(&other.v) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Causal comparison: `Some(Less)` iff `self → other`,
+    /// `Some(Greater)` iff `other → self`, `Some(Equal)` iff identical,
+    /// `None` iff concurrent.
+    pub fn causal_cmp(&self, other: &VectorClock) -> Option<Ordering> {
+        assert_eq!(self.n(), other.n(), "clock width mismatch");
+        let mut le = true;
+        let mut ge = true;
+        for (a, b) in self.v.iter().zip(&other.v) {
+            if a > b {
+                le = false;
+            }
+            if a < b {
+                ge = false;
+            }
+        }
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// Whether `self` happened-before `other` (strictly).
+    pub fn happened_before(&self, other: &VectorClock) -> bool {
+        matches!(self.causal_cmp(other), Some(Ordering::Less))
+    }
+
+    /// Whether the clocks are concurrent.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        self.causal_cmp(other).is_none()
+    }
+
+    /// CBCAST deliverability: a message stamped `msg_ts` from `sender` is
+    /// deliverable at a process whose clock is `self` iff
+    /// `msg_ts[sender] == self[sender] + 1` and
+    /// `msg_ts[k] <= self[k]` for every `k != sender`.
+    pub fn cbcast_deliverable(&self, msg_ts: &VectorClock, sender: ProcessId) -> bool {
+        assert_eq!(self.n(), msg_ts.n(), "clock width mismatch");
+        for i in 0..self.n() {
+            let p = ProcessId::from_index(i);
+            if p == sender {
+                if msg_ts.v[i] != self.v[i] + 1 {
+                    return false;
+                }
+            } else if msg_ts.v[i] > self.v[i] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.v.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(v: &[u64]) -> VectorClock {
+        VectorClock::from_components(v.to_vec())
+    }
+
+    #[test]
+    fn zero_clock_is_equal_to_itself() {
+        let a = VectorClock::zero(3);
+        assert_eq!(a.causal_cmp(&a), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn tick_establishes_happened_before() {
+        let a = VectorClock::zero(2);
+        let mut b = a.clone();
+        b.tick(ProcessId(0));
+        assert!(a.happened_before(&b));
+        assert!(!b.happened_before(&a));
+    }
+
+    #[test]
+    fn divergent_ticks_are_concurrent() {
+        let mut a = VectorClock::zero(2);
+        let mut b = VectorClock::zero(2);
+        a.tick(ProcessId(0));
+        b.tick(ProcessId(1));
+        assert!(a.concurrent(&b));
+        assert_eq!(a.causal_cmp(&b), None);
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max() {
+        let mut a = vc(&[3, 0, 1]);
+        a.merge(&vc(&[1, 2, 1]));
+        assert_eq!(a.components(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn cbcast_delivery_in_order() {
+        // Receiver has seen nothing; sender p0's first message (ts [1,0]) is
+        // deliverable, its second (ts [2,0]) is not.
+        let recv = VectorClock::zero(2);
+        assert!(recv.cbcast_deliverable(&vc(&[1, 0]), ProcessId(0)));
+        assert!(!recv.cbcast_deliverable(&vc(&[2, 0]), ProcessId(0)));
+    }
+
+    #[test]
+    fn cbcast_delivery_waits_for_causal_context() {
+        // p1's message was sent after seeing p0's first message: ts [1,1].
+        // A receiver that hasn't delivered p0#1 yet must wait.
+        let recv = VectorClock::zero(2);
+        assert!(!recv.cbcast_deliverable(&vc(&[1, 1]), ProcessId(1)));
+        let recv = vc(&[1, 0]);
+        assert!(recv.cbcast_deliverable(&vc(&[1, 1]), ProcessId(1)));
+    }
+
+    #[test]
+    fn get_out_of_range_is_zero() {
+        let a = VectorClock::zero(2);
+        assert_eq!(a.get(ProcessId(7)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_widths_panic() {
+        let a = VectorClock::zero(2);
+        let b = VectorClock::zero(3);
+        let _ = a.causal_cmp(&b);
+    }
+
+    #[test]
+    fn display_renders_components() {
+        assert_eq!(vc(&[1, 0, 2]).to_string(), "⟨1,0,2⟩");
+    }
+}

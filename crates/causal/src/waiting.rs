@@ -1,0 +1,273 @@
+//! The waiting list (Section 4).
+//!
+//! A received message whose causal predecessors have not all been processed
+//! is "temporarily entered a waiting list waiting for the missing messages".
+//! The list also powers two protocol features:
+//!
+//! * each subrun request reports `waiting[q]` — the **oldest** waiting
+//!   sequence number per origin — which the coordinator folds into
+//!   `min_waiting` for the orphan-gap test;
+//! * when the group agrees a gap is unrecoverable, every process discards
+//!   the waiting messages that (transitively) depend on the lost one —
+//!   [`WaitingList::discard_dependents`].
+
+use std::collections::HashMap;
+
+use urcgc_types::{DataMsg, Mid, ProcessId, NO_SEQ};
+
+/// Messages parked until their causal predecessors are processed.
+#[derive(Clone, Debug, Default)]
+pub struct WaitingList {
+    entries: HashMap<Mid, DataMsg>,
+}
+
+impl WaitingList {
+    /// An empty waiting list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of waiting messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `mid` is currently waiting.
+    pub fn contains(&self, mid: Mid) -> bool {
+        self.entries.contains_key(&mid)
+    }
+
+    /// Parks `msg`. Re-inserting the same mid is idempotent (duplicate
+    /// receptions are common under omission-recovery).
+    pub fn park(&mut self, msg: DataMsg) {
+        self.entries.entry(msg.mid).or_insert(msg);
+    }
+
+    /// Removes and returns the waiting messages whose dependencies are now
+    /// all satisfied according to `is_processed`. Call repeatedly after each
+    /// processing step: releasing one message can unblock others, and this
+    /// method performs that fixpoint internally *only* for direct unblocking
+    /// by `released` — the caller is expected to mark released messages
+    /// processed and call again (the urcgc engine drives this loop).
+    pub fn release_ready(&mut self, is_processed: impl Fn(Mid) -> bool) -> Vec<DataMsg> {
+        let ready: Vec<Mid> = self
+            .entries
+            .values()
+            .filter(|m| m.deps.iter().all(|&d| is_processed(d)))
+            .map(|m| m.mid)
+            .collect();
+        let mut out: Vec<DataMsg> = ready
+            .into_iter()
+            .map(|mid| self.entries.remove(&mid).expect("just listed"))
+            .collect();
+        // Deterministic release order: by origin then seq. Within the urcgc
+        // engine the real order is re-checked against the tracker anyway.
+        out.sort_by_key(|m| m.mid);
+        out
+    }
+
+    /// `waiting[q]`: the oldest (smallest-seq) waiting message originated by
+    /// `q`, or [`NO_SEQ`] if none — the per-origin value sent to the
+    /// coordinator each subrun.
+    pub fn oldest_waiting(&self, q: ProcessId) -> u64 {
+        self.entries
+            .keys()
+            .filter(|m| m.origin == q)
+            .map(|m| m.seq)
+            .min()
+            .unwrap_or(NO_SEQ)
+    }
+
+    /// The full `waiting` vector for a request PDU.
+    pub fn waiting_vector(&self, n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|i| self.oldest_waiting(ProcessId::from_index(i)))
+            .collect()
+    }
+
+    /// Discards every waiting message that depends — directly or through
+    /// other *waiting* messages — on `root`, returning the discarded mids.
+    /// This implements the destruction step of orphan-sequence elimination:
+    /// "it removes the messages that depend on `max_processed[q] + 1`".
+    ///
+    /// `root` itself is also discarded if it is waiting.
+    pub fn discard_dependents(&mut self, root: Mid) -> Vec<Mid> {
+        let mut doomed: Vec<Mid> = Vec::new();
+        if self.entries.contains_key(&root) {
+            doomed.push(root);
+        }
+        loop {
+            let mut grew = false;
+            for (mid, msg) in &self.entries {
+                if doomed.contains(mid) {
+                    continue;
+                }
+                if msg.deps.iter().any(|d| *d == root || doomed.contains(d)) {
+                    doomed.push(*mid);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        for mid in &doomed {
+            self.entries.remove(mid);
+        }
+        doomed.sort();
+        doomed
+    }
+
+    /// Discards messages from origin `q` with `seq >= from_seq` and all their
+    /// waiting dependents. Convenience wrapper used when a whole suffix of a
+    /// crashed origin's sequence is declared lost.
+    pub fn discard_origin_suffix(&mut self, q: ProcessId, from_seq: u64) -> Vec<Mid> {
+        let roots: Vec<Mid> = self
+            .entries
+            .keys()
+            .filter(|m| m.origin == q && m.seq >= from_seq)
+            .copied()
+            .collect();
+        let mut all = Vec::new();
+        for root in roots {
+            all.extend(self.discard_dependents(root));
+        }
+        all.sort();
+        all.dedup();
+        all
+    }
+
+    /// Iterates over the waiting messages in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &DataMsg> {
+        self.entries.values()
+    }
+
+    /// All mids a waiting message is still blocked on, deduplicated — the
+    /// recovery targets the engine asks the most-updated process for.
+    pub fn blocking_mids(&self, is_processed: impl Fn(Mid) -> bool) -> Vec<Mid> {
+        let mut out: Vec<Mid> = self
+            .entries
+            .values()
+            .flat_map(|m| m.deps.iter().copied())
+            .filter(|&d| !is_processed(d) && !self.entries.contains_key(&d))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use urcgc_types::Round;
+
+    fn msg(p: u16, s: u64, deps: &[(u16, u64)]) -> DataMsg {
+        DataMsg {
+            mid: Mid::new(ProcessId(p), s),
+            deps: deps
+                .iter()
+                .map(|&(dp, ds)| Mid::new(ProcessId(dp), ds))
+                .collect(),
+            round: Round(0),
+            payload: Bytes::new(),
+        }
+    }
+
+    fn mid(p: u16, s: u64) -> Mid {
+        Mid::new(ProcessId(p), s)
+    }
+
+    #[test]
+    fn park_and_release_on_satisfied_deps() {
+        let mut w = WaitingList::new();
+        w.park(msg(1, 1, &[(0, 1)]));
+        assert_eq!(w.len(), 1);
+        let none = w.release_ready(|_| false);
+        assert!(none.is_empty());
+        let out = w.release_ready(|d| d == mid(0, 1));
+        assert_eq!(out.len(), 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn park_is_idempotent() {
+        let mut w = WaitingList::new();
+        w.park(msg(1, 1, &[(0, 1)]));
+        w.park(msg(1, 1, &[(0, 1)]));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn release_is_sorted_by_mid() {
+        let mut w = WaitingList::new();
+        w.park(msg(2, 1, &[]));
+        w.park(msg(0, 5, &[]));
+        w.park(msg(0, 2, &[]));
+        let out = w.release_ready(|_| true);
+        let mids: Vec<_> = out.iter().map(|m| m.mid).collect();
+        assert_eq!(mids, vec![mid(0, 2), mid(0, 5), mid(2, 1)]);
+    }
+
+    #[test]
+    fn oldest_waiting_per_origin() {
+        let mut w = WaitingList::new();
+        w.park(msg(0, 7, &[(1, 1)]));
+        w.park(msg(0, 3, &[(1, 1)]));
+        w.park(msg(2, 9, &[(1, 1)]));
+        assert_eq!(w.oldest_waiting(ProcessId(0)), 3);
+        assert_eq!(w.oldest_waiting(ProcessId(1)), NO_SEQ);
+        assert_eq!(w.oldest_waiting(ProcessId(2)), 9);
+        assert_eq!(w.waiting_vector(3), vec![3, NO_SEQ, 9]);
+    }
+
+    #[test]
+    fn discard_dependents_cascades() {
+        let mut w = WaitingList::new();
+        // Waiting chain: 1#2 ← 1#3 ← 2#1 ; plus unrelated 3#1.
+        w.park(msg(1, 2, &[(1, 1)]));
+        w.park(msg(1, 3, &[(1, 2)]));
+        w.park(msg(2, 1, &[(1, 3)]));
+        w.park(msg(3, 1, &[(0, 1)]));
+        let doomed = w.discard_dependents(mid(1, 1));
+        assert_eq!(doomed, vec![mid(1, 2), mid(1, 3), mid(2, 1)]);
+        assert_eq!(w.len(), 1);
+        assert!(w.contains(mid(3, 1)));
+    }
+
+    #[test]
+    fn discard_root_itself_if_waiting() {
+        let mut w = WaitingList::new();
+        w.park(msg(1, 2, &[(1, 1)]));
+        let doomed = w.discard_dependents(mid(1, 2));
+        assert_eq!(doomed, vec![mid(1, 2)]);
+    }
+
+    #[test]
+    fn discard_origin_suffix_hits_all_later_seqs() {
+        let mut w = WaitingList::new();
+        w.park(msg(1, 3, &[(1, 2)]));
+        w.park(msg(1, 5, &[(1, 4)]));
+        w.park(msg(2, 1, &[(1, 5)]));
+        w.park(msg(0, 1, &[]));
+        let doomed = w.discard_origin_suffix(ProcessId(1), 3);
+        assert_eq!(doomed, vec![mid(1, 3), mid(1, 5), mid(2, 1)]);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn blocking_mids_excludes_parked_and_processed() {
+        let mut w = WaitingList::new();
+        w.park(msg(1, 2, &[(1, 1)])); // blocked on 1#1 (missing)
+        w.park(msg(1, 3, &[(1, 2)])); // blocked on 1#2 (parked, not missing)
+        w.park(msg(2, 1, &[(0, 1)])); // blocked on 0#1 (processed)
+        let blocking = w.blocking_mids(|d| d == mid(0, 1));
+        assert_eq!(blocking, vec![mid(1, 1)]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Property tests for the causal machinery: DAG invariants, tracker/waiting
+//! interplay, and agreement between the explicit-dependency order and the
+//! vector-clock oracle under temporal labeling.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use urcgc_causal::{CausalGraph, DeliveryTracker, Labeler, VectorClock, WaitingList};
+use urcgc_types::{CausalityMode, DataMsg, Mid, ProcessId, Round};
+
+fn mid(p: u16, s: u64) -> Mid {
+    Mid::new(ProcessId(p), s)
+}
+
+/// A random batch of messages with valid (already-inserted) dependencies.
+fn arb_dag(n_msgs: usize) -> impl Strategy<Value = Vec<(Mid, Vec<Mid>)>> {
+    prop::collection::vec(
+        (0u16..4, prop::collection::vec(any::<prop::sample::Index>(), 0..3)),
+        1..n_msgs,
+    )
+    .prop_map(|specs| {
+        let mut out: Vec<(Mid, Vec<Mid>)> = Vec::new();
+        let mut next_seq = [0u64; 4];
+        for (p, dep_picks) in specs {
+            next_seq[p as usize] += 1;
+            let m = mid(p, next_seq[p as usize]);
+            let deps: Vec<Mid> = if out.is_empty() {
+                vec![]
+            } else {
+                let mut d: Vec<Mid> = dep_picks
+                    .iter()
+                    .map(|ix| out[ix.index(out.len())].0)
+                    .collect();
+                d.sort();
+                d.dedup();
+                d
+            };
+            out.push((m, deps));
+        }
+        out
+    })
+}
+
+proptest! {
+    /// Inserting messages whose deps reference only earlier messages never
+    /// produces a cycle, and ancestry is antisymmetric.
+    #[test]
+    fn dag_insertion_never_cycles(batch in arb_dag(24)) {
+        let mut g = CausalGraph::new();
+        for (m, deps) in &batch {
+            g.insert(*m, deps).expect("forward-only deps cannot cycle");
+        }
+        for (a, _) in &batch {
+            for (b, _) in &batch {
+                if a != b {
+                    prop_assert!(
+                        !(g.causally_precedes(*a, *b) && g.causally_precedes(*b, *a)),
+                        "both {a} -> {b} and {b} -> {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// descendants() and ancestors() are inverse relations.
+    #[test]
+    fn descendants_inverse_of_ancestors(batch in arb_dag(16)) {
+        let mut g = CausalGraph::new();
+        for (m, deps) in &batch {
+            g.insert(*m, deps).unwrap();
+        }
+        for (m, _) in &batch {
+            for anc in g.ancestors(*m) {
+                prop_assert!(g.descendants(anc).contains(m));
+            }
+        }
+    }
+
+    /// Feeding any permutation of a valid DAG through tracker + waiting
+    /// list processes *everything*, and every message only after its deps.
+    #[test]
+    fn tracker_and_waiting_release_everything_in_causal_order(
+        batch in arb_dag(20),
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Deterministic Fisher-Yates with a splitmix stream.
+        let mut order: Vec<usize> = (0..batch.len()).collect();
+        let mut state = shuffle_seed;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+
+        let mut tracker = DeliveryTracker::new(4);
+        let mut waiting = WaitingList::new();
+        let mut processed_order: Vec<Mid> = Vec::new();
+        for &ix in &order {
+            let (m, deps) = &batch[ix];
+            let msg = DataMsg {
+                mid: *m,
+                deps: deps.clone(),
+                round: Round(0),
+                payload: Bytes::new(),
+            };
+            if tracker.deliverable(&msg.deps) {
+                if tracker.mark_processed(msg.mid) {
+                    processed_order.push(msg.mid);
+                }
+                loop {
+                    let t = &tracker;
+                    let ready = waiting.release_ready(|d| t.is_processed(d));
+                    if ready.is_empty() {
+                        break;
+                    }
+                    for r in ready {
+                        if tracker.mark_processed(r.mid) {
+                            processed_order.push(r.mid);
+                        }
+                    }
+                }
+            } else {
+                waiting.park(msg);
+            }
+        }
+        prop_assert!(waiting.is_empty(), "stuck: {} waiting", waiting.len());
+        prop_assert_eq!(processed_order.len(), batch.len());
+        // Order check.
+        let pos: std::collections::HashMap<Mid, usize> =
+            processed_order.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        for (m, deps) in &batch {
+            for d in deps {
+                prop_assert!(pos[d] < pos[m], "{m} before its cause {d}");
+            }
+        }
+    }
+
+    /// Under temporal labeling, explicit-dependency precedence implies
+    /// vector-clock happened-before (the labeler is sound wrt the oracle).
+    #[test]
+    fn temporal_labels_agree_with_vector_clocks(sends in prop::collection::vec(0u16..3, 1..15)) {
+        let n = 3;
+        let mut labelers: Vec<Labeler> = (0..n)
+            .map(|i| Labeler::new(ProcessId::from_index(i), n, CausalityMode::Temporal))
+            .collect();
+        let mut clocks: Vec<VectorClock> = (0..n).map(|_| VectorClock::zero(n)).collect();
+        let mut graph = CausalGraph::new();
+        let mut stamp: std::collections::HashMap<Mid, VectorClock> = Default::default();
+
+        // Broadcast model: every message is immediately processed by all.
+        for p in sends {
+            let p = p as usize;
+            let (m, deps) = labelers[p].label(&[]).unwrap();
+            clocks[p].tick(ProcessId::from_index(p));
+            let ts = clocks[p].clone();
+            stamp.insert(m, ts.clone());
+            graph.insert(m, &deps).unwrap();
+            for q in 0..n {
+                if q != p {
+                    labelers[q].note_processed(m);
+                    clocks[q].merge(&ts);
+                }
+            }
+        }
+        for (a, ts_a) in &stamp {
+            for (b, ts_b) in &stamp {
+                if graph.causally_precedes(*a, *b) {
+                    prop_assert!(
+                        ts_a.happened_before(ts_b),
+                        "label order {a}->{b} not reflected by clocks"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Waiting-list cascade destruction removes exactly the dependents.
+    #[test]
+    fn discard_dependents_is_exactly_the_descendant_set(batch in arb_dag(16)) {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut waiting = WaitingList::new();
+        let mut graph = CausalGraph::new();
+        for (m, deps) in &batch {
+            graph.insert(*m, deps).unwrap();
+            waiting.park(DataMsg {
+                mid: *m,
+                deps: deps.clone(),
+                round: Round(0),
+                payload: Bytes::new(),
+            });
+        }
+        let root = batch[0].0;
+        let doomed: std::collections::HashSet<Mid> =
+            waiting.discard_dependents(root).into_iter().collect();
+        let mut expect = graph.descendants(root);
+        expect.insert(root);
+        prop_assert_eq!(doomed, expect);
+    }
+}
+
+proptest! {
+    /// linearize() is a valid topological order of any random DAG.
+    #[test]
+    fn linearize_is_a_topological_order(batch in arb_dag(24)) {
+        let mut g = CausalGraph::new();
+        for (m, deps) in &batch {
+            g.insert(*m, deps).unwrap();
+        }
+        let order = g.linearize();
+        prop_assert_eq!(order.len(), batch.len());
+        let pos: std::collections::HashMap<Mid, usize> =
+            order.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        for (m, deps) in &batch {
+            for d in deps {
+                prop_assert!(pos[d] < pos[m], "{m} before its cause {d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Engine effects and status types.
+
+use core::fmt;
+
+use urcgc_types::{DataMsg, Mid, Pdu, ProcessId};
+
+/// Life-cycle state of a protocol entity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ProcessStatus {
+    /// Participating normally.
+    #[default]
+    Active,
+    /// Committed suicide after learning the group declared it crashed
+    /// (Section 4: "when an alive process notices it is supposed dead, it
+    /// commits suicide").
+    Suicided,
+    /// Left the group autonomously — after failing to receive from `K`
+    /// consecutive coordinators, or after `R` unsuccessful recovery
+    /// attempts.
+    Left,
+}
+
+impl ProcessStatus {
+    /// Whether the entity still participates in the protocol.
+    pub fn is_active(self) -> bool {
+        matches!(self, ProcessStatus::Active)
+    }
+}
+
+/// Why a status change happened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StatusReason {
+    /// A decision carried `process_state[me] == false`.
+    DeclaredCrashed,
+    /// `K` consecutive subruns elapsed without receiving any decision.
+    MissedKDecisions,
+    /// `R` consecutive recovery attempts made no progress.
+    RecoveryExhausted,
+}
+
+impl fmt::Display for StatusReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StatusReason::DeclaredCrashed => "declared crashed by the group",
+            StatusReason::MissedKDecisions => "missed K consecutive coordinator decisions",
+            StatusReason::RecoveryExhausted => "R recovery attempts without progress",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An effect produced by the engine, drained via
+/// [`Engine::poll_output`](crate::Engine::poll_output).
+#[derive(Clone, Debug)]
+pub enum Output {
+    /// Transmit `pdu` to one destination.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// The protocol data unit to encode and ship.
+        pdu: Pdu,
+    },
+    /// Transmit `pdu` to every other group member.
+    Broadcast {
+        /// The protocol data unit to encode and ship.
+        pdu: Pdu,
+    },
+    /// `urcgc.data.Ind`: a message has been *processed* — hand it to the
+    /// application. Emitted in causal order.
+    Deliver {
+        /// The processed message.
+        msg: DataMsg,
+    },
+    /// `urcgc.data.Conf`: the local entity has broadcast and processed the
+    /// application's own submission.
+    Confirm {
+        /// The mid assigned to the submission.
+        mid: Mid,
+    },
+    /// Waiting messages were destroyed by orphan-sequence elimination.
+    Discarded {
+        /// The destroyed mids, sorted.
+        mids: Vec<Mid>,
+    },
+    /// The entity changed life-cycle state.
+    StatusChanged {
+        /// New status.
+        status: ProcessStatus,
+        /// What triggered it.
+        reason: StatusReason,
+    },
+}
+
+/// Rejected submissions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The entity is no longer active.
+    NotActive(ProcessStatus),
+    /// The dependency list was rejected by the labeler.
+    BadLabel(String),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::NotActive(s) => write!(f, "entity is not active (status {s:?})"),
+            SubmitError::BadLabel(e) => write!(f, "invalid causal label: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Counters the engine maintains for observability and experiments.
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct EngineStats {
+    /// Messages processed (own + foreign).
+    pub processed: u64,
+    /// Messages currently parked in the waiting list (gauge).
+    pub waiting: usize,
+    /// Current history population (gauge).
+    pub history_len: usize,
+    /// Recovery requests sent.
+    pub recovery_requests: u64,
+    /// Messages recovered from peers' histories.
+    pub recovered: u64,
+    /// Messages destroyed by orphan elimination.
+    pub discarded: u64,
+    /// Rounds in which flow control suppressed generation.
+    pub flow_blocked_rounds: u64,
+    /// Decisions applied.
+    pub decisions_applied: u64,
+    /// Decisions computed as coordinator.
+    pub decisions_made: u64,
+}
+
+/// A serializable point-in-time view of an [`Engine`](crate::Engine) — see
+/// [`Engine::snapshot`](crate::Engine::snapshot).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct EngineSnapshot {
+    /// This member's id.
+    pub me: u16,
+    /// Life-cycle status (Debug rendering).
+    pub status: String,
+    /// Current round.
+    pub round: u64,
+    /// Current subrun.
+    pub subrun: u64,
+    /// Subrun of the last applied decision, if any.
+    pub last_decision_subrun: Option<u64>,
+    /// Whether the last applied decision covered the full alive group.
+    pub last_decision_full_group: bool,
+    /// Per-origin contiguous processing frontier.
+    pub frontier: Vec<u64>,
+    /// Per-member liveness in the local view.
+    pub alive: Vec<bool>,
+    /// History population (messages).
+    pub history_len: usize,
+    /// History population (payload bytes).
+    pub history_bytes: usize,
+    /// Waiting-list population.
+    pub waiting_len: usize,
+    /// Submissions not yet broadcast.
+    pub pending: usize,
+    /// Consecutive subruns without a decision.
+    pub missed_decisions: u32,
+    /// Consecutive fruitless recovery attempts.
+    pub recovery_attempts: u32,
+    /// Counters.
+    pub stats: EngineStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_is_the_only_participating_status() {
+        assert!(ProcessStatus::Active.is_active());
+        assert!(!ProcessStatus::Suicided.is_active());
+        assert!(!ProcessStatus::Left.is_active());
+    }
+
+    #[test]
+    fn reasons_render() {
+        assert!(StatusReason::DeclaredCrashed.to_string().contains("crashed"));
+        assert!(StatusReason::MissedKDecisions.to_string().contains("K"));
+        assert!(StatusReason::RecoveryExhausted.to_string().contains("R"));
+    }
+
+    #[test]
+    fn submit_errors_render() {
+        let e = SubmitError::NotActive(ProcessStatus::Left);
+        assert!(e.to_string().contains("Left"));
+        let e = SubmitError::BadLabel("nope".into());
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Distributed flow control (Section 6, Figure 6 b).
+//!
+//! "When the local history length reaches a given threshold (set to 8n in
+//! our simulations), a process refrains from generating new messages until
+//! the history length decreases." The policy is purely local — it exploits
+//! the fact that, because cleaning follows a *global* agreement, all
+//! histories have roughly the same length, so local back-pressure bounds
+//! every history in the group.
+
+/// Threshold gate on message generation.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowControl {
+    /// Stop generating when the history length reaches this value; `None`
+    /// disables the gate (Figure 6 a).
+    threshold: Option<usize>,
+    /// Resume once the length drops strictly below this value. Defaults to
+    /// `threshold` (the paper's policy: resume as soon as the length
+    /// decreases); a lower value adds hysteresis.
+    resume_below: usize,
+    /// Whether the gate is currently closed.
+    blocked: bool,
+}
+
+impl FlowControl {
+    /// A disabled gate: generation is always allowed.
+    pub fn disabled() -> Self {
+        FlowControl {
+            threshold: None,
+            resume_below: 0,
+            blocked: false,
+        }
+    }
+
+    /// The paper's policy: block at `threshold`, resume below it.
+    pub fn with_threshold(threshold: usize) -> Self {
+        FlowControl {
+            threshold: Some(threshold),
+            resume_below: threshold,
+            blocked: false,
+        }
+    }
+
+    /// Adds hysteresis: block at `threshold`, resume only once the length
+    /// falls strictly below `resume_below`.
+    pub fn with_hysteresis(threshold: usize, resume_below: usize) -> Self {
+        assert!(resume_below <= threshold, "resume level above threshold");
+        FlowControl {
+            threshold: Some(threshold),
+            resume_below,
+            blocked: false,
+        }
+    }
+
+    /// Whether flow control is configured at all.
+    pub fn is_enabled(&self) -> bool {
+        self.threshold.is_some()
+    }
+
+    /// The configured threshold, if enabled.
+    pub fn threshold(&self) -> Option<usize> {
+        self.threshold
+    }
+
+    /// Updates the gate with the current history length and reports whether
+    /// the process may generate a new message *now*.
+    pub fn may_generate(&mut self, history_len: usize) -> bool {
+        let Some(threshold) = self.threshold else {
+            return true;
+        };
+        if self.blocked {
+            if history_len < self.resume_below {
+                self.blocked = false;
+            }
+        } else if history_len >= threshold {
+            self.blocked = true;
+        }
+        !self.blocked
+    }
+
+    /// Whether the gate is currently closed (as of the last
+    /// [`FlowControl::may_generate`] call).
+    pub fn is_blocked(&self) -> bool {
+        self.blocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_gate_always_allows() {
+        let mut fc = FlowControl::disabled();
+        assert!(fc.may_generate(0));
+        assert!(fc.may_generate(1_000_000));
+        assert!(!fc.is_enabled());
+    }
+
+    #[test]
+    fn blocks_at_threshold_and_resumes_below() {
+        let mut fc = FlowControl::with_threshold(8);
+        assert!(fc.may_generate(7));
+        assert!(!fc.may_generate(8), "reaching the threshold blocks");
+        assert!(fc.is_blocked());
+        assert!(!fc.may_generate(8), "still at threshold: stays blocked");
+        assert!(fc.may_generate(7), "decrease below threshold resumes");
+        assert!(!fc.is_blocked());
+    }
+
+    #[test]
+    fn hysteresis_requires_deeper_drain() {
+        let mut fc = FlowControl::with_hysteresis(8, 4);
+        assert!(!fc.may_generate(9));
+        assert!(!fc.may_generate(5), "above resume level: still blocked");
+        assert!(fc.may_generate(3));
+        // And it re-blocks at the threshold again.
+        assert!(!fc.may_generate(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "resume level")]
+    fn invalid_hysteresis_panics() {
+        let _ = FlowControl::with_hysteresis(4, 8);
+    }
+
+    #[test]
+    fn zero_threshold_blocks_immediately() {
+        let mut fc = FlowControl::with_threshold(0);
+        assert!(!fc.may_generate(0));
+    }
+}

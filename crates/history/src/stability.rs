@@ -1,0 +1,431 @@
+//! Coordinator-side decision making (Section 4, Figure 2).
+//!
+//! During the first round of its subrun the coordinator collects
+//! [`RequestMsg`](urcgc_types::RequestMsg)-equivalents — each member's
+//! `last_processed` vector, its oldest-waiting vector, and the freshest
+//! previous decision the member has seen. [`StabilityMatrix::compute`] then
+//! performs the "local processing on a set of data structures that allow the
+//! coordinator to figure the global knowledge about the whole system":
+//!
+//! * **stability** — per origin, the minimum `last_processed` over the
+//!   contributors, continued across subruns through the decision's
+//!   `covered` set until every alive process has been heard from
+//!   (`full_group`);
+//! * **failure detection** — `attempts[i]` incremented for every alive
+//!   process that did not contribute, reset for those that did; reaching
+//!   `K` declares the process crashed;
+//! * **recovery hints** — `max_processed[q]`: the most updated *alive*
+//!   process per sequence;
+//! * **orphan detection** — `min_waiting[q]`: the group-wide oldest waiting
+//!   sequence number per origin.
+
+use urcgc_types::{Decision, MaxProcessed, ProcessId, Subrun, NO_SEQ};
+
+/// One member's contribution to the current subrun.
+#[derive(Clone, Debug)]
+struct Contribution {
+    last_processed: Vec<u64>,
+    waiting: Vec<u64>,
+}
+
+/// Accumulates member requests for one subrun and computes the decision.
+#[derive(Clone, Debug)]
+pub struct StabilityMatrix {
+    n: usize,
+    contributions: Vec<Option<Contribution>>,
+    /// The freshest previous decision seen in any request (decision
+    /// circulation: with resilience `t = (n−1)/2` at least one copy of the
+    /// previous decision reaches the current coordinator).
+    freshest_prev: Option<Decision>,
+}
+
+impl StabilityMatrix {
+    /// An empty matrix for a group of `n`.
+    pub fn new(n: usize) -> Self {
+        StabilityMatrix {
+            n,
+            contributions: vec![None; n],
+            freshest_prev: None,
+        }
+    }
+
+    /// Group cardinality.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Records `sender`'s request. Later duplicates (retransmissions)
+    /// overwrite earlier ones — `last_processed` is monotone so the newest
+    /// copy is the most informative. The carried previous decision is kept
+    /// if it is the freshest seen so far.
+    pub fn record(
+        &mut self,
+        sender: ProcessId,
+        last_processed: Vec<u64>,
+        waiting: Vec<u64>,
+        prev_decision: Decision,
+    ) {
+        assert_eq!(last_processed.len(), self.n, "last_processed width");
+        assert_eq!(waiting.len(), self.n, "waiting width");
+        self.contributions[sender.index()] = Some(Contribution {
+            last_processed,
+            waiting,
+        });
+        let fresher = match &self.freshest_prev {
+            None => true,
+            Some(cur) => prev_decision.is_newer_than(cur),
+        };
+        if fresher {
+            self.freshest_prev = Some(prev_decision);
+        }
+    }
+
+    /// Whether `p` has contributed this subrun.
+    pub fn has_contribution(&self, p: ProcessId) -> bool {
+        self.contributions
+            .get(p.index())
+            .is_some_and(Option::is_some)
+    }
+
+    /// Number of contributors so far.
+    pub fn contributor_count(&self) -> usize {
+        self.contributions.iter().flatten().count()
+    }
+
+    /// The freshest previous decision carried by any contributor, if any.
+    pub fn freshest_prev(&self) -> Option<&Decision> {
+        self.freshest_prev.as_ref()
+    }
+
+    /// Computes this subrun's decision.
+    ///
+    /// (Index-based loops below are deliberate: several same-width vectors
+    /// are updated in lockstep by process index.)
+    ///
+    /// `fallback_prev` is the coordinator's *own* latest decision, used when
+    /// no contributor carried a fresher one (the coordinator is itself a
+    /// group member and always "contributes" its own state via
+    /// [`StabilityMatrix::record`], so in practice the previous decision is
+    /// always available — exactly the resilience argument of Section 4).
+    #[allow(clippy::needless_range_loop)]
+    pub fn compute(
+        &self,
+        subrun: Subrun,
+        coordinator: ProcessId,
+        k: u32,
+        fallback_prev: &Decision,
+    ) -> Decision {
+        let prev = match &self.freshest_prev {
+            Some(p) if p.is_newer_than(fallback_prev) => p,
+            _ => fallback_prev,
+        };
+        let n = self.n;
+        debug_assert_eq!(prev.n(), n, "previous decision width");
+
+        // --- Failure detection: attempts / process_state ------------------
+        let mut attempts = prev.attempts.clone();
+        let mut process_state = prev.process_state.clone();
+        for i in 0..n {
+            if !process_state[i] {
+                continue; // crashed processes stay crashed, counters frozen
+            }
+            if self.contributions[i].is_some() {
+                attempts[i] = 0;
+            } else {
+                attempts[i] = attempts[i].saturating_add(1);
+                if attempts[i] >= k {
+                    process_state[i] = false;
+                }
+            }
+        }
+
+        // --- Stability: min of last_processed, continued across subruns ---
+        // If the previous decision was full_group, its coverage was consumed
+        // (histories were cleaned); start a fresh accumulation from this
+        // subrun's contributors. Otherwise continue accumulating on top of
+        // the previous partial result.
+        let continuing = !prev.full_group;
+        let mut covered = if continuing {
+            prev.covered.clone()
+        } else {
+            vec![false; n]
+        };
+        let mut stable = if continuing {
+            prev.stable.clone()
+        } else {
+            vec![u64::MAX; n]
+        };
+        for (i, c) in self.contributions.iter().enumerate() {
+            let Some(c) = c else { continue };
+            covered[i] = true;
+            for q in 0..n {
+                stable[q] = stable[q].min(c.last_processed[q]);
+            }
+        }
+        // Origins nobody has reported on yet.
+        for s in stable.iter_mut() {
+            if *s == u64::MAX {
+                *s = NO_SEQ;
+            }
+        }
+        // full_group: every process alive in the *new* view has entered the
+        // accumulation. Crashed processes no longer gate cleaning — that is
+        // precisely how urcgc keeps cleaning while CBCAST would block on a
+        // view-change protocol.
+        let full_group = (0..n).all(|i| !process_state[i] || covered[i]);
+
+        // --- Recovery hints: most updated alive process per origin --------
+        let mut max_processed: Vec<MaxProcessed> = (0..n)
+            .map(|q| {
+                let prev_rec = prev.max_processed[q];
+                // Keep the previous holder only while it is still alive in
+                // the new view; a crashed holder's knowledge is gone and the
+                // hint must regress to the best alive candidate (this is
+                // what exposes orphan gaps).
+                if process_state[prev_rec.holder.index()] {
+                    prev_rec
+                } else {
+                    MaxProcessed::none(ProcessId::from_index(q))
+                }
+            })
+            .collect();
+        for (i, c) in self.contributions.iter().enumerate() {
+            let Some(c) = c else { continue };
+            if !process_state[i] {
+                continue;
+            }
+            let holder = ProcessId::from_index(i);
+            for q in 0..n {
+                let better = c.last_processed[q] > max_processed[q].seq
+                    || (c.last_processed[q] == max_processed[q].seq
+                        && !process_state[max_processed[q].holder.index()]);
+                if better {
+                    max_processed[q] = MaxProcessed {
+                        holder,
+                        seq: c.last_processed[q],
+                    };
+                }
+            }
+        }
+
+        // --- Orphan detection: group-wide oldest waiting per origin -------
+        let mut min_waiting = vec![NO_SEQ; n];
+        for c in self.contributions.iter().flatten() {
+            for q in 0..n {
+                let w = c.waiting[q];
+                if w == NO_SEQ {
+                    continue;
+                }
+                if min_waiting[q] == NO_SEQ || w < min_waiting[q] {
+                    min_waiting[q] = w;
+                }
+            }
+        }
+
+        Decision {
+            subrun,
+            coordinator,
+            full_group,
+            stable,
+            attempts,
+            process_state,
+            max_processed,
+            min_waiting,
+            covered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn record_simple(m: &mut StabilityMatrix, i: u16, lp: Vec<u64>, prev: &Decision) {
+        let n = lp.len();
+        m.record(pid(i), lp, vec![NO_SEQ; n], prev.clone());
+    }
+
+    #[test]
+    fn full_group_stability_is_min_of_last_processed() {
+        let prev = Decision::genesis(3);
+        let mut m = StabilityMatrix::new(3);
+        record_simple(&mut m, 0, vec![5, 2, 1], &prev);
+        record_simple(&mut m, 1, vec![4, 3, 1], &prev);
+        record_simple(&mut m, 2, vec![5, 3, 0], &prev);
+        let d = m.compute(Subrun(1), pid(1), 3, &prev);
+        assert!(d.full_group);
+        assert_eq!(d.stable, vec![4, 2, 0]);
+        assert!(d.process_state.iter().all(|&s| s));
+        assert_eq!(d.attempts, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn partial_contribution_is_not_full_group() {
+        let prev = Decision::genesis(3);
+        let mut m = StabilityMatrix::new(3);
+        record_simple(&mut m, 0, vec![5, 2, 1], &prev);
+        record_simple(&mut m, 1, vec![4, 3, 1], &prev);
+        let d = m.compute(Subrun(1), pid(1), 3, &prev);
+        assert!(!d.full_group);
+        assert_eq!(d.covered, vec![true, true, false]);
+        assert_eq!(d.attempts, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn coverage_accumulates_across_subruns() {
+        // Subrun 1: p0, p1 contribute. Subrun 2: p2 contributes. The second
+        // decision completes the accumulation and goes full_group.
+        let genesis = Decision::genesis(3);
+        let mut m1 = StabilityMatrix::new(3);
+        record_simple(&mut m1, 0, vec![5, 2, 1], &genesis);
+        record_simple(&mut m1, 1, vec![4, 3, 1], &genesis);
+        let d1 = m1.compute(Subrun(1), pid(1), 3, &genesis);
+        assert!(!d1.full_group);
+
+        let mut m2 = StabilityMatrix::new(3);
+        record_simple(&mut m2, 2, vec![5, 3, 2], &d1);
+        let d2 = m2.compute(Subrun(2), pid(2), 3, &d1);
+        assert!(d2.full_group);
+        // min over {p0(4,2,1 taken at s1… actually 5,2,1), p1(4,3,1), p2(5,3,2)}
+        assert_eq!(d2.stable, vec![4, 2, 1]);
+    }
+
+    #[test]
+    fn full_group_decision_resets_coverage() {
+        let genesis = Decision::genesis(2);
+        let mut m1 = StabilityMatrix::new(2);
+        record_simple(&mut m1, 0, vec![3, 3], &genesis);
+        record_simple(&mut m1, 1, vec![3, 3], &genesis);
+        let d1 = m1.compute(Subrun(1), pid(1), 3, &genesis);
+        assert!(d1.full_group);
+
+        // Next subrun only p0 contributes: accumulation restarts.
+        let mut m2 = StabilityMatrix::new(2);
+        record_simple(&mut m2, 0, vec![4, 3], &d1);
+        let d2 = m2.compute(Subrun(2), pid(0), 3, &d1);
+        assert!(!d2.full_group);
+        assert_eq!(d2.covered, vec![true, false]);
+        assert_eq!(d2.stable, vec![4, 3]);
+    }
+
+    #[test]
+    fn attempts_accumulate_until_k_then_crash() {
+        let k = 2;
+        let mut prev = Decision::genesis(2);
+        for s in 1..=2u64 {
+            let mut m = StabilityMatrix::new(2);
+            record_simple(&mut m, 0, vec![0, 0], &prev);
+            prev = m.compute(Subrun(s), pid(0), k, &prev);
+        }
+        assert_eq!(prev.attempts[1], 2);
+        assert!(!prev.process_state[1], "declared crashed after K misses");
+        // Crashed process's counter freezes.
+        let mut m = StabilityMatrix::new(2);
+        record_simple(&mut m, 0, vec![0, 0], &prev);
+        let d = m.compute(Subrun(3), pid(0), k, &prev);
+        assert_eq!(d.attempts[1], 2);
+        assert!(!d.process_state[1]);
+    }
+
+    #[test]
+    fn contribution_resets_attempts() {
+        let k = 3;
+        let genesis = Decision::genesis(2);
+        let mut m = StabilityMatrix::new(2);
+        record_simple(&mut m, 0, vec![0, 0], &genesis);
+        let d1 = m.compute(Subrun(1), pid(0), k, &genesis);
+        assert_eq!(d1.attempts[1], 1);
+        let mut m = StabilityMatrix::new(2);
+        record_simple(&mut m, 0, vec![0, 0], &d1);
+        record_simple(&mut m, 1, vec![0, 0], &d1);
+        let d2 = m.compute(Subrun(2), pid(1), k, &d1);
+        assert_eq!(d2.attempts[1], 0, "contact resets the counter");
+        assert!(d2.process_state[1]);
+    }
+
+    #[test]
+    fn crashed_processes_do_not_gate_full_group() {
+        let mut prev = Decision::genesis(2);
+        prev.process_state[1] = false;
+        let mut m = StabilityMatrix::new(2);
+        record_simple(&mut m, 0, vec![7, 7], &prev);
+        let d = m.compute(Subrun(4), pid(0), 3, &prev);
+        assert!(d.full_group, "only alive members gate cleaning");
+        assert_eq!(d.stable, vec![7, 7]);
+    }
+
+    #[test]
+    fn max_processed_prefers_most_updated_alive() {
+        let genesis = Decision::genesis(3);
+        let mut m = StabilityMatrix::new(3);
+        record_simple(&mut m, 0, vec![5, 0, 0], &genesis);
+        record_simple(&mut m, 1, vec![9, 0, 0], &genesis);
+        record_simple(&mut m, 2, vec![7, 0, 0], &genesis);
+        let d = m.compute(Subrun(1), pid(0), 3, &genesis);
+        assert_eq!(d.max_processed[0].holder, pid(1));
+        assert_eq!(d.max_processed[0].seq, 9);
+    }
+
+    #[test]
+    fn max_processed_regresses_when_holder_crashes() {
+        // p1 was the most updated for origin 0 but is now declared crashed:
+        // the hint must fall back to the best alive contributor.
+        let mut prev = Decision::genesis(3);
+        prev.max_processed[0] = MaxProcessed {
+            holder: pid(1),
+            seq: 9,
+        };
+        prev.attempts[1] = 2;
+        let k = 3;
+        let mut m = StabilityMatrix::new(3);
+        record_simple(&mut m, 0, vec![5, 0, 0], &prev);
+        record_simple(&mut m, 2, vec![4, 0, 0], &prev);
+        let d = m.compute(Subrun(2), pid(2), k, &prev);
+        assert!(!d.process_state[1], "p1 crossed K");
+        assert_eq!(d.max_processed[0].holder, pid(0));
+        assert_eq!(d.max_processed[0].seq, 5);
+    }
+
+    #[test]
+    fn min_waiting_is_groupwide_minimum() {
+        let genesis = Decision::genesis(2);
+        let mut m = StabilityMatrix::new(2);
+        m.record(pid(0), vec![0, 0], vec![NO_SEQ, 7], genesis.clone());
+        m.record(pid(1), vec![0, 0], vec![NO_SEQ, 4], genesis.clone());
+        let d = m.compute(Subrun(1), pid(0), 3, &genesis);
+        assert_eq!(d.min_waiting, vec![NO_SEQ, 4]);
+    }
+
+    #[test]
+    fn freshest_prev_decision_wins() {
+        let genesis = Decision::genesis(2);
+        let mut newer = genesis.clone();
+        newer.subrun = Subrun(5);
+        newer.stable = vec![3, 3];
+        newer.full_group = false;
+        newer.covered = vec![true, true];
+        let mut m = StabilityMatrix::new(2);
+        m.record(pid(0), vec![9, 9], vec![NO_SEQ; 2], genesis.clone());
+        m.record(pid(1), vec![9, 9], vec![NO_SEQ; 2], newer.clone());
+        assert_eq!(m.freshest_prev().unwrap().subrun, Subrun(5));
+        // compute() continues from the newer (partial) decision, so mins
+        // include its stable values.
+        let d = m.compute(Subrun(6), pid(0), 3, &genesis);
+        assert_eq!(d.stable, vec![3, 3]);
+    }
+
+    #[test]
+    fn duplicate_record_overwrites() {
+        let genesis = Decision::genesis(1);
+        let mut m = StabilityMatrix::new(1);
+        record_simple(&mut m, 0, vec![1], &genesis);
+        record_simple(&mut m, 0, vec![2], &genesis);
+        assert_eq!(m.contributor_count(), 1);
+        let d = m.compute(Subrun(1), pid(0), 3, &genesis);
+        assert_eq!(d.stable, vec![2]);
+    }
+}

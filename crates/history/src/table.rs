@@ -1,0 +1,289 @@
+//! The history table.
+
+use std::collections::BTreeMap;
+
+use urcgc_types::{DataMsg, Mid, ProcessId, NO_SEQ};
+
+/// One origin's entry: processed messages keyed by sequence number, plus the
+/// purge frontier (everything `<= purged_to` has been cleaned away).
+#[derive(Clone, Debug, Default)]
+struct Entry {
+    purged_to: u64,
+    messages: BTreeMap<u64, DataMsg>,
+}
+
+/// The per-process history buffer: processed messages of every origin, kept
+/// until the group agrees they are stable.
+#[derive(Clone, Debug)]
+pub struct History {
+    entries: Vec<Entry>,
+}
+
+impl History {
+    /// An empty history for a group of `n`.
+    pub fn new(n: usize) -> Self {
+        History {
+            entries: (0..n).map(|_| Entry::default()).collect(),
+        }
+    }
+
+    /// Group cardinality.
+    pub fn n(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Saves a processed message. Returns `false` (and stores nothing) if
+    /// the message was already present or already purged — both happen
+    /// routinely when recovery duplicates traffic.
+    pub fn save(&mut self, msg: DataMsg) -> bool {
+        let i = msg.mid.origin.index();
+        assert!(i < self.n(), "origin {} outside group", msg.mid.origin);
+        assert_ne!(msg.mid.seq, NO_SEQ, "NO_SEQ is not a message");
+        let entry = &mut self.entries[i];
+        if msg.mid.seq <= entry.purged_to || entry.messages.contains_key(&msg.mid.seq) {
+            return false;
+        }
+        entry.messages.insert(msg.mid.seq, msg);
+        true
+    }
+
+    /// Whether `mid` is currently held.
+    pub fn contains(&self, mid: Mid) -> bool {
+        self.entries
+            .get(mid.origin.index())
+            .is_some_and(|e| e.messages.contains_key(&mid.seq))
+    }
+
+    /// Retrieves a held message.
+    pub fn get(&self, mid: Mid) -> Option<&DataMsg> {
+        self.entries.get(mid.origin.index())?.messages.get(&mid.seq)
+    }
+
+    /// Messages of `origin` with `after_seq < seq <= upto_seq`, in order —
+    /// the payload of a recovery reply. Messages already purged or never
+    /// processed are simply absent (the requester retries elsewhere or, past
+    /// `R` attempts, leaves the group).
+    pub fn range(&self, origin: ProcessId, after_seq: u64, upto_seq: u64) -> Vec<DataMsg> {
+        let Some(entry) = self.entries.get(origin.index()) else {
+            return Vec::new();
+        };
+        entry
+            .messages
+            .range(after_seq + 1..=upto_seq)
+            .map(|(_, m)| m.clone())
+            .collect()
+    }
+
+    /// Purges origin `q`'s messages with `seq <= upto` (the group-agreed
+    /// stability frontier). Returns how many messages were dropped. Purging
+    /// never regresses: a frontier older than a previous purge is a no-op.
+    pub fn purge_up_to(&mut self, q: ProcessId, upto: u64) -> usize {
+        let Some(entry) = self.entries.get_mut(q.index()) else {
+            return 0;
+        };
+        if upto <= entry.purged_to {
+            return 0;
+        }
+        let keep = entry.messages.split_off(&(upto + 1));
+        let dropped = entry.messages.len();
+        entry.messages = keep;
+        entry.purged_to = upto;
+        dropped
+    }
+
+    /// Applies a whole stability vector (`stable[q]` per origin), returning
+    /// the total number of purged messages.
+    pub fn purge_stable(&mut self, stable: &[u64]) -> usize {
+        stable
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| self.purge_up_to(ProcessId::from_index(i), s))
+            .sum()
+    }
+
+    /// Total number of messages currently held — the "history length"
+    /// plotted in Figure 6.
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(|e| e.messages.len()).sum()
+    }
+
+    /// Whether the history holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of messages held for one origin.
+    pub fn len_for(&self, q: ProcessId) -> usize {
+        self.entries
+            .get(q.index())
+            .map_or(0, |e| e.messages.len())
+    }
+
+    /// The purge frontier for origin `q`.
+    pub fn purged_to(&self, q: ProcessId) -> u64 {
+        self.entries.get(q.index()).map_or(NO_SEQ, |e| e.purged_to)
+    }
+
+    /// Highest held sequence number for origin `q` ([`NO_SEQ`] if none).
+    pub fn highest_seq(&self, q: ProcessId) -> u64 {
+        self.entries
+            .get(q.index())
+            .and_then(|e| e.messages.keys().next_back().copied())
+            .unwrap_or(NO_SEQ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use urcgc_types::Round;
+
+    fn msg(p: u16, s: u64) -> DataMsg {
+        DataMsg {
+            mid: Mid::new(ProcessId(p), s),
+            deps: vec![],
+            round: Round(0),
+            payload: Bytes::from(format!("m{p}-{s}")),
+        }
+    }
+
+    fn mid(p: u16, s: u64) -> Mid {
+        Mid::new(ProcessId(p), s)
+    }
+
+    #[test]
+    fn save_and_get() {
+        let mut h = History::new(2);
+        assert!(h.save(msg(0, 1)));
+        assert!(h.contains(mid(0, 1)));
+        assert_eq!(h.get(mid(0, 1)).unwrap().payload, Bytes::from("m0-1"));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.len_for(ProcessId(0)), 1);
+        assert_eq!(h.len_for(ProcessId(1)), 0);
+    }
+
+    #[test]
+    fn duplicate_save_is_rejected() {
+        let mut h = History::new(1);
+        assert!(h.save(msg(0, 1)));
+        assert!(!h.save(msg(0, 1)));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn range_extraction_for_recovery() {
+        let mut h = History::new(1);
+        for s in 1..=5 {
+            h.save(msg(0, s));
+        }
+        let got = h.range(ProcessId(0), 1, 4);
+        let seqs: Vec<u64> = got.iter().map(|m| m.mid.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert!(h.range(ProcessId(0), 5, 9).is_empty());
+        assert!(h.range(ProcessId(3), 0, 9).is_empty(), "unknown origin");
+    }
+
+    #[test]
+    fn range_with_holes_returns_what_exists() {
+        let mut h = History::new(1);
+        h.save(msg(0, 1));
+        h.save(msg(0, 3));
+        let seqs: Vec<u64> = h
+            .range(ProcessId(0), 0, 3)
+            .iter()
+            .map(|m| m.mid.seq)
+            .collect();
+        assert_eq!(seqs, vec![1, 3]);
+    }
+
+    #[test]
+    fn purge_drops_prefix_and_blocks_resave() {
+        let mut h = History::new(1);
+        for s in 1..=4 {
+            h.save(msg(0, s));
+        }
+        assert_eq!(h.purge_up_to(ProcessId(0), 2), 2);
+        assert_eq!(h.len(), 2);
+        assert!(!h.contains(mid(0, 1)));
+        assert!(h.contains(mid(0, 3)));
+        // A stale duplicate of a purged message must not resurrect it.
+        assert!(!h.save(msg(0, 2)));
+        assert_eq!(h.purged_to(ProcessId(0)), 2);
+    }
+
+    #[test]
+    fn purge_never_regresses() {
+        let mut h = History::new(1);
+        for s in 1..=4 {
+            h.save(msg(0, s));
+        }
+        h.purge_up_to(ProcessId(0), 3);
+        assert_eq!(h.purge_up_to(ProcessId(0), 2), 0);
+        assert_eq!(h.purged_to(ProcessId(0)), 3);
+    }
+
+    #[test]
+    fn purge_stable_applies_whole_vector() {
+        let mut h = History::new(2);
+        h.save(msg(0, 1));
+        h.save(msg(0, 2));
+        h.save(msg(1, 1));
+        let dropped = h.purge_stable(&[1, 1]);
+        assert_eq!(dropped, 2);
+        assert_eq!(h.len(), 1);
+        assert!(h.contains(mid(0, 2)));
+    }
+
+    #[test]
+    fn highest_seq_tracks_tail() {
+        let mut h = History::new(1);
+        assert_eq!(h.highest_seq(ProcessId(0)), NO_SEQ);
+        h.save(msg(0, 2));
+        h.save(msg(0, 7));
+        assert_eq!(h.highest_seq(ProcessId(0)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside group")]
+    fn save_outside_group_panics() {
+        let mut h = History::new(1);
+        h.save(msg(3, 1));
+    }
+}
+
+impl History {
+    /// Total payload bytes currently held — the memory-footprint view of
+    /// the history length (Section 6 worries that "the required memory
+    /// could be unacceptable for small systems").
+    pub fn payload_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .flat_map(|e| e.messages.values())
+            .map(|m| m.payload.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod bytes_tests {
+    use super::*;
+    use bytes::Bytes;
+    use urcgc_types::Round;
+
+    #[test]
+    fn payload_bytes_tracks_save_and_purge() {
+        let mut h = History::new(2);
+        for s in 1..=3u64 {
+            h.save(DataMsg {
+                mid: Mid::new(ProcessId(0), s),
+                deps: vec![],
+                round: Round(0),
+                payload: Bytes::from(vec![0u8; 10]),
+            });
+        }
+        assert_eq!(h.payload_bytes(), 30);
+        h.purge_up_to(ProcessId(0), 2);
+        assert_eq!(h.payload_bytes(), 10);
+    }
+}

@@ -1,0 +1,237 @@
+//! Time series sampling (Figures 6 a/b: history length vs simulation time).
+
+use serde::Serialize;
+
+/// An append-only `(time, value)` series.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. Times should be non-decreasing; the renderer does
+    /// not sort.
+    pub fn push(&mut self, time: f64, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(t, _)| t <= time),
+            "time regression in series"
+        );
+        self.points.push((time, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Largest value seen.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).reduce(f64::max)
+    }
+
+    /// Value at the latest time.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Down-samples to at most `max_points` by keeping every k-th point
+    /// (always keeping the last) — for compact terminal output.
+    pub fn thin(&self, max_points: usize) -> TimeSeries {
+        assert!(max_points >= 2, "need at least first and last point");
+        if self.points.len() <= max_points {
+            return self.clone();
+        }
+        let step = self.points.len().div_ceil(max_points);
+        let mut points: Vec<(f64, f64)> = self.points.iter().copied().step_by(step).collect();
+        let last = *self.points.last().expect("non-empty");
+        if points.last() != Some(&last) {
+            points.push(last);
+        }
+        TimeSeries { points }
+    }
+
+    /// Renders a one-line-per-sample `t value` listing.
+    pub fn render(&self, t_label: &str, v_label: &str) -> String {
+        let mut out = format!("{t_label:>10}  {v_label}\n");
+        for &(t, v) in &self.points {
+            out.push_str(&format!("{t:>10.1}  {v:.1}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_inspect() {
+        let mut s = TimeSeries::new();
+        s.push(0.0, 1.0);
+        s.push(1.0, 5.0);
+        s.push(2.0, 3.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_value(), Some(5.0));
+        assert_eq!(s.last_value(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_series_has_no_extremes() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.max_value(), None);
+        assert_eq!(s.last_value(), None);
+    }
+
+    #[test]
+    fn thin_keeps_endpoints_and_bounds_size() {
+        let mut s = TimeSeries::new();
+        for t in 0..100 {
+            s.push(t as f64, (t * 2) as f64);
+        }
+        let thinned = s.thin(10);
+        assert!(thinned.len() <= 11, "got {}", thinned.len());
+        assert_eq!(thinned.points()[0], (0.0, 0.0));
+        assert_eq!(*thinned.points().last().unwrap(), (99.0, 198.0));
+    }
+
+    #[test]
+    fn thin_noop_when_small() {
+        let mut s = TimeSeries::new();
+        s.push(0.0, 1.0);
+        let t = s.thin(10);
+        assert_eq!(t.points(), s.points());
+    }
+
+    #[test]
+    fn render_contains_labels_and_values() {
+        let mut s = TimeSeries::new();
+        s.push(1.0, 40.0);
+        let out = s.render("rtd", "history");
+        assert!(out.contains("rtd"));
+        assert!(out.contains("history"));
+        assert!(out.contains("40.0"));
+    }
+}
+
+impl TimeSeries {
+    /// Renders as two-column CSV with the given headers.
+    pub fn to_csv(&self, t_label: &str, v_label: &str) -> String {
+        let mut out = format!("{t_label},{v_label}\n");
+        for &(t, v) in &self.points {
+            out.push_str(&format!("{t},{v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_lists_points_in_order() {
+        let mut s = TimeSeries::new();
+        s.push(0.5, 3.0);
+        s.push(1.0, 4.0);
+        let csv = s.to_csv("rtd", "len");
+        assert_eq!(csv, "rtd,len\n0.5,3\n1,4\n");
+    }
+}
+
+impl TimeSeries {
+    /// Renders the series as a compact ASCII chart: one column per bucket,
+    /// `height` rows, `#` marks. Times are bucketed uniformly over the
+    /// series' span; each bucket shows its maximum value. Returns an empty
+    /// string for an empty series.
+    pub fn render_ascii_chart(&self, width: usize, height: usize) -> String {
+        assert!(width >= 2 && height >= 1, "chart too small");
+        if self.points.is_empty() {
+            return String::new();
+        }
+        let t0 = self.points.first().unwrap().0;
+        let t1 = self.points.last().unwrap().0.max(t0 + f64::EPSILON);
+        let vmax = self.max_value().unwrap().max(1e-9);
+        let mut buckets = vec![0.0f64; width];
+        for &(t, v) in &self.points {
+            let x = (((t - t0) / (t1 - t0)) * (width as f64 - 1.0)).round() as usize;
+            buckets[x] = buckets[x].max(v);
+        }
+        let mut out = String::new();
+        for row in (1..=height).rev() {
+            let threshold = vmax * (row as f64 - 0.5) / height as f64;
+            let label = if row == height {
+                format!("{vmax:>8.0} |")
+            } else if row == 1 {
+                format!("{:>8.0} |", 0.0)
+            } else {
+                "         |".to_string()
+            };
+            out.push_str(&label);
+            for &b in &buckets {
+                out.push(if b >= threshold { '#' } else { ' ' });
+            }
+            out.push('\n');
+        }
+        out.push_str("         +");
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        out.push_str(&format!(
+            "          {t0:<10.1}{:>w$.1}\n",
+            t1,
+            w = width.saturating_sub(10)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod chart_tests {
+    use super::*;
+
+    #[test]
+    fn chart_shape_tracks_the_series() {
+        let mut s = TimeSeries::new();
+        for t in 0..50 {
+            // Triangle: rises then falls.
+            let v = if t < 25 { t } else { 50 - t };
+            s.push(t as f64, v as f64);
+        }
+        let chart = s.render_ascii_chart(25, 6);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 6 + 2);
+        // The top row is only populated near the middle; the bottom data
+        // row nearly everywhere.
+        let top_marks = lines[0].matches('#').count();
+        let bottom_marks = lines[5].matches('#').count();
+        assert!(top_marks >= 1 && top_marks < bottom_marks);
+    }
+
+    #[test]
+    fn empty_series_renders_empty() {
+        assert_eq!(TimeSeries::new().render_ascii_chart(10, 3), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn degenerate_dimensions_panic() {
+        let mut s = TimeSeries::new();
+        s.push(0.0, 1.0);
+        let _ = s.render_ascii_chart(1, 0);
+    }
+}

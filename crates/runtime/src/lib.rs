@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Tokio UDP runtime: the paper's prototype, on real sockets.
+//!
+//! Section 7 announces "a first prototype of the algorithm … currently
+//! under development over an Ethernet LAN … among a group of processes
+//! being run on a set of Unix workstations". This crate is that prototype:
+//! each group member is a tokio task owning a UDP socket; rounds are paced
+//! by a shared wall-clock cadence (`round_duration`), which reproduces the
+//! paper's synchronous-round assumption as long as the cadence comfortably
+//! exceeds network latency (trivially true for localhost/LAN).
+//!
+//! The [`Engine`](urcgc::Engine) inside each task is byte-for-byte the same
+//! state machine the simulator drives — the whole point of the sans-I/O
+//! design. An optional Bernoulli packet-loss injector exercises the
+//! omission-recovery path over real sockets.
+//!
+//! ```no_run
+//! use bytes::Bytes;
+//! use std::time::Duration;
+//! use urcgc_runtime::{AppEvent, UdpGroup};
+//! use urcgc_types::ProtocolConfig;
+//!
+//! # #[tokio::main(flavor = "multi_thread")]
+//! # async fn main() {
+//! let cfg = ProtocolConfig::new(3);
+//! let mut group = UdpGroup::spawn(cfg, Duration::from_millis(5), 0.0, 1)
+//!     .await
+//!     .unwrap();
+//! let mid = group.handle(0).submit(Bytes::from_static(b"hi"), vec![]).await.unwrap();
+//! // Await delivery on another member.
+//! while let Some(ev) = group.handle(1).next_event().await {
+//!     if let AppEvent::Delivered(msg) = ev {
+//!         assert_eq!(msg.mid, mid);
+//!         break;
+//!     }
+//! }
+//! group.shutdown().await;
+//! # }
+//! ```
+
+pub mod group;
+
+pub use group::{spawn_member, AppEvent, GroupError, GroupShutdown, ProcessHandle, UdpGroup};

@@ -1,0 +1,284 @@
+//! Fault injection under the general omission failure model (Section 3).
+//!
+//! "Processes may fail either by crashing (fail stop failure), or by
+//! omitting to send or receive a subset of the messages the protocol
+//! requires. This failure model also describes the loss of packets at the
+//! subnetwork level and local omissions."
+
+use urcgc_types::{ProcessId, Round};
+
+/// A declarative fault schedule, fixed before the run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Per-process crash round: the process takes no action at or after this
+    /// round (it neither sends nor receives).
+    crashes: Vec<(ProcessId, Round)>,
+    /// Probability that any single frame transmission is lost at the sender
+    /// (send omission). The paper's "1/500" ⇒ `0.002`.
+    pub send_omission_prob: f64,
+    /// Probability that any single frame delivery is lost at the receiver
+    /// (receive omission).
+    pub recv_omission_prob: f64,
+    /// Probability that a frame has one byte corrupted in flight. The
+    /// decoder rejects the damage, so corruption degenerates to an
+    /// omission — but it exercises the codec's robustness end to end.
+    pub corrupt_prob: f64,
+    /// Severed links: frames from `.0` to `.1` are dropped while the
+    /// current round is inside `[.2, .3)` (directional; `.3 = Round(u64::MAX)`
+    /// for permanent cuts).
+    cut_links: Vec<(ProcessId, ProcessId, Round, Round)>,
+    /// Extra delivery latency in rounds for frames *sent by* `.0`
+    /// (straggler modeling: the synchronous-round assumption bends).
+    slow_senders: Vec<(ProcessId, u64)>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `p` to crash at the start of `round`.
+    pub fn crash_at(mut self, p: ProcessId, round: Round) -> Self {
+        self.crashes.push((p, round));
+        self
+    }
+
+    /// Sets a symmetric omission rate: each frame is independently lost with
+    /// probability `prob` on send *and* with probability `prob` on receive.
+    /// `message_rate(1.0/500.0)` models the paper's "one omission failure
+    /// each 500 messages" by splitting the loss budget over both sides.
+    pub fn omission_rate(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.send_omission_prob = prob / 2.0;
+        self.recv_omission_prob = prob / 2.0;
+        self
+    }
+
+    /// Sets only the send-omission probability.
+    pub fn send_omissions(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.send_omission_prob = prob;
+        self
+    }
+
+    /// Sets only the receive-omission probability.
+    pub fn recv_omissions(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.recv_omission_prob = prob;
+        self
+    }
+
+    /// Sets the in-flight corruption probability (one byte mutated per
+    /// affected frame).
+    pub fn corruption_rate(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.corrupt_prob = prob;
+        self
+    }
+
+    /// Severs the directional link `from → to` for the whole run.
+    pub fn cut_link(mut self, from: ProcessId, to: ProcessId) -> Self {
+        self.cut_links
+            .push((from, to, Round(0), Round(u64::MAX)));
+        self
+    }
+
+    /// Severs the directional link `from → to` while the round is in
+    /// `[from_round, to_round)` — a healing network fault.
+    pub fn cut_link_during(
+        mut self,
+        from: ProcessId,
+        to: ProcessId,
+        from_round: Round,
+        to_round: Round,
+    ) -> Self {
+        assert!(from_round <= to_round, "inverted cut interval");
+        self.cut_links.push((from, to, from_round, to_round));
+        self
+    }
+
+    /// Partitions the group into two sides for `[from_round, to_round)`:
+    /// every link crossing the partition is cut in both directions, then
+    /// heals. Processes not named in `side_a` form the other side
+    /// implicitly (given group cardinality `n`).
+    pub fn partition_during(
+        mut self,
+        side_a: &[ProcessId],
+        n: usize,
+        from_round: Round,
+        to_round: Round,
+    ) -> Self {
+        assert!(from_round <= to_round, "inverted partition interval");
+        for i in 0..n {
+            let p = ProcessId::from_index(i);
+            let in_a = side_a.contains(&p);
+            for j in 0..n {
+                let q = ProcessId::from_index(j);
+                if p != q && in_a != side_a.contains(&q) {
+                    self.cut_links.push((p, q, from_round, to_round));
+                }
+            }
+        }
+        self
+    }
+
+    /// Schedules `f` *consecutive coordinator crashes*: the coordinators of
+    /// subruns `first_subrun, first_subrun+1, …` each crash at the start of
+    /// their decision round — after collecting requests but before
+    /// broadcasting the decision. This is exactly the scenario Figure 5
+    /// sweeps (`T` against `f`).
+    ///
+    /// Coordinators rotate over the full group, so the crashed processes are
+    /// `coordinator_for(first_subrun + i, n)`. The caller must keep
+    /// `f ≤ (n−1)/2` for the algorithm's resilience bound to hold.
+    pub fn consecutive_coordinator_crashes(mut self, first_subrun: u64, f: u32, n: usize) -> Self {
+        for i in 0..f as u64 {
+            let subrun = urcgc_types::Subrun(first_subrun + i);
+            let coord = ProcessId::coordinator_for(subrun, n);
+            self.crashes.push((coord, subrun.decision_round()));
+        }
+        self
+    }
+
+    /// The round at which `p` crashes, if scheduled.
+    pub fn crash_round(&self, p: ProcessId) -> Option<Round> {
+        self.crashes
+            .iter()
+            .filter(|(q, _)| *q == p)
+            .map(|&(_, r)| r)
+            .min()
+    }
+
+    /// Whether `p` is crashed as of `round` (crash takes effect at the start
+    /// of its scheduled round).
+    pub fn is_crashed(&self, p: ProcessId, round: Round) -> bool {
+        self.crash_round(p).is_some_and(|r| round >= r)
+    }
+
+    /// Makes every frame sent by `p` take `extra_rounds` additional rounds
+    /// to arrive — a straggler that violates the paper's synchronous-round
+    /// assumption (normally a frame sent in round `r` arrives at `r + 1`).
+    pub fn slow_sender(mut self, p: ProcessId, extra_rounds: u64) -> Self {
+        self.slow_senders.push((p, extra_rounds));
+        self
+    }
+
+    /// Extra delivery latency for frames sent by `p`.
+    pub fn sender_delay(&self, p: ProcessId) -> u64 {
+        self.slow_senders
+            .iter()
+            .filter(|(q, _)| *q == p)
+            .map(|&(_, d)| d)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether the directional link `from → to` is cut at `round`.
+    pub fn link_cut_at(&self, from: ProcessId, to: ProcessId, round: Round) -> bool {
+        self.cut_links
+            .iter()
+            .any(|&(f, t, lo, hi)| f == from && t == to && round >= lo && round < hi)
+    }
+
+    /// Total number of scheduled crashes.
+    pub fn crash_count(&self) -> usize {
+        let mut ps: Vec<ProcessId> = self.crashes.iter().map(|&(p, _)| p).collect();
+        ps.sort();
+        ps.dedup();
+        ps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_fault_free() {
+        let f = FaultPlan::none();
+        assert_eq!(f.send_omission_prob, 0.0);
+        assert_eq!(f.recv_omission_prob, 0.0);
+        assert!(!f.is_crashed(ProcessId(0), Round(100)));
+        assert_eq!(f.crash_count(), 0);
+    }
+
+    #[test]
+    fn crash_takes_effect_at_scheduled_round() {
+        let f = FaultPlan::none().crash_at(ProcessId(1), Round(5));
+        assert!(!f.is_crashed(ProcessId(1), Round(4)));
+        assert!(f.is_crashed(ProcessId(1), Round(5)));
+        assert!(f.is_crashed(ProcessId(1), Round(9)));
+        assert!(!f.is_crashed(ProcessId(0), Round(9)));
+    }
+
+    #[test]
+    fn earliest_crash_wins_when_duplicated() {
+        let f = FaultPlan::none()
+            .crash_at(ProcessId(1), Round(9))
+            .crash_at(ProcessId(1), Round(3));
+        assert_eq!(f.crash_round(ProcessId(1)), Some(Round(3)));
+        assert_eq!(f.crash_count(), 1);
+    }
+
+    #[test]
+    fn omission_rate_splits_across_sides() {
+        let f = FaultPlan::none().omission_rate(1.0 / 500.0);
+        assert!((f.send_omission_prob - 0.001).abs() < 1e-12);
+        assert!((f.recv_omission_prob - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coordinator_crash_schedule_targets_decision_rounds() {
+        let n = 5;
+        let f = FaultPlan::none().consecutive_coordinator_crashes(2, 3, n);
+        // Subrun 2 → coordinator p2, decision round 5; subrun 3 → p3, round 7;
+        // subrun 4 → p4, round 9.
+        assert_eq!(f.crash_round(ProcessId(2)), Some(Round(5)));
+        assert_eq!(f.crash_round(ProcessId(3)), Some(Round(7)));
+        assert_eq!(f.crash_round(ProcessId(4)), Some(Round(9)));
+        assert_eq!(f.crash_count(), 3);
+    }
+
+    #[test]
+    fn link_cut_is_directional() {
+        let f = FaultPlan::none().cut_link(ProcessId(0), ProcessId(1));
+        assert!(f.link_cut_at(ProcessId(0), ProcessId(1), Round(5)));
+        assert!(!f.link_cut_at(ProcessId(1), ProcessId(0), Round(5)));
+    }
+
+    #[test]
+    fn timed_cut_heals() {
+        let f = FaultPlan::none().cut_link_during(
+            ProcessId(0),
+            ProcessId(1),
+            Round(2),
+            Round(5),
+        );
+        assert!(!f.link_cut_at(ProcessId(0), ProcessId(1), Round(1)));
+        assert!(f.link_cut_at(ProcessId(0), ProcessId(1), Round(2)));
+        assert!(f.link_cut_at(ProcessId(0), ProcessId(1), Round(4)));
+        assert!(!f.link_cut_at(ProcessId(0), ProcessId(1), Round(5)));
+    }
+
+    #[test]
+    fn partition_cuts_all_crossing_links_both_ways() {
+        let side_a = [ProcessId(0), ProcessId(1)];
+        let f = FaultPlan::none().partition_during(&side_a, 4, Round(3), Round(9));
+        // Crossing links cut in both directions during the window.
+        assert!(f.link_cut_at(ProcessId(0), ProcessId(2), Round(4)));
+        assert!(f.link_cut_at(ProcessId(2), ProcessId(0), Round(4)));
+        assert!(f.link_cut_at(ProcessId(1), ProcessId(3), Round(4)));
+        // Intra-side links stay up.
+        assert!(!f.link_cut_at(ProcessId(0), ProcessId(1), Round(4)));
+        assert!(!f.link_cut_at(ProcessId(2), ProcessId(3), Round(4)));
+        // Healed after the window.
+        assert!(!f.link_cut_at(ProcessId(0), ProcessId(2), Round(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = FaultPlan::none().omission_rate(1.5);
+    }
+}

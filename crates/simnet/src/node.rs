@@ -1,0 +1,129 @@
+//! The protocol-agnostic node interface.
+//!
+//! urcgc processes, CBCAST processes, and Psync processes all drive the same
+//! simulator through this trait; the experiment harness only swaps the node
+//! implementation.
+
+use bytes::Bytes;
+use urcgc_types::{ProcessId, Round};
+
+/// A frame queued for transmission during the current round.
+#[derive(Clone, Debug)]
+pub struct Outgoing {
+    /// Destination process.
+    pub to: ProcessId,
+    /// Traffic-accounting category (usually the PDU kind label).
+    pub kind: &'static str,
+    /// Encoded frame.
+    pub frame: Bytes,
+}
+
+/// Per-round sending context handed to a node.
+///
+/// Sends are queued, not instantaneous: frames sent during round `r` arrive
+/// at the start of round `r+1` (one half-rtd of latency). The simulator
+/// applies send-omission faults *after* the node returns, so a node cannot
+/// observe its own failures — exactly the paper's model, where `send` "can
+/// be interrupted by a failure, and only a subset of the destination
+/// processes could receive the message".
+#[derive(Debug)]
+pub struct NetCtx<'a> {
+    me: ProcessId,
+    n: usize,
+    round: Round,
+    out: &'a mut Vec<Outgoing>,
+}
+
+impl<'a> NetCtx<'a> {
+    pub(crate) fn new(me: ProcessId, n: usize, round: Round, out: &'a mut Vec<Outgoing>) -> Self {
+        NetCtx { me, n, round, out }
+    }
+
+    /// The node this context belongs to.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Group cardinality.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Queues a unicast frame.
+    pub fn send(&mut self, to: ProcessId, kind: &'static str, frame: Bytes) {
+        self.out.push(Outgoing { to, kind, frame });
+    }
+
+    /// Queues the same frame to every *other* group member (n−1 unicasts —
+    /// the `n`-unicast semantics of the paper's transport service with no
+    /// required replies).
+    pub fn broadcast(&mut self, kind: &'static str, frame: Bytes) {
+        for i in 0..self.n {
+            let to = ProcessId::from_index(i);
+            if to != self.me {
+                self.out.push(Outgoing {
+                    to,
+                    kind,
+                    frame: frame.clone(),
+                });
+            }
+        }
+    }
+
+    /// Number of frames queued so far this round (for tests).
+    pub fn queued(&self) -> usize {
+        self.out.len()
+    }
+}
+
+/// A simulated process.
+pub trait Node {
+    /// Called once per round *after* the round's deliveries, in process-id
+    /// order. The node performs its protocol actions and queues sends.
+    fn on_round(&mut self, round: Round, net: &mut NetCtx<'_>);
+
+    /// Called for each frame delivered to this node at the start of a round,
+    /// before [`Node::on_round`]. Frames are delivered in (sender, queue)
+    /// order, deterministically.
+    fn on_frame(&mut self, from: ProcessId, frame: Bytes, net: &mut NetCtx<'_>);
+
+    /// Whether this node considers its workload complete. The simulator
+    /// stops early once every non-crashed node reports `true`.
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_excludes_self() {
+        let mut out = Vec::new();
+        let mut ctx = NetCtx::new(ProcessId(1), 4, Round(0), &mut out);
+        ctx.broadcast("data", Bytes::from_static(b"x"));
+        assert_eq!(ctx.queued(), 3);
+        let dests: Vec<u16> = out.iter().map(|o| o.to.0).collect();
+        assert_eq!(dests, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn send_queues_in_order() {
+        let mut out = Vec::new();
+        let mut ctx = NetCtx::new(ProcessId(0), 2, Round(3), &mut out);
+        assert_eq!(ctx.round(), Round(3));
+        assert_eq!(ctx.me(), ProcessId(0));
+        assert_eq!(ctx.n(), 2);
+        ctx.send(ProcessId(1), "a", Bytes::from_static(b"1"));
+        ctx.send(ProcessId(1), "b", Bytes::from_static(b"2"));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].kind, "a");
+        assert_eq!(out[1].kind, "b");
+    }
+}

@@ -1,0 +1,163 @@
+//! Transport frames: data fragments and acknowledgements.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use urcgc_types::ProcessId;
+
+/// A frame on the transport wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TFrame {
+    /// One fragment of a service data unit.
+    Data {
+        /// Sender-local transfer identifier.
+        xfer: u64,
+        /// Originating process (for reassembly keying).
+        src: ProcessId,
+        /// Fragment index, `0..frag_count`.
+        frag_index: u16,
+        /// Total fragments in the transfer.
+        frag_count: u16,
+        /// Fragment bytes.
+        payload: Bytes,
+    },
+    /// Acknowledgement of a fully received transfer.
+    Ack {
+        /// The acknowledged transfer.
+        xfer: u64,
+        /// The acknowledging process.
+        src: ProcessId,
+    },
+}
+
+const TAG_DATA: u8 = 0xD1;
+const TAG_ACK: u8 = 0xA1;
+
+impl TFrame {
+    /// Encodes the frame.
+    pub fn encode(&self) -> Bytes {
+        match self {
+            TFrame::Data {
+                xfer,
+                src,
+                frag_index,
+                frag_count,
+                payload,
+            } => {
+                let mut b = BytesMut::with_capacity(1 + 8 + 2 + 2 + 2 + 4 + payload.len());
+                b.put_u8(TAG_DATA);
+                b.put_u64_le(*xfer);
+                b.put_u16_le(src.0);
+                b.put_u16_le(*frag_index);
+                b.put_u16_le(*frag_count);
+                b.put_u32_le(payload.len() as u32);
+                b.put_slice(payload);
+                b.freeze()
+            }
+            TFrame::Ack { xfer, src } => {
+                let mut b = BytesMut::with_capacity(1 + 8 + 2);
+                b.put_u8(TAG_ACK);
+                b.put_u64_le(*xfer);
+                b.put_u16_le(src.0);
+                b.freeze()
+            }
+        }
+    }
+
+    /// Decodes a frame; `None` on malformed input.
+    pub fn decode(mut frame: Bytes) -> Option<TFrame> {
+        if frame.remaining() < 1 {
+            return None;
+        }
+        match frame.get_u8() {
+            TAG_DATA => {
+                if frame.remaining() < 8 + 2 + 2 + 2 + 4 {
+                    return None;
+                }
+                let xfer = frame.get_u64_le();
+                let src = ProcessId(frame.get_u16_le());
+                let frag_index = frame.get_u16_le();
+                let frag_count = frame.get_u16_le();
+                let plen = frame.get_u32_le() as usize;
+                if frame.remaining() < plen || frag_count == 0 || frag_index >= frag_count {
+                    return None;
+                }
+                let payload = frame.split_to(plen);
+                Some(TFrame::Data {
+                    xfer,
+                    src,
+                    frag_index,
+                    frag_count,
+                    payload,
+                })
+            }
+            TAG_ACK => {
+                if frame.remaining() < 10 {
+                    return None;
+                }
+                let xfer = frame.get_u64_le();
+                let src = ProcessId(frame.get_u16_le());
+                Some(TFrame::Ack { xfer, src })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_roundtrip() {
+        let f = TFrame::Data {
+            xfer: 42,
+            src: ProcessId(3),
+            frag_index: 1,
+            frag_count: 4,
+            payload: Bytes::from_static(b"chunk"),
+        };
+        assert_eq!(TFrame::decode(f.encode()), Some(f));
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let f = TFrame::Ack {
+            xfer: 7,
+            src: ProcessId(1),
+        };
+        assert_eq!(TFrame::decode(f.encode()), Some(f));
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert_eq!(TFrame::decode(Bytes::new()), None);
+        assert_eq!(TFrame::decode(Bytes::from_static(&[0x99, 1, 2])), None);
+        // frag_index >= frag_count
+        let bad = TFrame::Data {
+            xfer: 1,
+            src: ProcessId(0),
+            frag_index: 0,
+            frag_count: 1,
+            payload: Bytes::new(),
+        };
+        let mut raw = bad.encode().to_vec();
+        raw[11] = 5; // frag_index = 5 > frag_count = 1
+        assert_eq!(TFrame::decode(Bytes::from(raw)), None);
+    }
+
+    #[test]
+    fn truncations_rejected() {
+        let f = TFrame::Data {
+            xfer: 9,
+            src: ProcessId(2),
+            frag_index: 0,
+            frag_count: 1,
+            payload: Bytes::from_static(b"abcdef"),
+        };
+        let enc = f.encode();
+        for cut in 0..enc.len() {
+            let mut part = enc.clone();
+            part.truncate(cut);
+            assert_eq!(TFrame::decode(part), None, "cut {cut}");
+        }
+    }
+}

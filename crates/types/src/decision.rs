@@ -1,0 +1,198 @@
+//! Coordinator decisions (Section 4, Figure 2).
+//!
+//! At each subrun the rotating coordinator aggregates the requests it
+//! received into a [`Decision`], the single vehicle through which the group
+//! agrees on message stability (history cleaning), group composition (crash
+//! detection via the `attempts` counters), recovery hints (`max_processed`),
+//! and orphan-sequence destruction (`min_waiting`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{ProcessId, Subrun, NO_SEQ};
+
+/// Per-sequence "most updated process" record: who has processed the longest
+/// prefix of a given origin's sequence, and how far they got.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MaxProcessed {
+    /// The most updated process for this sequence — the recovery target the
+    /// decision advertises to lagging processes.
+    pub holder: ProcessId,
+    /// The highest sequence number `holder` has processed ([`NO_SEQ`] if
+    /// nobody has processed anything from this origin yet).
+    pub seq: u64,
+}
+
+impl MaxProcessed {
+    /// A record meaning "no process has processed anything of this origin".
+    pub fn none(holder: ProcessId) -> Self {
+        MaxProcessed {
+            holder,
+            seq: NO_SEQ,
+        }
+    }
+}
+
+/// The decision a coordinator broadcasts at the end of its subrun.
+///
+/// All per-origin and per-process vectors have length `n` and are indexed by
+/// [`ProcessId::index`]. The paper's Figure 2 fields map as follows:
+/// `stable` is the per-sequence cleaning frontier, `full_group` says whether
+/// `stable` was computed from *all* active members (only then may histories
+/// actually be purged), `attempts` are the per-process failed-contact
+/// counters, `process_state` the decided liveness flags, `max_processed` the
+/// most-updated-process hints and `min_waiting` the group-wide oldest
+/// waiting message per sequence.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Decision {
+    /// Subrun in which this decision was produced.
+    pub subrun: Subrun,
+    /// The coordinator that produced it.
+    pub coordinator: ProcessId,
+    /// True iff every process alive in `process_state` contributed a request
+    /// to this decision, making `stable` safe to clean against.
+    pub full_group: bool,
+    /// Per-origin highest sequence number processed by *every* contributing
+    /// process — the common prefix that is stable if `full_group`.
+    pub stable: Vec<u64>,
+    /// Per-process count of consecutive subruns the process failed to reach
+    /// a (non-crashed) coordinator. Reaching `K` flips `process_state`.
+    pub attempts: Vec<u32>,
+    /// Decided liveness per process.
+    pub process_state: Vec<bool>,
+    /// Per-origin most-updated-process record.
+    pub max_processed: Vec<MaxProcessed>,
+    /// Per-origin oldest sequence number still sitting in some member's
+    /// waiting list ([`NO_SEQ`] when no member has waiting messages for the
+    /// origin). Used for the orphan-gap test
+    /// `min_waiting[q] − max_processed[q] > 1`.
+    pub min_waiting: Vec<u64>,
+    /// Per-process flag: whose `last_processed` information has entered the
+    /// running stability computation since the last `full_group` decision.
+    /// This is how a partial decision "can be only used by the next
+    /// coordinator to produce its decision" (Section 4): coordinator `c+1`
+    /// continues the min-computation from where `c` left off instead of
+    /// starting over, and declares `full_group` once the union of
+    /// contributors covers every alive process.
+    pub covered: Vec<bool>,
+}
+
+impl Decision {
+    /// The initial decision every process boots with: nothing stable, no
+    /// failures observed, everyone alive, nobody updated, nothing waiting.
+    pub fn genesis(n: usize) -> Self {
+        Decision {
+            subrun: Subrun(0),
+            coordinator: ProcessId(0),
+            full_group: true,
+            stable: vec![NO_SEQ; n],
+            attempts: vec![0; n],
+            process_state: vec![true; n],
+            max_processed: (0..n)
+                .map(|i| MaxProcessed::none(ProcessId::from_index(i)))
+                .collect(),
+            min_waiting: vec![NO_SEQ; n],
+            covered: vec![false; n],
+        }
+    }
+
+    /// Group cardinality this decision was computed for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.stable.len()
+    }
+
+    /// Whether the orphan-gap condition holds for origin `q`: the oldest
+    /// waiting message of `q`'s sequence can never be recovered because the
+    /// messages between the global processing frontier and it were lost with
+    /// their only holders (Section 4). Processes receiving such a decision
+    /// discard everything depending on `max_processed[q] + 1`.
+    pub fn orphan_gap(&self, q: ProcessId) -> bool {
+        let i = q.index();
+        let waiting = self.min_waiting[i];
+        if waiting == NO_SEQ {
+            return false;
+        }
+        // A gap exists if the oldest waiting message is more than one ahead
+        // of what the most updated process has: the intermediate messages
+        // exist nowhere recoverable. Only meaningful once q itself is
+        // declared crashed — a live origin can always retransmit.
+        !self.process_state[i] && waiting > self.max_processed[i].seq + 1
+    }
+
+    /// True if this decision supersedes `other` (strictly newer subrun).
+    #[inline]
+    pub fn is_newer_than(&self, other: &Decision) -> bool {
+        self.subrun > other.subrun
+    }
+
+    /// Whether this is the synthetic boot value rather than a decision a
+    /// coordinator actually computed: every computed decision covers at
+    /// least its own coordinator (the coordinator records its own request
+    /// into the stability matrix), while [`Decision::genesis`] covers
+    /// nobody and claims subrun 0. Engines must never *adopt* a genesis
+    /// value carried inside a request — it would shadow the real subrun-0
+    /// decision.
+    #[inline]
+    pub fn is_genesis(&self) -> bool {
+        self.subrun.0 == 0 && self.covered.iter().all(|&c| !c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_is_benign() {
+        let d = Decision::genesis(3);
+        assert_eq!(d.n(), 3);
+        assert!(d.full_group);
+        assert!(d.process_state.iter().all(|&s| s));
+        assert!(d.stable.iter().all(|&s| s == NO_SEQ));
+        for q in 0..3 {
+            assert!(!d.orphan_gap(ProcessId(q as u16)));
+        }
+    }
+
+    #[test]
+    fn orphan_gap_requires_crashed_origin() {
+        let mut d = Decision::genesis(2);
+        d.min_waiting[1] = 5;
+        d.max_processed[1].seq = 2;
+        // Origin still alive: no orphan gap (it can retransmit).
+        assert!(!d.orphan_gap(ProcessId(1)));
+        d.process_state[1] = false;
+        assert!(d.orphan_gap(ProcessId(1)));
+    }
+
+    #[test]
+    fn orphan_gap_requires_actual_gap() {
+        let mut d = Decision::genesis(2);
+        d.process_state[1] = false;
+        d.min_waiting[1] = 3;
+        d.max_processed[1].seq = 2;
+        // waiting == max_processed + 1: contiguous, recoverable in principle
+        // (the waiting message itself is held by whoever reported it).
+        assert!(!d.orphan_gap(ProcessId(1)));
+        d.min_waiting[1] = 4;
+        assert!(d.orphan_gap(ProcessId(1)));
+    }
+
+    #[test]
+    fn no_waiting_means_no_gap() {
+        let mut d = Decision::genesis(2);
+        d.process_state[1] = false;
+        d.max_processed[1].seq = 2;
+        assert!(!d.orphan_gap(ProcessId(1)));
+    }
+
+    #[test]
+    fn newer_comparison_uses_subrun() {
+        let old = Decision::genesis(2);
+        let mut newer = Decision::genesis(2);
+        newer.subrun = Subrun(4);
+        assert!(newer.is_newer_than(&old));
+        assert!(!old.is_newer_than(&newer));
+        assert!(!old.is_newer_than(&old.clone()));
+    }
+}

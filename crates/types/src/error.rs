@@ -1,0 +1,100 @@
+//! Error types for the wire codec.
+
+use core::fmt;
+
+/// Decoding failures. Encoding is infallible by construction (all fields
+/// have bounded, known representations).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    UnexpectedEof {
+        /// What was being decoded when input ran out.
+        context: &'static str,
+    },
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A length prefix exceeded the codec's sanity bound, indicating a
+    /// corrupt or hostile frame.
+    LengthOverflow {
+        /// What was being decoded.
+        context: &'static str,
+        /// The declared length.
+        declared: u64,
+        /// The maximum the codec accepts.
+        max: u64,
+    },
+    /// A boolean byte was neither 0 nor 1.
+    BadBool {
+        /// The offending byte.
+        value: u8,
+    },
+    /// The frame checksum did not match: the datagram was corrupted in
+    /// flight (or is not a urcgc frame at all). Under the paper's general
+    /// omission model a corrupted packet is equivalent to a lost one.
+    ChecksumMismatch {
+        /// Checksum carried by the frame.
+        expected: u32,
+        /// Checksum computed over the received bytes.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while decoding {context}")
+            }
+            WireError::BadTag { context, tag } => {
+                write!(f, "invalid tag byte {tag:#04x} while decoding {context}")
+            }
+            WireError::LengthOverflow {
+                context,
+                declared,
+                max,
+            } => write!(
+                f,
+                "length {declared} exceeds bound {max} while decoding {context}"
+            ),
+            WireError::BadBool { value } => {
+                write!(f, "invalid boolean byte {value:#04x}")
+            }
+            WireError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "frame checksum mismatch (carried {expected:#010x}, computed {actual:#010x})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = WireError::UnexpectedEof { context: "Mid" };
+        assert!(e.to_string().contains("Mid"));
+        let e = WireError::BadTag {
+            context: "Pdu",
+            tag: 9,
+        };
+        assert!(e.to_string().contains("0x09"));
+        let e = WireError::LengthOverflow {
+            context: "deps",
+            declared: 1 << 40,
+            max: 1 << 20,
+        };
+        assert!(e.to_string().contains("deps"));
+        assert!(WireError::BadBool { value: 2 }.to_string().contains("0x02"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Process, message, round, and subrun identifiers.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Sequence-number sentinel meaning "no message yet" — mids number from 1.
+pub const NO_SEQ: u64 = 0;
+
+/// Identifier of a process in the group `G = {p_1, …, p_n}`.
+///
+/// Processes are densely numbered `0..n` (the paper uses `1..=n`; we index
+/// from zero so a `ProcessId` doubles as an index into the per-process
+/// vectors carried by requests and decisions).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub u16);
+
+impl ProcessId {
+    /// The index of this process into per-process vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ProcessId` from a vector index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u16` — group cardinalities in the
+    /// paper top out at 40, so this would indicate a harness bug.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ProcessId(u16::try_from(index).expect("group cardinality exceeds u16"))
+    }
+
+    /// The identity of the rotating coordinator for `subrun` in a group of
+    /// cardinality `n` (assumption 3 of Section 4: all active processes
+    /// cyclically become coordinator for one subrun).
+    #[inline]
+    pub fn coordinator_for(subrun: Subrun, n: usize) -> Self {
+        debug_assert!(n > 0, "empty group has no coordinator");
+        ProcessId::from_index((subrun.0 as usize) % n)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Unique message identifier: originating process plus a per-origin sequence
+/// number starting at 1 (`seq == 0` never names a real message; see
+/// [`NO_SEQ`]).
+///
+/// The paper's *intermediate interpretation* of causality (Section 3) lets
+/// each process root a single totally-ordered sequence, so `(origin, seq)`
+/// both uniquely identifies a message and orders it within its origin's
+/// sequence. The general interpretation (Definition 3.1) still uses the same
+/// identifier — ordering then comes from the explicit dependency lists.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Mid {
+    /// The process that generated the message.
+    pub origin: ProcessId,
+    /// Position within the origin's generation order, starting at 1.
+    pub seq: u64,
+}
+
+impl Mid {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(origin: ProcessId, seq: u64) -> Self {
+        Mid { origin, seq }
+    }
+
+    /// The mid immediately preceding this one in the origin's own sequence,
+    /// or `None` for the first message of the sequence.
+    #[inline]
+    pub fn predecessor(self) -> Option<Mid> {
+        (self.seq > 1).then(|| Mid::new(self.origin, self.seq - 1))
+    }
+}
+
+impl fmt::Debug for Mid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+impl fmt::Display for Mid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// A communication round (assumption 1 of Section 4). Two rounds make a
+/// subrun; with the paper's timing assumption one subrun spans one network
+/// round-trip delay, so one round is half an rtd.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Round(pub u64);
+
+impl Round {
+    /// The subrun this round belongs to.
+    #[inline]
+    pub fn subrun(self) -> Subrun {
+        Subrun(self.0 / 2)
+    }
+
+    /// Whether this is the first round of its subrun (request phase).
+    #[inline]
+    pub fn is_request_phase(self) -> bool {
+        self.0.is_multiple_of(2)
+    }
+
+    /// The next round.
+    #[inline]
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A subrun: the two-round unit within which one rotating coordinator
+/// collects requests and broadcasts a decision (assumption 2 of Section 4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Subrun(pub u64);
+
+impl Subrun {
+    /// The first (request-collection) round of this subrun.
+    #[inline]
+    pub fn request_round(self) -> Round {
+        Round(self.0 * 2)
+    }
+
+    /// The second (decision-broadcast) round of this subrun.
+    #[inline]
+    pub fn decision_round(self) -> Round {
+        Round(self.0 * 2 + 1)
+    }
+
+    /// The next subrun.
+    #[inline]
+    pub fn next(self) -> Subrun {
+        Subrun(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Subrun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinator_rotates_cyclically() {
+        let n = 5;
+        for s in 0..20u64 {
+            let c = ProcessId::coordinator_for(Subrun(s), n);
+            assert_eq!(c.index(), (s as usize) % n);
+        }
+    }
+
+    #[test]
+    fn coordinator_single_process_group() {
+        for s in 0..4u64 {
+            assert_eq!(ProcessId::coordinator_for(Subrun(s), 1), ProcessId(0));
+        }
+    }
+
+    #[test]
+    fn mid_predecessor_chain_terminates_at_root() {
+        let mid = Mid::new(ProcessId(3), 3);
+        let p1 = mid.predecessor().unwrap();
+        assert_eq!(p1, Mid::new(ProcessId(3), 2));
+        let p2 = p1.predecessor().unwrap();
+        assert_eq!(p2, Mid::new(ProcessId(3), 1));
+        assert_eq!(p2.predecessor(), None);
+    }
+
+    #[test]
+    fn round_subrun_mapping() {
+        assert_eq!(Round(0).subrun(), Subrun(0));
+        assert_eq!(Round(1).subrun(), Subrun(0));
+        assert_eq!(Round(2).subrun(), Subrun(1));
+        assert!(Round(0).is_request_phase());
+        assert!(!Round(1).is_request_phase());
+        assert_eq!(Subrun(3).request_round(), Round(6));
+        assert_eq!(Subrun(3).decision_round(), Round(7));
+        assert_eq!(Round(6).next(), Round(7));
+        assert_eq!(Subrun(3).next(), Subrun(4));
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", Mid::new(ProcessId(2), 7)), "p2#7");
+        assert_eq!(format!("{:?}", Mid::new(ProcessId(2), 7)), "p2#7");
+        assert_eq!(format!("{}", Round(4)), "r4");
+        assert_eq!(format!("{}", Subrun(2)), "s2");
+    }
+
+    #[test]
+    fn mid_ordering_is_origin_major() {
+        let a = Mid::new(ProcessId(0), 9);
+        let b = Mid::new(ProcessId(1), 1);
+        assert!(a < b);
+        assert!(Mid::new(ProcessId(1), 1) < Mid::new(ProcessId(1), 2));
+    }
+}

@@ -1,0 +1,81 @@
+//! A real urcgc group over UDP sockets (tokio) with injected packet loss —
+//! the paper's Section 7 prototype scenario.
+//!
+//! Four processes on localhost, 15% receive-side packet loss at every
+//! member, a burst of causally chained messages: the run demonstrates that
+//! the same engine the simulator drives also converges over a lossy real
+//! network, recovering missed messages from peers' histories.
+//!
+//! Run: `cargo run --example udp_group`
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use bytes::Bytes;
+use urcgc_repro::runtime::{AppEvent, UdpGroup};
+use urcgc_repro::types::{Mid, ProtocolConfig};
+
+#[tokio::main(flavor = "multi_thread", worker_threads = 4)]
+async fn main() {
+    const N: usize = 4;
+    const MSGS_PER_SENDER: usize = 5;
+    const LOSS: f64 = 0.15;
+
+    let cfg = ProtocolConfig::new(N);
+    println!("spawning {N}-process urcgc group on localhost UDP, {LOSS:.0e}… loss");
+    let mut group = UdpGroup::spawn(cfg, Duration::from_millis(5), LOSS, 0xBEEF)
+        .await
+        .expect("spawn group");
+
+    // Two senders each publish a causal chain.
+    let mut expected: HashSet<Mid> = HashSet::new();
+    for sender in 0..2 {
+        for k in 0..MSGS_PER_SENDER {
+            let payload = Bytes::from(format!("msg {k} from p{sender}"));
+            let mid = group
+                .handle(sender)
+                .submit(payload, vec![])
+                .await
+                .expect("submit");
+            expected.insert(mid);
+        }
+    }
+    println!("submitted {} messages", expected.len());
+
+    // Every member must deliver the full set, each sender's chain in order.
+    for member in 0..N {
+        let mut got: Vec<Mid> = Vec::new();
+        let deadline = tokio::time::Instant::now() + Duration::from_secs(30);
+        while got.len() < expected.len() {
+            let ev = tokio::select! {
+                ev = group.handle(member).next_event() => ev,
+                _ = tokio::time::sleep_until(deadline) => {
+                    panic!("p{member} timed out with {}/{} messages", got.len(), expected.len())
+                }
+            };
+            match ev {
+                Some(AppEvent::Delivered(msg)) => got.push(msg.mid),
+                Some(_) => {}
+                None => panic!("p{member} task ended early"),
+            }
+        }
+        let got_set: HashSet<Mid> = got.iter().copied().collect();
+        assert_eq!(got_set, expected, "p{member} delivered a different set");
+        // Per-origin order check (causal order implies per-origin seq order
+        // under the intermediate interpretation).
+        for origin in 0..2u16 {
+            let seqs: Vec<u64> = got
+                .iter()
+                .filter(|m| m.origin.0 == origin)
+                .map(|m| m.seq)
+                .collect();
+            let mut sorted = seqs.clone();
+            sorted.sort();
+            assert_eq!(seqs, sorted, "p{member} out of order for origin {origin}");
+        }
+        println!("p{member}: all {} messages, causally ordered ✓", got.len());
+    }
+
+    group.shutdown().await;
+    println!("\nOK: lossy UDP group converged — omissions healed from history.");
+}

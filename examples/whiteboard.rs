@@ -1,0 +1,165 @@
+//! A shared whiteboard — the paper's "multimedia spaces for collaborative
+//! work" motivation, driven directly through the `Engine` API with
+//! *explicit, application-defined* causal dependencies (Definition 3.1).
+//!
+//! Four participants edit a whiteboard. Causality is semantic, not
+//! temporal: Bob's annotation depends on Alice's stroke because it refers
+//! to it — while Carol's independent sketch is concurrent and may be
+//! processed in any interleaving. The example routes PDUs by hand, delivers
+//! some of them out of order, and shows the waiting list enforcing exactly
+//! the published order and nothing more.
+//!
+//! Run: `cargo run --example whiteboard`
+
+use bytes::Bytes;
+use urcgc_repro::urcgc::{Engine, Output, ProtocolConfig};
+use urcgc_repro::types::{Mid, Pdu, ProcessId, Round};
+
+const ALICE: usize = 0;
+const BOB: usize = 1;
+const CAROL: usize = 2;
+const DAVE: usize = 3;
+const NAMES: [&str; 4] = ["alice", "bob", "carol", "dave"];
+
+/// Routes all pending engine outputs through an instantaneous network,
+/// collecting per-member deliveries.
+#[allow(clippy::needless_range_loop)] // mutate one engine while fanning to the others
+fn route(engines: &mut [Engine], log: &mut Vec<(usize, Mid, String)>) {
+    loop {
+        let mut moved = false;
+        for i in 0..engines.len() {
+            let me = engines[i].me();
+            while let Some(out) = engines[i].poll_output() {
+                moved = true;
+                match out {
+                    Output::Send { to, pdu } => engines[to.index()].on_pdu(me, pdu),
+                    Output::Broadcast { pdu } => {
+                        for j in 0..engines.len() {
+                            if j != i {
+                                engines[j].on_pdu(me, pdu.clone());
+                            }
+                        }
+                    }
+                    Output::Deliver { msg } => {
+                        log.push((
+                            i,
+                            msg.mid,
+                            String::from_utf8_lossy(&msg.payload).into_owned(),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !moved {
+            return;
+        }
+    }
+}
+
+fn run_round(engines: &mut [Engine], round: u64, log: &mut Vec<(usize, Mid, String)>) {
+    for e in engines.iter_mut() {
+        e.begin_round(Round(round));
+    }
+    route(engines, log);
+}
+
+fn main() {
+    let cfg = ProtocolConfig::new(4);
+    let mut engines: Vec<Engine> = (0..4)
+        .map(|i| Engine::new(ProcessId::from_index(i), cfg.clone()))
+        .collect();
+    let mut log: Vec<(usize, Mid, String)> = Vec::new();
+
+    // --- The whiteboard session ---------------------------------------
+    // Alice draws a stroke.
+    let stroke = engines[ALICE]
+        .submit(Bytes::from_static(b"stroke: red line (10,10)->(90,40)"), &[])
+        .unwrap();
+    run_round(&mut engines, 0, &mut log);
+
+    // Bob annotates Alice's stroke (explicit semantic dependency), while
+    // Carol starts an unrelated sketch — concurrent with both.
+    let note = engines[BOB]
+        .submit(Bytes::from_static(b"note: 'make this thicker?'"), &[stroke])
+        .unwrap();
+    let sketch = engines[CAROL]
+        .submit(Bytes::from_static(b"sketch: blue circle (50,70) r=12"), &[])
+        .unwrap();
+    run_round(&mut engines, 1, &mut log);
+
+    // Dave replies to Bob's note — depends on the note (and transitively
+    // on the stroke).
+    let reply = engines[DAVE]
+        .submit(Bytes::from_static(b"reply: 'agreed, 3px'"), &[note])
+        .unwrap();
+    run_round(&mut engines, 2, &mut log);
+
+    // Let a couple of subruns pass so decisions circulate and histories
+    // clean.
+    for r in 3..8 {
+        run_round(&mut engines, r, &mut log);
+    }
+
+    // --- Verify causal order at every member ---------------------------
+    println!("whiteboard event log (member, mid, op):");
+    for (member, mid, op) in &log {
+        println!("  {:6} processed {}  {}", NAMES[*member], mid, op);
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    for member in 0..4 {
+        let order: Vec<Mid> = log
+            .iter()
+            .filter(|(m, _, _)| *m == member)
+            .map(|&(_, mid, _)| mid)
+            .collect();
+        let pos = |m: Mid| order.iter().position(|&x| x == m).unwrap();
+        assert!(pos(stroke) < pos(note), "{}: note before stroke", NAMES[member]);
+        assert!(pos(note) < pos(reply), "{}: reply before note", NAMES[member]);
+        // `sketch` is concurrent with note/reply: only its existence is
+        // guaranteed, not its position.
+        assert!(order.contains(&sketch));
+        assert_eq!(order.len(), 4, "{} missed an event", NAMES[member]);
+    }
+
+    // --- Out-of-order arrival demo --------------------------------------
+    // A fifth participant joins late (fresh engine) and receives the
+    // reply *first*: it must wait for note and stroke.
+    let mut late = Engine::new(ProcessId(1), cfg); // replays as a fresh bob
+    let grab = |mid: Mid, engines: &[Engine]| -> Pdu {
+        // Pull the message out of any member's history via the public API.
+        let e = &engines[ALICE];
+        let _ = e;
+        // Simplest: rebuild from the log payloads is overkill — resubmit is
+        // not possible; instead serve from history through a recovery
+        // round-trip in a real system. Here we reconstruct the PDU from the
+        // delivery log for demonstration.
+        let (_, _, op) = log.iter().find(|(_, m, _)| *m == mid).unwrap().clone();
+        Pdu::Data(urcgc_repro::types::DataMsg {
+            mid,
+            deps: match () {
+                _ if mid == note => vec![stroke],
+                _ if mid == reply => vec![note],
+                _ => vec![],
+            },
+            round: Round(0),
+            payload: Bytes::from(op),
+        })
+    };
+    late.on_pdu(ProcessId(3), grab(reply, &engines));
+    assert_eq!(late.waiting_len(), 1, "reply parked: note missing");
+    late.on_pdu(ProcessId(1), grab(note, &engines));
+    assert_eq!(late.waiting_len(), 2, "note parked too: stroke missing");
+    late.on_pdu(ProcessId(0), grab(stroke, &engines));
+    assert_eq!(late.waiting_len(), 0, "chain released in causal order");
+    let mut late_order = Vec::new();
+    while let Some(o) = late.poll_output() {
+        if let Output::Deliver { msg } = o {
+            late_order.push(msg.mid);
+        }
+    }
+    assert_eq!(late_order, vec![stroke, note, reply]);
+    println!("\nlate joiner received reply→note→stroke, processed stroke→note→reply.");
+    println!("OK: semantic causality enforced, concurrency preserved.");
+}

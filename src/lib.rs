@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the URCGC reproduction workspace.
+//!
+//! Re-exports the public surface of every member crate so that examples and
+//! integration tests can reach the whole system through one dependency.
+//! Downstream users should normally depend on the individual crates
+//! ([`urcgc`], [`urcgc_simnet`], [`urcgc_runtime`], …) directly.
+
+pub use urcgc;
+pub use urcgc_baselines as baselines;
+pub use urcgc_causal as causal;
+pub use urcgc_history as history;
+pub use urcgc_metrics as metrics;
+pub use urcgc_runtime as runtime;
+pub use urcgc_simnet as simnet;
+pub use urcgc_transport as transport;
+pub use urcgc_types as types;

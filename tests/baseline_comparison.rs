@@ -1,0 +1,222 @@
+//! Head-to-head behavioural comparison of urcgc against the CBCAST and
+//! Psync baselines on identical workloads and fault plans — the executable
+//! counterpart of the paper's Section 6 comparison.
+
+use urcgc_repro::baselines::cbcast::{run_cbcast_group, Load};
+use urcgc_repro::baselines::psync::run_psync_group;
+use urcgc_repro::baselines::{CbcastCost, UrcgcCost};
+use urcgc_repro::simnet::FaultPlan;
+use urcgc_repro::types::{ProcessId, ProtocolConfig, Round};
+use urcgc_repro::urcgc::sim::{GroupHarness, Workload};
+
+/// On the reliable path all three protocols achieve causal delivery with
+/// the same ½-rtd delay floor.
+#[test]
+fn reliable_path_parity() {
+    let n = 6;
+    let msgs = 10;
+
+    let mut h = GroupHarness::builder(ProtocolConfig::new(n))
+        .workload(Workload::fixed_count(msgs, 16))
+        .seed(1)
+        .build();
+    let urcgc = h.run_to_completion(4_000);
+    assert!(urcgc.all_processed_everything());
+
+    let cb = run_cbcast_group(n, 3, Load::fixed(msgs, 16), FaultPlan::none(), 1, 4_000);
+    let ps = run_psync_group(n, 128, Load::fixed(msgs, 16), FaultPlan::none(), 1, 4_000);
+
+    for (name, min) in [
+        ("urcgc", urcgc.delays.min().unwrap()),
+        ("cbcast", cb.delays.min().unwrap()),
+        ("psync", ps.delays.min().unwrap()),
+    ] {
+        assert!(min >= 0.5, "{name} broke the ½-rtd floor: {min}");
+    }
+    // Delays are within the same ballpark (no protocol stalls).
+    assert!(urcgc.delays.mean().unwrap() < 2.0);
+    assert!(cb.delays.mean().unwrap() < 2.0);
+    assert!(ps.delays.mean().unwrap() < 2.0);
+}
+
+/// Under a member crash, urcgc keeps processing (flat delays) while CBCAST
+/// freezes deliveries for its view-change flush — the paper's headline
+/// qualitative difference (Figures 4 and 5 combined).
+#[test]
+fn crash_blocks_cbcast_but_not_urcgc() {
+    let n = 6;
+    let msgs = 25;
+    let faults = || FaultPlan::none().crash_at(ProcessId(5), Round(8));
+
+    let mut h = GroupHarness::builder(ProtocolConfig::new(n).with_k(2))
+        .workload(Workload::fixed_count(msgs, 16))
+        .faults(faults())
+        .seed(5)
+        .build();
+    let urcgc = h.run_to_completion(6_000);
+    assert!(urcgc.atomicity_holds());
+
+    let cb = run_cbcast_group(n, 2, Load::fixed(msgs, 16), faults(), 5, 6_000);
+
+    // CBCAST survivors spent rounds frozen; urcgc never freezes.
+    let cb_frozen: u64 = cb.frozen_rounds[..5].iter().sum();
+    assert!(cb_frozen > 0, "CBCAST flush never froze delivery");
+    // urcgc's mean delay stays near the floor even through the crash.
+    assert!(
+        urcgc.delays.mean().unwrap() < 1.5,
+        "urcgc delay {} suggests a stall",
+        urcgc.delays.mean().unwrap()
+    );
+    // CBCAST's worst-case delay reflects the freeze window.
+    assert!(
+        cb.delays.max().unwrap() > urcgc.delays.max().unwrap(),
+        "CBCAST max {} vs urcgc max {}",
+        cb.delays.max().unwrap(),
+        urcgc.delays.max().unwrap()
+    );
+}
+
+/// Control-traffic crossover (Table 1): CBCAST is cheaper when nothing
+/// fails; urcgc's failure-episode traffic stays flat while CBCAST's grows
+/// with each extra failure.
+#[test]
+fn control_traffic_crossover_matches_table1() {
+    let n = 15;
+    let k = 3;
+    let u = UrcgcCost { n, k };
+    let c = CbcastCost { n, k };
+    assert!(c.control_msgs_reliable() < u.control_msgs_reliable());
+    // Per extra failure, CBCAST's cost grows by K(2n−3) messages while
+    // urcgc's grows by 2(n−1): CBCAST's slope is steeper for K ≥ 1, n ≥ 2.
+    let u_slope = u.control_msgs_crash(3) - u.control_msgs_crash(2);
+    let c_slope = c.control_msgs_crash(3) - c.control_msgs_crash(2);
+    assert!(c_slope > u_slope, "cbcast slope {c_slope} vs urcgc {u_slope}");
+    // And the view-change latency gap widens with f (Figure 5).
+    for f in 0..6 {
+        assert!(u.recovery_time_rtd(f) < c.recovery_time_rtd(f));
+    }
+}
+
+/// Psync's deletion-based flow control converts congestion into omission
+/// failures; urcgc's back-pressure flow control loses nothing.
+#[test]
+fn flow_control_strategies_differ_in_kind() {
+    let n = 6;
+    let msgs = 30;
+    let faults = || FaultPlan::none().omission_rate(0.02);
+
+    // urcgc with a tight threshold: slower but lossless.
+    let cfg = ProtocolConfig::new(n).with_k(3).with_history_threshold(3 * n);
+    let mut h = GroupHarness::builder(cfg)
+        .workload(Workload::fixed_count(msgs, 16))
+        .faults(faults())
+        .seed(9)
+        .build();
+    let urcgc = h.run_to_completion(30_000);
+    assert!(
+        urcgc.all_processed_everything(),
+        "urcgc flow control must not lose messages: {}/{}",
+        urcgc.fully_processed,
+        urcgc.generated_total
+    );
+
+    // Psync with a tight waiting bound: loses messages outright.
+    let ps = run_psync_group(n, 2, Load::fixed(msgs, 16), faults(), 9, 30_000);
+    let deleted: u64 = ps.induced_omissions.iter().sum();
+    assert!(deleted > 0, "expected Psync deletions under this load");
+    assert!(ps.delivery_ratio < 1.0);
+}
+
+/// Determinism parity: all three harnesses reproduce bit-identical results
+/// for identical seeds.
+#[test]
+fn all_three_harnesses_are_deterministic() {
+    let n = 5;
+    let run_urcgc = |seed| {
+        let mut h = GroupHarness::builder(ProtocolConfig::new(n))
+            .workload(Workload::bernoulli(0.7, 8, 8))
+            .faults(FaultPlan::none().omission_rate(0.01))
+            .seed(seed)
+            .build();
+        let r = h.run_to_completion(5_000);
+        (r.rounds, r.fully_processed, r.stats.traffic.total())
+    };
+    assert_eq!(run_urcgc(77), run_urcgc(77));
+
+    let run_cb = |seed| {
+        let r = run_cbcast_group(
+            n,
+            3,
+            Load {
+                gen_prob: 0.7,
+                total: 8,
+                payload_size: 8,
+            },
+            FaultPlan::none().omission_rate(0.01),
+            seed,
+            5_000,
+        );
+        (r.rounds, r.delays.count(), r.stats.traffic.total())
+    };
+    assert_eq!(run_cb(78), run_cb(78));
+
+    let run_ps = |seed| {
+        let r = run_psync_group(
+            n,
+            64,
+            Load {
+                gen_prob: 0.7,
+                total: 8,
+                payload_size: 8,
+            },
+            FaultPlan::none().omission_rate(0.01),
+            seed,
+            5_000,
+        );
+        (r.rounds, r.delays.count(), r.stats.traffic.total())
+    };
+    assert_eq!(run_ps(79), run_ps(79));
+}
+
+/// The total-order sibling (urgc) agrees on one global sequence but pays
+/// head-of-line blocking under loss; the causal service does not. This is
+/// the Section 2 motivation measured end to end.
+#[test]
+fn total_order_pays_head_of_line_blocking() {
+    use urcgc_repro::baselines::urgc::run_urgc_total;
+    use urcgc_repro::urcgc::sim::DepPolicy;
+
+    let n = 6;
+    let msgs = 12;
+    let rate = 0.03;
+
+    let mut h = GroupHarness::builder(ProtocolConfig::new(n).with_k(3))
+        .workload(
+            urcgc_repro::urcgc::sim::Workload::fixed_count(msgs, 16)
+                .with_deps(DepPolicy::OwnChain),
+        )
+        .faults(FaultPlan::none().omission_rate(rate))
+        .seed(14)
+        .build();
+    let causal = h.run_to_completion(30_000);
+    assert!(causal.all_processed_everything());
+
+    let total = run_urgc_total(
+        n,
+        Load::fixed(msgs, 16),
+        FaultPlan::none().omission_rate(rate),
+        14,
+        30_000,
+    );
+    assert_eq!(total.completeness, 1.0);
+    assert!(total.total_order_agrees, "total order must stay agreed");
+
+    // The stronger order costs delay — on average and in the tail.
+    assert!(
+        total.delays.mean().unwrap() > causal.delays.mean().unwrap(),
+        "total {} !> causal {}",
+        total.delays.mean().unwrap(),
+        causal.delays.mean().unwrap()
+    );
+    assert!(total.delays.max().unwrap() >= causal.delays.max().unwrap());
+}

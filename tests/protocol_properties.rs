@@ -1,0 +1,130 @@
+//! Property-based testing of the URCGC guarantees: random group sizes,
+//! workloads, omission rates, crash schedules and seeds — the two clauses
+//! of Definition 3.2 plus frontier agreement must hold in every generated
+//! universe.
+
+use proptest::prelude::*;
+use urcgc_repro::simnet::FaultPlan;
+use urcgc_repro::types::{ProcessId, ProtocolConfig, Round};
+use urcgc_repro::urcgc::sim::{DepPolicy, GroupHarness, Workload};
+
+#[derive(Debug, Clone)]
+struct Universe {
+    n: usize,
+    k: u32,
+    per_proc: u64,
+    gen_prob: f64,
+    omission: f64,
+    crash: Option<(usize, u64)>,
+    dep_policy: DepPolicy,
+    flow_threshold: Option<usize>,
+    seed: u64,
+}
+
+fn arb_universe() -> impl Strategy<Value = Universe> {
+    (
+        2usize..9,             // n
+        1u32..4,               // k
+        1u64..10,              // per-proc messages
+        prop_oneof![Just(1.0), 0.2f64..1.0], // generation probability
+        prop_oneof![Just(0.0), Just(1.0 / 500.0), Just(1.0 / 100.0), Just(1.0 / 50.0)],
+        prop::option::of((0usize..9, 4u64..30)), // crash (victim, round)
+        prop_oneof![Just(DepPolicy::OwnChain), Just(DepPolicy::LatestForeign)],
+        prop::option::of(8usize..64), // flow threshold
+        any::<u64>(),
+    )
+        .prop_map(
+            |(n, k, per_proc, gen_prob, omission, crash, dep_policy, flow_threshold, seed)| {
+                Universe {
+                    n,
+                    k,
+                    per_proc,
+                    gen_prob,
+                    omission,
+                    crash: crash.map(|(v, r)| (v % n, r)),
+                    dep_policy,
+                    flow_threshold,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 64,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn urcgc_clauses_hold_in_every_universe(u in arb_universe()) {
+        let mut cfg = ProtocolConfig::new(u.n).with_k(u.k).with_f_allowance(2);
+        if let Some(t) = u.flow_threshold {
+            cfg = cfg.with_history_threshold(t);
+        }
+        let mut faults = FaultPlan::none().omission_rate(u.omission);
+        if let Some((victim, round)) = u.crash {
+            faults = faults.crash_at(ProcessId::from_index(victim), Round(round));
+        }
+        let workload = Workload::bernoulli(u.gen_prob, u.per_proc, 8).with_deps(u.dep_policy);
+        let mut h = GroupHarness::builder(cfg)
+            .workload(workload)
+            .faults(faults)
+            .seed(u.seed)
+            .build();
+        let report = h.run_to_completion(60_000);
+
+        // Clause 1 — Uniform Atomicity: no message processed by a strict
+        // subset of the survivors at quiescence.
+        prop_assert!(
+            report.atomicity_holds(),
+            "atomicity violated in {u:?}: {} partial (statuses {:?})",
+            report.partially_processed, report.statuses
+        );
+
+        // Survivors agree on the processing frontier.
+        prop_assert!(report.frontiers_agree(), "frontiers diverged in {u:?}");
+
+        // Clause 2 — Uniform Ordering: every node's log respects the
+        // published dependency lists.
+        for node in h.net().nodes() {
+            let log = node.delivery_log();
+            let pos: std::collections::HashMap<_, _> =
+                log.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+            for &mid in log {
+                for dep in node.deps_of(mid).unwrap() {
+                    let dp = pos.get(dep);
+                    prop_assert!(
+                        dp.is_some() && dp.unwrap() < pos.get(&mid).unwrap(),
+                        "{}: {mid} before its cause {dep} in {u:?}",
+                        node.engine().me()
+                    );
+                }
+            }
+        }
+
+        // With no crash scheduled, completeness is total.
+        if u.crash.is_none() {
+            prop_assert!(
+                report.all_processed_everything(),
+                "lost messages without any crash in {u:?}: {}/{} (statuses {:?})",
+                report.fully_processed, report.generated_total, report.statuses
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible(seed in any::<u64>(), n in 2usize..7) {
+        let run = || {
+            let mut h = GroupHarness::builder(ProtocolConfig::new(n))
+                .workload(Workload::bernoulli(0.6, 5, 8))
+                .faults(FaultPlan::none().omission_rate(0.01))
+                .seed(seed)
+                .build();
+            let r = h.run_to_completion(10_000);
+            (r.rounds, r.fully_processed, r.stats.traffic.total())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
