@@ -252,7 +252,10 @@ impl CbcastNode {
         }
         // Start the flush: delivery freezes for the published view-change
         // duration, and the flush-protocol control messages hit the wire.
-        let cost = CbcastCost { n: self.n, k: self.k };
+        let cost = CbcastCost {
+            n: self.n,
+            k: self.k,
+        };
         let f = (suspects.len() as u32).saturating_sub(1);
         let duration_rounds = cost.recovery_time_rtd(f) * urcgc_simnet::ROUNDS_PER_RTD;
         let msgs = cost.control_msgs_crash(f);
@@ -395,14 +398,7 @@ pub fn run_cbcast_group(
     let nodes: Vec<CbcastNode> = (0..n)
         .map(|i| CbcastNode::new(ProcessId::from_index(i), n, k, load))
         .collect();
-    let mut net = SimNet::new(
-        nodes,
-        faults,
-        SimOptions {
-            max_rounds,
-            seed,
-        },
-    );
+    let mut net = SimNet::new(nodes, faults, SimOptions { max_rounds, seed });
     let mut rounds = 0;
     let mut idle_streak = 0;
     while rounds < max_rounds {

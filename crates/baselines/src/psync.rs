@@ -85,7 +85,7 @@ impl PsMsg {
             seq,
             round,
             payload,
-        context,
+            context,
         })
     }
 }

@@ -69,12 +69,23 @@ pub enum UFrame {
         /// First missing order value.
         from_order: u64,
     },
+    /// Coordinator anti-entropy: the current global order length. A member
+    /// whose own order is shorter missed a batch (possibly the final one of
+    /// the run, after which no newer batch would ever reveal the gap) and
+    /// pulls the suffix with [`UFrame::FetchOrder`].
+    Digest {
+        /// Sender (the subrun coordinator).
+        sender: ProcessId,
+        /// Global order length as known by the sender.
+        order_len: u64,
+    },
 }
 
 const TAG_DATA: u8 = 0x60;
 const TAG_BATCH: u8 = 0x61;
 const TAG_FETCH: u8 = 0x62;
 const TAG_FETCH_ORDER: u8 = 0x63;
+const TAG_DIGEST: u8 = 0x64;
 
 impl UFrame {
     /// Encodes the frame.
@@ -121,6 +132,11 @@ impl UFrame {
                 b.put_u8(TAG_FETCH_ORDER);
                 b.put_u16_le(requester.0);
                 b.put_u64_le(*from_order);
+            }
+            UFrame::Digest { sender, order_len } => {
+                b.put_u8(TAG_DIGEST);
+                b.put_u16_le(sender.0);
+                b.put_u64_le(*order_len);
             }
         }
         b.freeze()
@@ -195,6 +211,14 @@ impl UFrame {
                     requester,
                     from_order,
                 })
+            }
+            TAG_DIGEST => {
+                if f.remaining() < 10 {
+                    return None;
+                }
+                let sender = ProcessId(f.get_u16_le());
+                let order_len = f.get_u64_le();
+                Some(UFrame::Digest { sender, order_len })
             }
             _ => None,
         }
@@ -382,6 +406,24 @@ impl Node for UrgcTotalNode {
             );
             let _ = self.apply_batch(first_order, ids, round);
         }
+        // Coordinator anti-entropy: advertise the order length every
+        // decision round we coordinate. Without this, a member that lost
+        // the *final* batch of a run would never learn the order grew (no
+        // newer batch arrives to expose the gap) and the group would
+        // quiesce incomplete.
+        if !round.is_request_phase()
+            && ProcessId::coordinator_for(subrun, self.n) == self.me
+            && self.next_order > 0
+        {
+            net.broadcast(
+                "urgc-digest",
+                UFrame::Digest {
+                    sender: self.me,
+                    order_len: self.next_order,
+                }
+                .encode(),
+            );
+        }
         // Order-gap recovery: while buffered batches sit behind a gap,
         // periodically re-ask a random-ish peer (the previous coordinator)
         // for the suffix.
@@ -464,6 +506,18 @@ impl Node for UrgcTotalNode {
                     );
                 }
             }
+            Some(UFrame::Digest { sender, order_len }) if order_len > self.next_order => {
+                net.send(
+                    sender,
+                    "urgc-fetch-order",
+                    UFrame::FetchOrder {
+                        requester: self.me,
+                        from_order: self.next_order,
+                    }
+                    .encode(),
+                );
+            }
+            Some(UFrame::Digest { .. }) => {}
             Some(UFrame::FetchOrder {
                 requester,
                 from_order,

@@ -10,9 +10,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use urcgc::sim::{GroupHarness, Workload};
 use urcgc::ProtocolConfig;
 use urcgc_causal::{CausalGraph, DeliveryTracker, Labeler, WaitingList};
-use urcgc_types::CausalityMode;
 use urcgc_history::{History, StabilityMatrix};
 use urcgc_simnet::FaultPlan;
+use urcgc_types::CausalityMode;
 use urcgc_types::{
     decode_pdu, encode_pdu, DataMsg, Decision, Mid, Pdu, ProcessId, RequestMsg, Round, Subrun,
     NO_SEQ,

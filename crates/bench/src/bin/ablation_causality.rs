@@ -8,21 +8,30 @@
 //! quantifies that under omission failures.
 //!
 //! Run: `cargo run --release -p urcgc-bench --bin ablation_causality`
+//! Sweep: `... --bin ablation_causality -- --replicates 8 --jobs 8 --json abc.json`
 
 use urcgc::sim::{DepPolicy, Workload};
 use urcgc::{CausalityMode, ProtocolConfig};
-use urcgc_bench::{banner, run_scenario};
-use urcgc_metrics::Table;
+use urcgc_bench::cli::SweepOpts;
+use urcgc_bench::sweep::{sweep_scenario, SweepDoc};
+use urcgc_bench::{banner, metrics_row, run_scenario};
+use urcgc_metrics::{Json, Table};
 use urcgc_simnet::FaultPlan;
 
 fn main() {
     const N: usize = 8;
-    const SEED: u64 = 909;
     const MSGS: u64 = 20;
+
+    let opts = SweepOpts::from_env("ablation_causality");
+    let seed = opts.seed_or(909);
+    let max_rounds = opts.max_rounds_or(60_000);
 
     banner(
         "Ablation — causality interpretation",
-        &format!("n = {N}, {MSGS} msgs/process, omission 1/100, seed = {SEED}"),
+        &format!(
+            "n = {N}, {MSGS} msgs/process, omission 1/100, seed = {seed}, {} replicate(s)",
+            opts.replicates
+        ),
     );
 
     let modes: [(&str, CausalityMode, DepPolicy); 4] = [
@@ -48,6 +57,7 @@ fn main() {
         ),
     ];
 
+    let mut doc = SweepDoc::new("ablation_causality", &opts, seed);
     let mut table = Table::new([
         "interpretation",
         "mean D (rtd)",
@@ -57,27 +67,45 @@ fn main() {
         "mean deps/msg",
     ]);
     for (label, mode, policy) in modes {
-        let cfg = ProtocolConfig::new(N).with_k(3).with_causality(mode);
-        let report = run_scenario(
-            cfg,
-            Workload::bernoulli(0.8, MSGS, 16).with_deps(policy),
-            FaultPlan::none().omission_rate(1.0 / 100.0),
-            SEED,
-            60_000,
-        );
-        // Mean dependency-list length is a proxy for label size on the
-        // wire; read it from data traffic mean sizes instead of re-running:
-        // data size = fixed header (31 B) + 10 B per dep + payload 16.
-        let data = report.stats.traffic.get("data");
-        let mean_deps = ((data.mean_size() - 47.0) / 10.0).max(0.0);
+        let result = sweep_scenario(&opts, seed, |_rep, run_seed| {
+            let cfg = ProtocolConfig::new(N).with_k(3).with_causality(mode);
+            let report = run_scenario(
+                cfg,
+                Workload::bernoulli(0.8, MSGS, 16).with_deps(policy),
+                FaultPlan::none().omission_rate(1.0 / 100.0),
+                run_seed,
+                max_rounds,
+            );
+            // Mean dependency-list length is a proxy for label size on the
+            // wire; read it from data traffic mean sizes instead of
+            // re-running: data size = fixed header (31 B) + 10 B per dep +
+            // payload 16.
+            let data = report.stats.traffic.get("data");
+            metrics_row![
+                "mean_delay_rtd" => report.delays.mean().unwrap_or(f64::NAN),
+                "p95_delay_rtd" => report.delays.percentile(95.0).unwrap_or(f64::NAN),
+                "max_delay_rtd" => report.delays.max().unwrap_or(f64::NAN),
+                "peak_waiting" => report.max_waiting(),
+                "mean_deps_per_msg" => ((data.mean_size() - 47.0) / 10.0).max(0.0),
+            ]
+        });
         table.row([
             label.to_string(),
-            format!("{:.2}", report.delays.mean().unwrap_or(f64::NAN)),
-            format!("{:.2}", report.delays.percentile(95.0).unwrap_or(f64::NAN)),
-            format!("{:.2}", report.delays.max().unwrap_or(f64::NAN)),
-            report.max_waiting().to_string(),
-            format!("{mean_deps:.1}"),
+            format!("{:.2}", result.mean("mean_delay_rtd")),
+            format!("{:.2}", result.mean("p95_delay_rtd")),
+            format!("{:.2}", result.mean("max_delay_rtd")),
+            result.render("peak_waiting"),
+            format!("{:.1}", result.mean("mean_deps_per_msg")),
         ]);
+        doc.push(
+            label,
+            Json::obj()
+                .with("n", N)
+                .with("mode", format!("{mode}"))
+                .with("deps", format!("{policy:?}"))
+                .with("msgs_per_process", MSGS),
+            &result,
+        );
     }
     println!("{}", table.render());
 
@@ -87,4 +115,5 @@ fn main() {
     println!("waiting-list peaks. Explicit interpretations keep labels short");
     println!("and let unrelated sequences flow past a loss. This is the");
     println!("concurrency argument of Section 3, measured.");
+    doc.finish(&opts);
 }

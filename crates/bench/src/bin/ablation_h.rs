@@ -8,21 +8,31 @@
 //! a different location of the retransmission function."
 //!
 //! Run: `cargo run --release -p urcgc-bench --bin ablation_h`
+//! Sweep: `... --bin ablation_h -- --replicates 8 --jobs 8 --json abh.json`
 
-use urcgc_bench::banner;
+use urcgc_bench::cli::SweepOpts;
+use urcgc_bench::sweep::{sweep_scenario, SweepDoc};
 use urcgc_bench::transported::run_transported;
-use urcgc_metrics::Table;
+use urcgc_bench::{banner, metrics_row};
+use urcgc_metrics::{Json, Table};
 
 fn main() {
     const N: usize = 6;
     const MSGS: u64 = 12;
-    const SEED: u64 = 1010;
+
+    let opts = SweepOpts::from_env("ablation_h");
+    let seed = opts.seed_or(1010);
+    let max_rounds = opts.max_rounds_or(60_000);
 
     banner(
         "Ablation — transport resilience threshold h",
-        &format!("n = {N}, {MSGS} msgs/process, seed = {SEED}"),
+        &format!(
+            "n = {N}, {MSGS} msgs/process, seed = {seed}, {} replicate(s)",
+            opts.replicates
+        ),
     );
 
+    let mut doc = SweepDoc::new("ablation_h", &opts, seed);
     for loss in [0.01, 0.05] {
         println!("\nomission rate {loss}:");
         let mut table = Table::new([
@@ -33,18 +43,35 @@ fn main() {
             "mean D (rtd)",
         ]);
         for h in [1usize, 2, 3, 5] {
-            let r = run_transported(N, h, loss, MSGS, SEED, 60_000);
+            let result = sweep_scenario(&opts, seed, |_rep, run_seed| {
+                let r = run_transported(N, h, loss, MSGS, run_seed, max_rounds);
+                metrics_row![
+                    "completeness" => r.completeness,
+                    "recovery_requests" => r.recovery_requests,
+                    "transport_frames" => r.transport_frames,
+                    "mean_delay_rtd" => r.mean_delay,
+                ]
+            });
             table.row([
                 if h >= N - 1 {
                     format!("{h} (= n-1)")
                 } else {
                     h.to_string()
                 },
-                format!("{:.0}%", r.completeness * 100.0),
-                r.recovery_requests.to_string(),
-                r.transport_frames.to_string(),
-                format!("{:.2}", r.mean_delay),
+                format!("{:.0}%", result.mean("completeness") * 100.0),
+                result.render("recovery_requests"),
+                result.render("transport_frames"),
+                format!("{:.2}", result.mean("mean_delay_rtd")),
             ]);
+            doc.push(
+                &format!("loss={loss}/h={h}"),
+                Json::obj()
+                    .with("n", N)
+                    .with("h", h)
+                    .with("loss", loss)
+                    .with("msgs_per_process", MSGS),
+                &result,
+            );
         }
         println!("{}", table.render());
     }
@@ -55,4 +82,5 @@ fn main() {
     println!("while completeness is 100% either way: 'a different location");
     println!("of the retransmission function', measured. At low loss rates");
     println!("the two mechanisms are indistinguishable, as §5 predicts.");
+    doc.finish(&opts);
 }

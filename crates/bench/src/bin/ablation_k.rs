@@ -7,22 +7,29 @@
 //! lets more history pile up (Figure 6a's K-dependence).
 //!
 //! Run: `cargo run --release -p urcgc-bench --bin ablation_k`
+//! Sweep: `... --bin ablation_k -- --replicates 8 --jobs 8 --json abk.json`
 
 use urcgc::sim::Workload;
 use urcgc::ProtocolConfig;
-use urcgc_bench::{banner, measure_urcgc_recovery_time, run_scenario};
-use urcgc_metrics::Table;
+use urcgc_bench::cli::SweepOpts;
+use urcgc_bench::sweep::{sweep_scenario, SweepDoc};
+use urcgc_bench::{banner, measure_urcgc_recovery_time, metrics_row, run_scenario};
+use urcgc_metrics::{Json, Table};
 use urcgc_simnet::FaultPlan;
 
 fn main() {
     const N: usize = 12;
-    const SEED: u64 = 808;
+
+    let opts = SweepOpts::from_env("ablation_k");
+    let seed = opts.seed_or(808);
+    let max_rounds = opts.max_rounds_or(40_000);
 
     banner(
         "Ablation — failure-detection bound K",
-        &format!("n = {N}, seed = {SEED}"),
+        &format!("n = {N}, seed = {seed}, {} replicate(s)", opts.replicates),
     );
 
+    let mut doc = SweepDoc::new("ablation_k", &opts, seed);
     let mut table = Table::new([
         "K",
         "detect T (rtd)",
@@ -32,38 +39,53 @@ fn main() {
         "peak history @1/500",
     ]);
     for k in [1u32, 2, 3, 4, 5] {
-        // Real-crash detection latency (f = 0 episode).
-        let t = measure_urcgc_recovery_time(N, k, 0, SEED)
-            .map(|t| t.to_string())
-            .unwrap_or_else(|| "-".into());
+        // Historical seed schedule: the false-positive runs used SEED + K.
+        let result = sweep_scenario(&opts, seed, |_rep, run_seed| {
+            // Real-crash detection latency (f = 0 episode).
+            let t = measure_urcgc_recovery_time(N, k, 0, run_seed);
 
-        // False positives: NO crash scheduled, only omissions; count
-        // processes that end up dead (suicided or declared).
-        let mut false_deaths = Vec::new();
-        let mut peak = 0usize;
-        for (i, rate) in [1.0 / 500.0, 1.0 / 100.0].into_iter().enumerate() {
-            let cfg = ProtocolConfig::new(N).with_k(k).with_f_allowance(2);
-            let report = run_scenario(
-                cfg,
-                Workload::bernoulli(0.5, 15, 16),
-                FaultPlan::none().omission_rate(rate),
-                SEED + k as u64,
-                40_000,
-            );
-            let dead = report.statuses.iter().filter(|s| !s.is_active()).count();
-            false_deaths.push(dead);
-            if i == 0 {
-                peak = report.max_history();
+            // False positives: NO crash scheduled, only omissions; count
+            // processes that end up dead (suicided or declared).
+            let mut false_deaths = Vec::new();
+            let mut peak = 0usize;
+            for (i, rate) in [1.0 / 500.0, 1.0 / 100.0].into_iter().enumerate() {
+                let cfg = ProtocolConfig::new(N).with_k(k).with_f_allowance(2);
+                let report = run_scenario(
+                    cfg,
+                    Workload::bernoulli(0.5, 15, 16),
+                    FaultPlan::none().omission_rate(rate),
+                    run_seed + k as u64,
+                    max_rounds,
+                );
+                let dead = report.statuses.iter().filter(|s| !s.is_active()).count();
+                false_deaths.push(dead);
+                if i == 0 {
+                    peak = report.max_history();
+                }
             }
-        }
+            metrics_row![
+                "detect_rtd" => t.map(|t| t as f64).unwrap_or(f64::NAN),
+                "false_deaths_500" => false_deaths[0],
+                "false_deaths_100" => false_deaths[1],
+                "peak_history_500" => peak,
+            ]
+        });
         table.row([
             k.to_string(),
-            t,
+            result.summary("detect_rtd").render(),
             (2 * k).to_string(),
-            false_deaths[0].to_string(),
-            false_deaths[1].to_string(),
-            peak.to_string(),
+            result.render("false_deaths_500"),
+            result.render("false_deaths_100"),
+            result.render("peak_history_500"),
         ]);
+        doc.push(
+            &format!("k={k}"),
+            Json::obj()
+                .with("n", N)
+                .with("k", k)
+                .with("bound_2k", 2 * k),
+            &result,
+        );
     }
     println!("{}", table.render());
 
@@ -74,4 +96,5 @@ fn main() {
     println!("shows up even at 1/500, see fig6a). This is the measured form");
     println!("of the paper's remark that 'unreliable subnetworks require");
     println!("larger K values'.");
+    doc.finish(&opts);
 }

@@ -7,11 +7,14 @@
 //! may grow when omission failures occur."
 //!
 //! Run: `cargo run --release -p urcgc-bench --bin fig4_delay`
+//! Sweep: `... --bin fig4_delay -- --replicates 8 --jobs 8 --json fig4.json`
 
 use urcgc::sim::Workload;
 use urcgc::ProtocolConfig;
-use urcgc_bench::{banner, run_scenario, write_artifact};
-use urcgc_metrics::Table;
+use urcgc_bench::cli::SweepOpts;
+use urcgc_bench::sweep::{sweep_scenario, SweepDoc};
+use urcgc_bench::{banner, metrics_row, run_scenario, write_artifact};
+use urcgc_metrics::{Json, Table};
 use urcgc_simnet::FaultPlan;
 use urcgc_types::{ProcessId, Round};
 
@@ -19,11 +22,17 @@ fn main() {
     const N: usize = 10;
     const K: u32 = 3;
     const PER_PROC: u64 = 40;
-    const SEED: u64 = 404;
+
+    let opts = SweepOpts::from_env("fig4_delay");
+    let seed = opts.seed_or(404);
+    let max_rounds = opts.max_rounds_or(60_000);
 
     banner(
         "Figure 4 — mean end-to-end delay D vs offered load",
-        &format!("n = {N}, K = {K}, {PER_PROC} msgs/process, seed = {SEED}; D in rtd"),
+        &format!(
+            "n = {N}, K = {K}, {PER_PROC} msgs/process, seed = {seed}, {} replicate(s); D in rtd",
+            opts.replicates
+        ),
     );
 
     let loads = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
@@ -39,10 +48,17 @@ fn main() {
                 .crash_at(ProcessId(8), Round(33))
                 .crash_at(ProcessId(9), Round(45)),
         ),
-        ("omission 1/500", FaultPlan::none().omission_rate(1.0 / 500.0)),
-        ("omission 1/100", FaultPlan::none().omission_rate(1.0 / 100.0)),
+        (
+            "omission 1/500",
+            FaultPlan::none().omission_rate(1.0 / 500.0),
+        ),
+        (
+            "omission 1/100",
+            FaultPlan::none().omission_rate(1.0 / 100.0),
+        ),
     ];
 
+    let mut doc = SweepDoc::new("fig4_delay", &opts, seed);
     let mut table = Table::new([
         "load (msg/round/proc)",
         "reliable",
@@ -50,24 +66,35 @@ fn main() {
         "om 1/500",
         "om 1/100",
     ]);
-    let mut rows: Vec<Vec<String>> = Vec::new();
     for &load in &loads {
         let mut row = vec![format!("{load:.1}")];
-        for (_, faults) in &conditions {
-            let cfg = ProtocolConfig::new(N).with_k(K).with_f_allowance(2);
-            let report = run_scenario(
-                cfg,
-                Workload::bernoulli(load, PER_PROC, 16),
-                faults.clone(),
-                SEED,
-                60_000,
+        for (cond, faults) in &conditions {
+            let result = sweep_scenario(&opts, seed, |_rep, run_seed| {
+                let cfg = ProtocolConfig::new(N).with_k(K).with_f_allowance(2);
+                let report = run_scenario(
+                    cfg,
+                    Workload::bernoulli(load, PER_PROC, 16),
+                    faults.clone(),
+                    run_seed,
+                    max_rounds,
+                );
+                metrics_row![
+                    "mean_delay_rtd" => report.delays.mean().unwrap_or(f64::NAN),
+                    "completion_rtd" => report.rtd(),
+                ]
+            });
+            row.push(format!("{:.2}", result.mean("mean_delay_rtd")));
+            doc.push(
+                &format!("load={load:.1}/{cond}"),
+                Json::obj()
+                    .with("n", N)
+                    .with("k", K)
+                    .with("load", load)
+                    .with("condition", *cond)
+                    .with("msgs_per_process", PER_PROC),
+                &result,
             );
-            let d = report.delays.mean().unwrap_or(f64::NAN);
-            row.push(format!("{d:.2}"));
         }
-        rows.push(row);
-    }
-    for row in rows {
         table.row(row);
     }
     println!("{}", table.render());
@@ -79,4 +106,5 @@ fn main() {
     println!("processing); omission curves sit above them and grow with the");
     println!("omission rate (recovery-from-history wait times).");
     println!("Floor: D ≥ 1/2 rtd under reliable conditions.");
+    doc.finish(&opts);
 }

@@ -5,20 +5,29 @@
 //! (processing suspended).
 //!
 //! Run: `cargo run --release -p urcgc-bench --bin fig5_recovery`
+//! Sweep: `... --bin fig5_recovery -- --replicates 8 --jobs 8 --json fig5.json`
 
 use urcgc_baselines::{CbcastCost, UrcgcCost};
-use urcgc_bench::{banner, measure_urcgc_recovery_time, write_artifact};
-use urcgc_metrics::Table;
+use urcgc_bench::cli::SweepOpts;
+use urcgc_bench::sweep::{sweep_scenario, SweepDoc};
+use urcgc_bench::{banner, measure_urcgc_recovery_time, metrics_row, write_artifact};
+use urcgc_metrics::{Json, Table};
 
 fn main() {
     const N: usize = 15;
-    const SEED: u64 = 505;
+
+    let opts = SweepOpts::from_env("fig5_recovery");
+    let seed = opts.seed_or(505);
 
     banner(
         "Figure 5 — agreement time T vs consecutive coordinator crashes f",
-        &format!("n = {N}, seed = {SEED}; T in rtd (= subruns)"),
+        &format!(
+            "n = {N}, seed = {seed}, {} replicate(s); T in rtd (= subruns)",
+            opts.replicates
+        ),
     );
 
+    let mut doc = SweepDoc::new("fig5_recovery", &opts, seed);
     for k in [1u32, 2, 3] {
         println!("\nK = {k}");
         let mut table = Table::new([
@@ -32,18 +41,34 @@ fn main() {
         for f in 0..=6u32 {
             let ucost = UrcgcCost { n: N, k };
             let ccost = CbcastCost { n: N, k };
-            let measured = measure_urcgc_recovery_time(N, k, f, SEED + f as u64)
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "-".into());
+            // Historical seed schedule: the single-run binaries used
+            // SEED + f as the episode seed.
+            let result = sweep_scenario(&opts, seed + f as u64, |_rep, run_seed| {
+                let t = measure_urcgc_recovery_time(N, k, f, run_seed);
+                metrics_row![
+                    "recovery_rtd" => t.map(|t| t as f64).unwrap_or(f64::NAN),
+                ]
+            });
+            let measured = result.summary("recovery_rtd");
             let ub = ucost.recovery_time_rtd(f);
             let cb = ccost.recovery_time_rtd(f);
             table.row([
                 f.to_string(),
-                measured,
+                measured.render(),
                 ub.to_string(),
                 cb.to_string(),
                 format!("{:.1}x", cb as f64 / ub as f64),
             ]);
+            doc.push(
+                &format!("k={k}/f={f}"),
+                Json::obj()
+                    .with("n", N)
+                    .with("k", k)
+                    .with("f", f)
+                    .with("urcgc_bound_rtd", ub)
+                    .with("cbcast_bound_rtd", cb),
+                &result,
+            );
         }
         println!("{}", table.render());
         let _ = write_artifact(&format!("fig5_k{k}.csv"), &table.to_csv());
@@ -53,4 +78,5 @@ fn main() {
     println!("CBCAST grows multiplicatively (K(5f+6)); CBCAST additionally");
     println!("suspends message processing for the whole interval, urcgc");
     println!("keeps processing (see fig4_delay: crash ≈ reliable).");
+    doc.finish(&opts);
 }

@@ -7,17 +7,22 @@
 //! than ~2n messages accumulate; under failures the peak depends on K.
 //!
 //! Run: `cargo run --release -p urcgc-bench --bin fig6a_history`
+//! Sweep: `... --bin fig6a_history -- --replicates 8 --jobs 8 --json fig6a.json`
 
 use urcgc::sim::{DepPolicy, Workload};
 use urcgc::ProtocolConfig;
-use urcgc_bench::{banner, chart_series, max_history_series, render_series, run_scenario, write_artifact};
-use urcgc_metrics::Table;
+use urcgc_bench::cli::SweepOpts;
+use urcgc_bench::sweep::{sweep_scenario_with, SweepDoc};
+use urcgc_bench::{
+    banner, chart_series, max_history_series, metrics_row, render_series, run_scenario,
+    write_artifact,
+};
+use urcgc_metrics::{Json, Table};
 use urcgc_simnet::FaultPlan;
 use urcgc_types::{ProcessId, Round};
 
 const N: usize = 40;
 const TOTAL_MSGS: u64 = 480; // 12 per process
-const SEED: u64 = 606;
 
 fn faulty_plan() -> FaultPlan {
     // General omission: 1 crash + 1/500 omissions, failures within the
@@ -28,15 +33,23 @@ fn faulty_plan() -> FaultPlan {
 }
 
 fn main() {
+    let opts = SweepOpts::from_env("fig6a_history");
+    let seed = opts.seed_or(606);
+    let max_rounds = opts.max_rounds_or(20_000);
+
     banner(
         "Figure 6a — history length vs simulation time, no flow control",
-        &format!("n = {N}, {TOTAL_MSGS} msgs, K ∈ {{1,2,3}}, seed = {SEED}"),
+        &format!(
+            "n = {N}, {TOTAL_MSGS} msgs, K ∈ {{1,2,3}}, seed = {seed}, {} replicate(s)",
+            opts.replicates
+        ),
     );
 
     let per_proc = TOTAL_MSGS / N as u64;
     // Paper-style pacing: roughly one message per subrun per process.
     let workload = Workload::bernoulli(0.5, per_proc, 16).with_deps(DepPolicy::LatestForeign);
 
+    let mut doc = SweepDoc::new("fig6a_history", &opts, seed);
     let mut summary = Table::new([
         "K",
         "condition",
@@ -50,25 +63,45 @@ fn main() {
             ("reliable", FaultPlan::none()),
             ("gen-omission", faulty_plan()),
         ] {
-            let cfg = ProtocolConfig::new(N).with_k(k);
-            let report = run_scenario(cfg, workload.clone(), faults, SEED, 20_000);
-            let series = max_history_series(&report);
-            let final_len = series.last().map(|&(_, l)| l).unwrap_or(0);
+            let (result, series) = sweep_scenario_with(&opts, seed, |_rep, run_seed| {
+                let cfg = ProtocolConfig::new(N).with_k(k);
+                let report =
+                    run_scenario(cfg, workload.clone(), faults.clone(), run_seed, max_rounds);
+                let series = max_history_series(&report);
+                let final_len = series.last().map(|&(_, l)| l).unwrap_or(0);
+                let row = metrics_row![
+                    "peak_history" => report.max_history(),
+                    "final_history" => final_len,
+                    "completion_rtd" => report.rtd(),
+                    "atomicity" => u64::from(report.atomicity_holds()),
+                    "lost_with_crash" => report.unprocessed,
+                ];
+                (row, series)
+            });
             summary.row([
                 k.to_string(),
                 cond.to_string(),
-                report.max_history().to_string(),
-                final_len.to_string(),
-                format!("{:.1}", report.rtd()),
-                format!("{} ({} lost w/ crash)", report.atomicity_holds(), report.unprocessed),
+                result.render("peak_history"),
+                result.render("final_history"),
+                format!("{:.1}", result.mean("completion_rtd")),
+                format!(
+                    "{} ({:.0} lost w/ crash)",
+                    result.mean("atomicity") == 1.0,
+                    result.mean("lost_with_crash")
+                ),
             ]);
+            // Replicate 0 runs the base seed — its series is the historical
+            // single-run figure.
+            let series = &series[0];
             if k == 3 {
-                println!("K = {k}, {cond}: history length over time (max across group)");
-                println!("{}", chart_series(&series));
-                println!("{}", render_series(&series, 12));
+                println!(
+                    "K = {k}, {cond}: history length over time (max across group, replicate 0)"
+                );
+                println!("{}", chart_series(series));
+                println!("{}", render_series(series, 12));
             }
             let mut csv = urcgc_metrics::TimeSeries::new();
-            for &(r, l) in &series {
+            for &(r, l) in series {
                 csv.push(urcgc_simnet::rounds_to_rtd(r), l as f64);
             }
             if let Ok(path) = write_artifact(
@@ -77,6 +110,15 @@ fn main() {
             ) {
                 println!("(series written to {path})");
             }
+            doc.push(
+                &format!("k={k}/{cond}"),
+                Json::obj()
+                    .with("n", N)
+                    .with("k", k)
+                    .with("condition", cond)
+                    .with("total_msgs", TOTAL_MSGS),
+                &result,
+            );
         }
     }
     println!("{}", summary.render());
@@ -85,4 +127,5 @@ fn main() {
     println!("zero when processing terminates; the faulty curves peak higher");
     println!("and the peak grows with K (more subruns of uncleaned history");
     println!("while crash detection is pending), terminating later.");
+    doc.finish(&opts);
 }

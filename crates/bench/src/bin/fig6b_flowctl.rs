@@ -6,18 +6,22 @@
 //! a longer time to terminate the processing of the supplied messages."
 //!
 //! Run: `cargo run --release -p urcgc-bench --bin fig6b_flowctl`
+//! Sweep: `... --bin fig6b_flowctl -- --replicates 8 --jobs 8 --json fig6b.json`
 
 use urcgc::sim::{DepPolicy, Workload};
 use urcgc::ProtocolConfig;
-use urcgc_bench::{banner, chart_series, max_history_series, run_scenario, write_artifact};
-use urcgc_metrics::Table;
+use urcgc_bench::cli::SweepOpts;
+use urcgc_bench::sweep::{sweep_scenario_with, SweepDoc};
+use urcgc_bench::{
+    banner, chart_series, max_history_series, metrics_row, run_scenario, write_artifact,
+};
+use urcgc_metrics::{Json, Table};
 use urcgc_simnet::FaultPlan;
 use urcgc_types::{ProcessId, Round};
 
 const N: usize = 40;
 const PER_PROC: u64 = 30; // heavier load than 6a so the threshold bites
 const K: u32 = 3;
-const SEED: u64 = 707;
 
 fn faults() -> FaultPlan {
     FaultPlan::none()
@@ -26,17 +30,23 @@ fn faults() -> FaultPlan {
 }
 
 fn main() {
+    let opts = SweepOpts::from_env("fig6b_flowctl");
+    let seed = opts.seed_or(707);
+    let max_rounds = opts.max_rounds_or(40_000);
+
     banner(
         "Figure 6b — history length with distributed flow control",
         &format!(
-            "n = {N}, {} msgs, K = {K}, gen-omission faults, seed = {SEED}",
-            PER_PROC * N as u64
+            "n = {N}, {} msgs, K = {K}, gen-omission faults, seed = {seed}, {} replicate(s)",
+            PER_PROC * N as u64,
+            opts.replicates
         ),
     );
 
     // Maximum service rate so the history pipeline fills up.
     let workload = Workload::fixed_count(PER_PROC, 16).with_deps(DepPolicy::LatestForeign);
 
+    let mut doc = SweepDoc::new("fig6b_flowctl", &opts, seed);
     let mut summary = Table::new([
         "flow control",
         "peak history",
@@ -51,28 +61,52 @@ fn main() {
         ("threshold 4n (ablation)", Some(4 * N)),
     ];
     for (label, threshold) in scenarios {
-        let mut cfg = ProtocolConfig::new(N).with_k(K);
-        if let Some(t) = threshold {
-            cfg = cfg.with_history_threshold(t);
-        }
-        let report = run_scenario(cfg, workload.clone(), faults(), SEED, 40_000);
-        let series = max_history_series(&report);
+        let (result, series) = sweep_scenario_with(&opts, seed, |_rep, run_seed| {
+            let mut cfg = ProtocolConfig::new(N).with_k(K);
+            if let Some(t) = threshold {
+                cfg = cfg.with_history_threshold(t);
+            }
+            let report = run_scenario(cfg, workload.clone(), faults(), run_seed, max_rounds);
+            let series = max_history_series(&report);
+            let row = metrics_row![
+                "peak_history" => report.max_history(),
+                "peak_waiting" => report.max_waiting(),
+                "completion_rtd" => report.rtd(),
+                "flow_blocked_rounds" => report.flow_blocked_rounds,
+                "atomicity" => u64::from(report.atomicity_holds()),
+                "lost_with_crash" => report.unprocessed,
+            ];
+            (row, series)
+        });
         summary.row([
             label.to_string(),
-            report.max_history().to_string(),
-            report.max_waiting().to_string(),
-            format!("{:.1}", report.rtd()),
-            report.flow_blocked_rounds.to_string(),
-            format!("{} ({} lost w/ crash)", report.atomicity_holds(), report.unprocessed),
+            result.render("peak_history"),
+            result.render("peak_waiting"),
+            format!("{:.1}", result.mean("completion_rtd")),
+            result.render("flow_blocked_rounds"),
+            format!(
+                "{} ({:.0} lost w/ crash)",
+                result.mean("atomicity") == 1.0,
+                result.mean("lost_with_crash")
+            ),
         ]);
-        println!("{label}: history length over time (max across group)");
-        println!("{}", chart_series(&series));
+        println!("{label}: history length over time (max across group, replicate 0)");
+        println!("{}", chart_series(&series[0]));
         let mut csv = urcgc_metrics::TimeSeries::new();
-        for &(r, l) in &series {
+        for &(r, l) in &series[0] {
             csv.push(urcgc_simnet::rounds_to_rtd(r), l as f64);
         }
         let slug = label.split_whitespace().next().unwrap_or("run");
         let _ = write_artifact(&format!("fig6b_{slug}.csv"), &csv.to_csv("rtd", "history"));
+        doc.push(
+            &format!("flow={slug}"),
+            Json::obj()
+                .with("n", N)
+                .with("k", K)
+                .with("msgs_per_process", PER_PROC)
+                .with("threshold", threshold.map(Json::from).unwrap_or(Json::Null)),
+            &result,
+        );
     }
     println!("{}", summary.render());
 
@@ -84,4 +118,5 @@ fn main() {
     println!("at the cost of a longer completion time than the uncontrolled");
     println!("run; a tighter threshold (4n ablation) trades more time for a");
     println!("lower bound.");
+    doc.finish(&opts);
 }

@@ -11,20 +11,22 @@
 //! Also writes CSV series to `target/experiments/` for plotting.
 //!
 //! Run: `cargo run --release -p urcgc-bench --bin netload_timeline`
+//! Sweep: `... --bin netload_timeline -- --replicates 8 --jobs 8 --json nl.json`
 
 use std::fs;
 
 use urcgc::sim::{GroupHarness, Workload};
 use urcgc::ProtocolConfig;
 use urcgc_baselines::cbcast::{run_cbcast_group, Load};
-use urcgc_bench::banner;
-use urcgc_metrics::TimeSeries;
+use urcgc_bench::cli::SweepOpts;
+use urcgc_bench::sweep::{sweep_scenario_with, SweepDoc};
+use urcgc_bench::{banner, metrics_row};
+use urcgc_metrics::{Json, Table, TimeSeries};
 use urcgc_simnet::FaultPlan;
 use urcgc_types::{ProcessId, Round};
 
 const N: usize = 10;
 const K: u32 = 3;
-const SEED: u64 = 1111;
 const CRASH_ROUND: u64 = 16;
 
 fn to_series(bytes_per_round: &[u64]) -> TimeSeries {
@@ -37,63 +39,104 @@ fn to_series(bytes_per_round: &[u64]) -> TimeSeries {
     ts
 }
 
+/// Mean and peak of the non-zero points.
+fn steady(ts: &TimeSeries) -> (f64, f64) {
+    let active: Vec<f64> = ts
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .filter(|&v| v > 0.0)
+        .collect();
+    let mean = active.iter().sum::<f64>() / active.len().max(1) as f64;
+    let max = active.iter().copied().fold(0.0f64, f64::max);
+    (mean, max)
+}
+
 fn main() {
+    let opts = SweepOpts::from_env("netload_timeline");
+    let seed = opts.seed_or(1111);
+    let max_rounds = opts.max_rounds_or(4_000);
+
     banner(
         "Network-load timeline through a crash — urcgc vs CBCAST",
-        &format!("n = {N}, K = {K}, member crash at round {CRASH_ROUND}, seed = {SEED}"),
+        &format!(
+            "n = {N}, K = {K}, member crash at round {CRASH_ROUND}, seed = {seed}, {} replicate(s)",
+            opts.replicates
+        ),
     );
 
-    // urcgc run.
-    let cfg = ProtocolConfig::new(N).with_k(K);
-    let mut h = GroupHarness::builder(cfg)
-        .workload(Workload::fixed_count(30, 16))
-        .faults(FaultPlan::none().crash_at(ProcessId(N as u16 - 1), Round(CRASH_ROUND)))
-        .seed(SEED)
-        .build();
-    let report = h.run_to_completion(4_000);
-    let urcgc_series = to_series(&report.stats.bytes_per_round);
+    let fault = || FaultPlan::none().crash_at(ProcessId(N as u16 - 1), Round(CRASH_ROUND));
+    let mut doc = SweepDoc::new("netload_timeline", &opts, seed);
 
-    // CBCAST run, same shape of workload and fault.
-    let cb = run_cbcast_group(
-        N,
-        K,
-        Load::fixed(30, 16),
-        FaultPlan::none().crash_at(ProcessId(N as u16 - 1), Round(CRASH_ROUND)),
-        SEED,
-        4_000,
-    );
-    let cbcast_series = to_series(&cb.stats.bytes_per_round);
+    // urcgc runs.
+    let (urcgc_result, urcgc_series) = sweep_scenario_with(&opts, seed, |_rep, run_seed| {
+        let cfg = ProtocolConfig::new(N).with_k(K);
+        let mut h = GroupHarness::builder(cfg)
+            .workload(Workload::fixed_count(30, 16))
+            .faults(fault())
+            .seed(run_seed)
+            .build();
+        let report = h.run_to_completion(max_rounds);
+        let series = to_series(&report.stats.bytes_per_round);
+        let (mean, max) = steady(&series);
+        let row = metrics_row![
+            "mean_bytes_per_subrun" => mean,
+            "peak_bytes_per_subrun" => max,
+            "peak_to_mean" => max / mean,
+        ];
+        (row, series)
+    });
 
-    println!("urcgc offered load (bytes per subrun):");
-    println!("{}", urcgc_series.thin(18).render("subrun", "bytes"));
-    println!("cbcast offered load (bytes per subrun):");
-    println!("{}", cbcast_series.thin(18).render("subrun", "bytes"));
+    // CBCAST runs, same shape of workload and fault.
+    let (cbcast_result, cbcast_series) = sweep_scenario_with(&opts, seed, |_rep, run_seed| {
+        let cb = run_cbcast_group(N, K, Load::fixed(30, 16), fault(), run_seed, max_rounds);
+        let series = to_series(&cb.stats.bytes_per_round);
+        let (mean, max) = steady(&series);
+        let row = metrics_row![
+            "mean_bytes_per_subrun" => mean,
+            "peak_bytes_per_subrun" => max,
+            "peak_to_mean" => max / mean,
+        ];
+        (row, series)
+    });
 
-    // Quantify the shapes: coefficient of variation around the crash for
-    // urcgc (flat) and the burst ratio for cbcast.
-    let steady = |ts: &TimeSeries| -> (f64, f64) {
-        let vals: Vec<f64> = ts.points().iter().map(|&(_, v)| v).collect();
-        let active: Vec<f64> = vals.iter().copied().filter(|&v| v > 0.0).collect();
-        let mean = active.iter().sum::<f64>() / active.len().max(1) as f64;
-        let max = active.iter().copied().fold(0.0f64, f64::max);
-        (mean, max)
-    };
-    let (u_mean, u_max) = steady(&urcgc_series);
-    let (c_mean, c_max) = steady(&cbcast_series);
-    println!("urcgc : mean {u_mean:.0} B/subrun, peak {u_max:.0} (peak/mean {:.1}x)", u_max / u_mean);
-    println!("cbcast: mean {c_mean:.0} B/subrun, peak {c_max:.0} (peak/mean {:.1}x)", c_max / c_mean);
+    println!("urcgc offered load (bytes per subrun, replicate 0):");
+    println!("{}", urcgc_series[0].thin(18).render("subrun", "bytes"));
+    println!("cbcast offered load (bytes per subrun, replicate 0):");
+    println!("{}", cbcast_series[0].thin(18).render("subrun", "bytes"));
 
-    // CSV artifacts.
+    // Quantify the shapes: urcgc is flat through the crash, CBCAST bursts.
+    let mut table = Table::new(["protocol", "mean B/subrun", "peak B/subrun", "peak/mean"]);
+    for (name, result) in [("urcgc", &urcgc_result), ("cbcast", &cbcast_result)] {
+        table.row([
+            name.to_string(),
+            format!("{:.0}", result.mean("mean_bytes_per_subrun")),
+            format!("{:.0}", result.mean("peak_bytes_per_subrun")),
+            format!("{:.1}x", result.mean("peak_to_mean")),
+        ]);
+        doc.push(
+            name,
+            Json::obj()
+                .with("n", N)
+                .with("k", K)
+                .with("protocol", name)
+                .with("crash_round", CRASH_ROUND),
+            result,
+        );
+    }
+    println!("{}", table.render());
+
+    // CSV artifacts from replicate 0 (the historical single-run series).
     let dir = "target/experiments";
     fs::create_dir_all(dir).expect("create output dir");
     fs::write(
         format!("{dir}/netload_urcgc.csv"),
-        urcgc_series.to_csv("subrun", "bytes"),
+        urcgc_series[0].to_csv("subrun", "bytes"),
     )
     .expect("write urcgc csv");
     fs::write(
         format!("{dir}/netload_cbcast.csv"),
-        cbcast_series.to_csv("subrun", "bytes"),
+        cbcast_series[0].to_csv("subrun", "bytes"),
     )
     .expect("write cbcast csv");
     println!("\nCSV written to {dir}/netload_{{urcgc,cbcast}}.csv");
@@ -101,4 +144,5 @@ fn main() {
     println!("Paper shape: urcgc's control load is constant-rate (agreement");
     println!("every subrun, crash or no crash); CBCAST's is cheaper at rest");
     println!("but spikes at the failure (flush messages + view change).");
+    doc.finish(&opts);
 }

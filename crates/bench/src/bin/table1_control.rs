@@ -12,22 +12,31 @@
 //! from a simulation run (our wire codec's real byte counts).
 //!
 //! Run: `cargo run --release -p urcgc-bench --bin table1_control`
+//! Sweep: `... --bin table1_control -- --replicates 8 --jobs 8 --json t1.json`
 
 use urcgc::sim::Workload;
 use urcgc::ProtocolConfig;
 use urcgc_baselines::{CbcastCost, UrcgcCost};
-use urcgc_bench::{banner, run_scenario, write_artifact};
-use urcgc_metrics::Table;
+use urcgc_bench::cli::SweepOpts;
+use urcgc_bench::sweep::{sweep_scenario, SweepDoc};
+use urcgc_bench::{banner, metrics_row, run_scenario, write_artifact};
+use urcgc_metrics::{Json, Table};
 use urcgc_simnet::FaultPlan;
 
 fn main() {
     const K: u32 = 3;
     const F: u32 = 1;
-    const SEED: u64 = 101;
+
+    let opts = SweepOpts::from_env("table1_control");
+    let seed = opts.seed_or(101);
+    let max_rounds = opts.max_rounds_or(20_000);
 
     banner(
         "Table 1 — control message amount and size: urcgc vs CBCAST",
-        &format!("K = {K}, f = {F}, seed = {SEED}; sizes in bytes"),
+        &format!(
+            "K = {K}, f = {F}, seed = {seed}, {} replicate(s); sizes in bytes",
+            opts.replicates
+        ),
     );
 
     let mut analytic = Table::new([
@@ -57,6 +66,7 @@ fn main() {
 
     // Measured: run urcgc and report per-subrun control traffic and real
     // encoded sizes.
+    let mut doc = SweepDoc::new("table1_control", &opts, seed);
     let mut measured = Table::new([
         "n",
         "ctl msgs/subrun",
@@ -66,26 +76,40 @@ fn main() {
         "fits 576B IP dgram",
     ]);
     for n in [5usize, 15, 40] {
-        let cfg = ProtocolConfig::new(n).with_k(K);
-        let report = run_scenario(
-            cfg,
-            Workload::fixed_count(10, 16),
-            FaultPlan::none(),
-            SEED,
-            20_000,
-        );
-        let subruns = (report.rounds / 2).max(1);
-        let req = report.stats.traffic.get("request");
-        let dec = report.stats.traffic.get("decision");
-        let per_subrun = (req.count + dec.count) as f64 / subruns as f64;
+        let result = sweep_scenario(&opts, seed, |_rep, run_seed| {
+            let cfg = ProtocolConfig::new(n).with_k(K);
+            let report = run_scenario(
+                cfg,
+                Workload::fixed_count(10, 16),
+                FaultPlan::none(),
+                run_seed,
+                max_rounds,
+            );
+            let subruns = (report.rounds / 2).max(1);
+            let req = report.stats.traffic.get("request");
+            let dec = report.stats.traffic.get("decision");
+            metrics_row![
+                "ctl_msgs_per_subrun" => (req.count + dec.count) as f64 / subruns as f64,
+                "request_mean_bytes" => req.mean_size(),
+                "decision_mean_bytes" => dec.mean_size(),
+            ]
+        });
         measured.row([
             n.to_string(),
-            format!("{per_subrun:.1}"),
+            format!("{:.1}", result.mean("ctl_msgs_per_subrun")),
             (2 * (n - 1)).to_string(),
-            format!("{:.0}", req.mean_size()),
-            format!("{:.0}", dec.mean_size()),
-            (dec.mean_size() <= 576.0).to_string(),
+            format!("{:.0}", result.mean("request_mean_bytes")),
+            format!("{:.0}", result.mean("decision_mean_bytes")),
+            (result.summary("decision_mean_bytes").max <= 576.0).to_string(),
         ]);
+        doc.push(
+            &format!("n={n}"),
+            Json::obj()
+                .with("n", n)
+                .with("k", K)
+                .with("analytic_ctl_msgs", 2 * (n - 1)),
+            &result,
+        );
     }
     println!("Measured (urcgc simulation, reliable conditions):");
     println!("{}", measured.render());
@@ -98,4 +122,5 @@ fn main() {
     println!("and urcgc's message size stays constant while CBCAST grows.");
     println!("Checkpoint from the paper: an urcgc control message for n = 15");
     println!("fits one minimum-size (576 B) IP datagram.");
+    doc.finish(&opts);
 }

@@ -9,25 +9,35 @@
 //! stalls true causal dependents.
 //!
 //! Run: `cargo run --release -p urcgc-bench --bin total_vs_causal`
+//! Sweep: `... --bin total_vs_causal -- --replicates 8 --jobs 8 --json tvc.json`
 
 use urcgc::sim::{DepPolicy, Workload};
 use urcgc::ProtocolConfig;
 use urcgc_baselines::cbcast::Load;
 use urcgc_baselines::urgc::run_urgc_total;
-use urcgc_bench::{banner, run_scenario};
-use urcgc_metrics::Table;
+use urcgc_bench::cli::SweepOpts;
+use urcgc_bench::sweep::{sweep_scenario, SweepDoc};
+use urcgc_bench::{banner, metrics_row, run_scenario};
+use urcgc_metrics::{Json, Table};
 use urcgc_simnet::FaultPlan;
 
 fn main() {
     const N: usize = 8;
     const MSGS: u64 = 15;
-    const SEED: u64 = 1212;
+
+    let opts = SweepOpts::from_env("total_vs_causal");
+    let seed = opts.seed_or(1212);
+    let max_rounds = opts.max_rounds_or(60_000);
 
     banner(
         "Total order (urgc) vs causal order (urcgc)",
-        &format!("n = {N}, {MSGS} msgs/process, seed = {SEED}; delays in rtd"),
+        &format!(
+            "n = {N}, {MSGS} msgs/process, seed = {seed}, {} replicate(s); delays in rtd",
+            opts.replicates
+        ),
     );
 
+    let mut doc = SweepDoc::new("total_vs_causal", &opts, seed);
     let mut table = Table::new([
         "omission rate",
         "urcgc mean D",
@@ -36,27 +46,43 @@ fn main() {
         "urgc-total max D",
     ]);
     for (label, rate) in [("none", 0.0), ("1/100", 0.01), ("1/20", 0.05)] {
-        let causal = run_scenario(
-            ProtocolConfig::new(N).with_k(3),
-            Workload::fixed_count(MSGS, 16).with_deps(DepPolicy::OwnChain),
-            FaultPlan::none().omission_rate(rate),
-            SEED,
-            60_000,
-        );
-        let total = run_urgc_total(
-            N,
-            Load::fixed(MSGS, 16),
-            FaultPlan::none().omission_rate(rate),
-            SEED,
-            60_000,
-        );
+        let result = sweep_scenario(&opts, seed, |_rep, run_seed| {
+            let causal = run_scenario(
+                ProtocolConfig::new(N).with_k(3),
+                Workload::fixed_count(MSGS, 16).with_deps(DepPolicy::OwnChain),
+                FaultPlan::none().omission_rate(rate),
+                run_seed,
+                max_rounds,
+            );
+            let total = run_urgc_total(
+                N,
+                Load::fixed(MSGS, 16),
+                FaultPlan::none().omission_rate(rate),
+                run_seed,
+                max_rounds,
+            );
+            metrics_row![
+                "urcgc_mean_delay_rtd" => causal.delays.mean().unwrap_or(f64::NAN),
+                "urcgc_max_delay_rtd" => causal.delays.max().unwrap_or(f64::NAN),
+                "urgc_mean_delay_rtd" => total.delays.mean().unwrap_or(f64::NAN),
+                "urgc_max_delay_rtd" => total.delays.max().unwrap_or(f64::NAN),
+            ]
+        });
         table.row([
             label.to_string(),
-            format!("{:.2}", causal.delays.mean().unwrap_or(f64::NAN)),
-            format!("{:.2}", causal.delays.max().unwrap_or(f64::NAN)),
-            format!("{:.2}", total.delays.mean().unwrap_or(f64::NAN)),
-            format!("{:.2}", total.delays.max().unwrap_or(f64::NAN)),
+            format!("{:.2}", result.mean("urcgc_mean_delay_rtd")),
+            format!("{:.2}", result.mean("urcgc_max_delay_rtd")),
+            format!("{:.2}", result.mean("urgc_mean_delay_rtd")),
+            format!("{:.2}", result.mean("urgc_max_delay_rtd")),
         ]);
+        doc.push(
+            &format!("omission={label}"),
+            Json::obj()
+                .with("n", N)
+                .with("omission", rate)
+                .with("msgs_per_process", MSGS),
+            &result,
+        );
     }
     println!("{}", table.render());
 
@@ -66,4 +92,5 @@ fn main() {
     println!("message head-of-line blocks the whole global sequence, while");
     println!("urcgc's causal service keeps unrelated sequences flowing.");
     println!("This is Section 2's motivation for causal ordering, measured.");
+    doc.finish(&opts);
 }

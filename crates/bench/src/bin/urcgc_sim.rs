@@ -1,6 +1,9 @@
 //! `urcgc_sim` — a command-line front end to the deterministic simulator:
 //! configure a group, a workload and a fault plan, run to quiescence, and
 //! get the protocol report (plus an optional CSV of the history series).
+//! With `--replicates R` the scenario is swept over R derived seeds (in
+//! parallel with `--jobs J`) and the report aggregates across replicates;
+//! `--json PATH` writes the machine-readable results.
 //!
 //! Examples:
 //!
@@ -8,14 +11,16 @@
 //! urcgc_sim --n 10 --msgs 40 --omission 0.002
 //! urcgc_sim --n 15 --k 2 --crash 7@12 --coord-crashes 2@4 --csv hist.csv
 //! urcgc_sim --n 40 --flow-threshold 320 --load 0.5 --msgs 12
+//! urcgc_sim --n 8 --omission 0.01 --replicates 8 --jobs 4 --json out.json
 //! ```
 
 use std::process::ExitCode;
 
 use urcgc::sim::{GroupHarness, Workload};
-use urcgc_bench::cli::{parse_args, SimCliConfig};
-use urcgc_bench::{max_history_series, render_series};
-use urcgc_metrics::Table;
+use urcgc_bench::cli::{parse_args, SimCliConfig, SweepOpts};
+use urcgc_bench::sweep::{sweep_scenario_with, SweepDoc};
+use urcgc_bench::{max_history_series, metrics_row, render_series};
+use urcgc_metrics::{Json, Table};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,61 +31,111 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let opts = SweepOpts {
+        replicates: cfg.replicates,
+        jobs: cfg.jobs,
+        json: cfg.json.clone(),
+        seed: Some(cfg.seed),
+        max_rounds: Some(cfg.max_rounds),
+    };
 
     println!(
-        "urcgc_sim: n = {}, K = {}, R = {}, causality = {}, seed = {}",
-        cfg.protocol.n, cfg.protocol.k, cfg.protocol.r, cfg.protocol.causality, cfg.seed
+        "urcgc_sim: n = {}, K = {}, R = {}, causality = {}, seed = {}, replicates = {}",
+        cfg.protocol.n,
+        cfg.protocol.k,
+        cfg.protocol.r,
+        cfg.protocol.causality,
+        cfg.seed,
+        cfg.replicates,
     );
-    let mut h = GroupHarness::builder(cfg.protocol.clone())
-        .workload(
-            Workload::bernoulli(cfg.load, cfg.msgs, cfg.payload).with_deps(cfg.deps),
-        )
-        .faults(cfg.faults.clone())
-        .seed(cfg.seed)
-        .max_rounds(cfg.max_rounds)
-        .build();
-    let report = h.run_to_completion(cfg.max_rounds);
+    let mut doc = SweepDoc::new("urcgc_sim", &opts, cfg.seed);
+    let (result, reports) = sweep_scenario_with(&opts, cfg.seed, |_rep, run_seed| {
+        let mut h = GroupHarness::builder(cfg.protocol.clone())
+            .workload(Workload::bernoulli(cfg.load, cfg.msgs, cfg.payload).with_deps(cfg.deps))
+            .faults(cfg.faults.clone())
+            .seed(run_seed)
+            .max_rounds(cfg.max_rounds)
+            .build();
+        let report = h.run_to_completion(cfg.max_rounds);
+        let total = report.stats.traffic.total();
+        let row = metrics_row![
+            "rounds" => report.rounds,
+            "completion_rtd" => report.rtd(),
+            "generated" => report.generated_total,
+            "fully_processed" => report.fully_processed,
+            "lost_with_crash" => report.unprocessed,
+            "partially_processed" => report.partially_processed,
+            "mean_delay_rtd" => report.delays.mean().unwrap_or(f64::NAN),
+            "p95_delay_rtd" => report.delays.percentile(95.0).unwrap_or(f64::NAN),
+            "peak_history" => report.max_history(),
+            "peak_waiting" => report.max_waiting(),
+            "atomicity" => u64::from(report.atomicity_holds()),
+            "frontier_agreement" => u64::from(report.frontiers_agree()),
+            "wire_frames" => total.count,
+            "wire_bytes" => total.bytes,
+        ];
+        (row, report)
+    });
+    let report = &reports[0];
 
-    let mut t = Table::new(["metric", "value"]);
-    t.row(["rounds (rtd)", &format!("{} ({:.1})", report.rounds, report.rtd())]);
-    t.row(["generated", &report.generated_total.to_string()]);
-    t.row(["processed by all", &report.fully_processed.to_string()]);
-    t.row(["lost with crashes", &report.unprocessed.to_string()]);
-    t.row(["partially processed", &report.partially_processed.to_string()]);
+    let agg = cfg.replicates > 1;
+    let mut t = Table::new(["metric", if agg { "mean ±ci / rep0" } else { "value" }]);
     t.row([
-        "mean delay (rtd)",
-        &format!("{:.2}", report.delays.mean().unwrap_or(f64::NAN)),
+        "rounds (rtd)",
+        &format!(
+            "{} ({:.1})",
+            result.render("rounds"),
+            result.mean("completion_rtd")
+        ),
     ]);
-    t.row([
-        "p95 delay (rtd)",
-        &format!("{:.2}", report.delays.percentile(95.0).unwrap_or(f64::NAN)),
-    ]);
-    t.row(["peak history", &report.max_history().to_string()]);
-    t.row(["peak waiting", &report.max_waiting().to_string()]);
+    t.row(["generated", &result.render("generated")]);
+    t.row(["processed by all", &result.render("fully_processed")]);
+    t.row(["lost with crashes", &result.render("lost_with_crash")]);
+    t.row(["partially processed", &result.render("partially_processed")]);
+    t.row(["mean delay (rtd)", &result.render("mean_delay_rtd")]);
+    t.row(["p95 delay (rtd)", &result.render("p95_delay_rtd")]);
+    t.row(["peak history", &result.render("peak_history")]);
+    t.row(["peak waiting", &result.render("peak_waiting")]);
     t.row([
         "statuses",
         &format!(
             "{:?}",
-            report.statuses.iter().map(|s| format!("{s:?}")).collect::<Vec<_>>()
+            report
+                .statuses
+                .iter()
+                .map(|s| format!("{s:?}"))
+                .collect::<Vec<_>>()
         ),
     ]);
+    let all_ok = |metric: &str| result.summary(metric).min >= 1.0;
     t.row([
         "atomicity",
-        if report.atomicity_holds() { "holds" } else { "VIOLATED" },
+        if all_ok("atomicity") {
+            "holds"
+        } else {
+            "VIOLATED"
+        },
     ]);
     t.row([
         "frontier agreement",
-        if report.frontiers_agree() { "holds" } else { "VIOLATED" },
+        if all_ok("frontier_agreement") {
+            "holds"
+        } else {
+            "VIOLATED"
+        },
     ]);
-    let total = report.stats.traffic.total();
     t.row([
         "wire traffic",
-        &format!("{} frames, {} bytes", total.count, total.bytes),
+        &format!(
+            "{} frames, {} bytes",
+            result.render("wire_frames"),
+            result.render("wire_bytes")
+        ),
     ]);
     println!("{}", t.render());
 
-    let series = max_history_series(&report);
-    println!("history length over time (max across group):");
+    let series = max_history_series(report);
+    println!("history length over time (max across group, replicate 0):");
     println!("{}", render_series(&series, 12));
 
     if let Some(path) = &cfg.csv {
@@ -95,7 +150,21 @@ fn main() -> ExitCode {
         println!("history series written to {path}");
     }
 
-    if report.atomicity_holds() && report.frontiers_agree() {
+    let ok = all_ok("atomicity") && all_ok("frontier_agreement");
+    doc.push(
+        "cli-scenario",
+        Json::obj()
+            .with("n", cfg.protocol.n)
+            .with("k", cfg.protocol.k)
+            .with("load", cfg.load)
+            .with("msgs_per_process", cfg.msgs)
+            .with("payload", cfg.payload)
+            .with("max_rounds", cfg.max_rounds),
+        &result,
+    );
+    doc.finish(&opts);
+
+    if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

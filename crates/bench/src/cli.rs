@@ -31,6 +31,12 @@ pub struct SimCliConfig {
     pub max_rounds: u64,
     /// Optional CSV output path for the history series.
     pub csv: Option<String>,
+    /// Replicate runs (derived seeds) to sweep.
+    pub replicates: usize,
+    /// Worker threads for the sweep.
+    pub jobs: usize,
+    /// Optional JSON results path.
+    pub json: Option<String>,
 }
 
 /// The `--help` text.
@@ -56,6 +62,9 @@ OPTIONS:
   --seed S              RNG seed (default 1)
   --max-rounds R        hard round limit (default 100000)
   --csv PATH            write the group history series as CSV
+  --replicates R        replicate runs with derived seeds (default 1)
+  --jobs J              worker threads for the sweep (default 1)
+  --json PATH           write machine-readable sweep results as JSON
   --help                print this help
 ";
 
@@ -76,6 +85,9 @@ pub fn parse_args(args: &[String]) -> Result<SimCliConfig, String> {
     let mut seed = 1u64;
     let mut max_rounds = 100_000u64;
     let mut csv = None;
+    let mut replicates = 1usize;
+    let mut jobs = 1usize;
+    let mut json = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -90,9 +102,7 @@ pub fn parse_args(args: &[String]) -> Result<SimCliConfig, String> {
             "--msgs" => msgs = value()?.parse().map_err(|e| format!("--msgs: {e}"))?,
             "--load" => load = value()?.parse().map_err(|e| format!("--load: {e}"))?,
             "--payload" => payload = value()?.parse().map_err(|e| format!("--payload: {e}"))?,
-            "--omission" => {
-                omission = value()?.parse().map_err(|e| format!("--omission: {e}"))?
-            }
+            "--omission" => omission = value()?.parse().map_err(|e| format!("--omission: {e}"))?,
             "--corruption" => {
                 corruption = value()?.parse().map_err(|e| format!("--corruption: {e}"))?
             }
@@ -113,11 +123,16 @@ pub fn parse_args(args: &[String]) -> Result<SimCliConfig, String> {
                     .ok_or_else(|| format!("--coord-crashes wants F@SUBRUN, got {v}"))?;
                 coord_crashes = Some((
                     f.parse().map_err(|e| format!("--coord-crashes f: {e}"))?,
-                    s.parse().map_err(|e| format!("--coord-crashes subrun: {e}"))?,
+                    s.parse()
+                        .map_err(|e| format!("--coord-crashes subrun: {e}"))?,
                 ));
             }
             "--flow-threshold" => {
-                flow = Some(value()?.parse().map_err(|e| format!("--flow-threshold: {e}"))?)
+                flow = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--flow-threshold: {e}"))?,
+                )
             }
             "--causality" => {
                 causality = match value()? {
@@ -139,6 +154,11 @@ pub fn parse_args(args: &[String]) -> Result<SimCliConfig, String> {
                 max_rounds = value()?.parse().map_err(|e| format!("--max-rounds: {e}"))?
             }
             "--csv" => csv = Some(value()?.to_string()),
+            "--replicates" => {
+                replicates = value()?.parse().map_err(|e| format!("--replicates: {e}"))?
+            }
+            "--jobs" => jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--json" => json = Some(value()?.to_string()),
             "--help" | "-h" => return Err(HELP.to_string()),
             other => return Err(format!("unknown flag {other}\n\n{HELP}")),
         }
@@ -146,6 +166,12 @@ pub fn parse_args(args: &[String]) -> Result<SimCliConfig, String> {
 
     if !(0.0..=1.0).contains(&load) {
         return Err("--load must be within 0..=1".into());
+    }
+    if replicates == 0 {
+        return Err("--replicates must be at least 1".into());
+    }
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
     }
     let mut protocol = ProtocolConfig::new(n).with_k(k).with_causality(causality);
     if let Some((f, _)) = coord_crashes {
@@ -179,7 +205,100 @@ pub fn parse_args(args: &[String]) -> Result<SimCliConfig, String> {
         seed,
         max_rounds,
         csv,
+        replicates,
+        jobs,
+        json,
     })
+}
+
+/// The sweep flags every `fig*`/`table*`/`ablation_*` binary accepts.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOpts {
+    /// Replicate runs per scenario (derived seeds); ≥ 1.
+    pub replicates: usize,
+    /// Worker threads for the sweep; ≥ 1.
+    pub jobs: usize,
+    /// Optional JSON results path.
+    pub json: Option<String>,
+    /// Base-seed override (each binary has its historical default).
+    pub seed: Option<u64>,
+    /// Round-limit override.
+    pub max_rounds: Option<u64>,
+}
+
+/// `--help` text for the shared sweep flags.
+pub const SWEEP_HELP: &str = "\
+OPTIONS:
+  --replicates R        replicate runs with derived seeds (default 1)
+  --jobs J              worker threads for the sweep (default 1)
+  --json PATH           write machine-readable sweep results as JSON
+  --seed S              base seed (default: the binary's historical seed)
+  --max-rounds R        per-run round limit (default: the binary's own)
+  --help                print this help
+";
+
+/// Parses the shared sweep flags (without the program name).
+pub fn parse_sweep_args(args: &[String]) -> Result<SweepOpts, String> {
+    let mut opts = SweepOpts {
+        replicates: 1,
+        jobs: 1,
+        json: None,
+        seed: None,
+        max_rounds: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--replicates" => {
+                opts.replicates = value()?.parse().map_err(|e| format!("--replicates: {e}"))?
+            }
+            "--jobs" => opts.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--json" => opts.json = Some(value()?.to_string()),
+            "--seed" => opts.seed = Some(value()?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--max-rounds" => {
+                opts.max_rounds = Some(value()?.parse().map_err(|e| format!("--max-rounds: {e}"))?)
+            }
+            "--help" | "-h" => return Err(SWEEP_HELP.to_string()),
+            other => return Err(format!("unknown flag {other}\n\n{SWEEP_HELP}")),
+        }
+    }
+    if opts.replicates == 0 {
+        return Err("--replicates must be at least 1".into());
+    }
+    if opts.jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+impl SweepOpts {
+    /// Parses the process arguments; prints the error (or help) and exits
+    /// on failure. `experiment` names the binary in the error message.
+    pub fn from_env(experiment: &str) -> SweepOpts {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match parse_sweep_args(&args) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{experiment}: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Base seed: the `--seed` override or the binary's historical default.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Round limit: the `--max-rounds` override or the binary's own.
+    pub fn max_rounds_or(&self, default: u64) -> u64 {
+        self.max_rounds.unwrap_or(default)
+    }
 }
 
 #[cfg(test)]
@@ -199,15 +318,100 @@ mod tests {
         assert_eq!(c.msgs, 20);
         assert_eq!(c.load, 1.0);
         assert!(c.csv.is_none());
+        assert_eq!((c.replicates, c.jobs), (1, 1));
+        assert!(c.json.is_none());
+    }
+
+    #[test]
+    fn sweep_flags_parse_in_sim_cli() {
+        let c = parse(&[
+            "--replicates",
+            "8",
+            "--jobs",
+            "4",
+            "--json",
+            "/tmp/out.json",
+        ])
+        .unwrap();
+        assert_eq!((c.replicates, c.jobs), (8, 4));
+        assert_eq!(c.json.as_deref(), Some("/tmp/out.json"));
+        assert!(parse(&["--replicates", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["--jobs", "0"]).unwrap_err().contains("at least 1"));
+    }
+
+    #[test]
+    fn shared_sweep_opts_parse() {
+        let v: Vec<String> = [
+            "--replicates",
+            "3",
+            "--jobs",
+            "2",
+            "--seed",
+            "7",
+            "--max-rounds",
+            "50",
+            "--json",
+            "x.json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_sweep_args(&v).unwrap();
+        assert_eq!((o.replicates, o.jobs), (3, 2));
+        assert_eq!(o.seed_or(404), 7);
+        assert_eq!(o.max_rounds_or(60_000), 50);
+        assert_eq!(o.json.as_deref(), Some("x.json"));
+
+        let defaults = parse_sweep_args(&[]).unwrap();
+        assert_eq!((defaults.replicates, defaults.jobs), (1, 1));
+        assert_eq!(defaults.seed_or(404), 404);
+        assert!(parse_sweep_args(&["--wat".into()])
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse_sweep_args(&["--help".into()])
+            .unwrap_err()
+            .contains("OPTIONS"));
+        assert!(parse_sweep_args(&["--jobs".into(), "0".into()])
+            .unwrap_err()
+            .contains("at least 1"));
     }
 
     #[test]
     fn full_flag_set_parses() {
         let c = parse(&[
-            "--n", "12", "--k", "2", "--msgs", "5", "--load", "0.4", "--payload", "64",
-            "--omission", "0.01", "--corruption", "0.002", "--crash", "7@10", "--crash",
-            "8@20", "--coord-crashes", "2@3", "--flow-threshold", "96", "--causality",
-            "general", "--deps", "own", "--seed", "99", "--max-rounds", "500", "--csv",
+            "--n",
+            "12",
+            "--k",
+            "2",
+            "--msgs",
+            "5",
+            "--load",
+            "0.4",
+            "--payload",
+            "64",
+            "--omission",
+            "0.01",
+            "--corruption",
+            "0.002",
+            "--crash",
+            "7@10",
+            "--crash",
+            "8@20",
+            "--coord-crashes",
+            "2@3",
+            "--flow-threshold",
+            "96",
+            "--causality",
+            "general",
+            "--deps",
+            "own",
+            "--seed",
+            "99",
+            "--max-rounds",
+            "500",
+            "--csv",
             "/tmp/x.csv",
         ])
         .unwrap();
@@ -225,13 +429,17 @@ mod tests {
     #[test]
     fn errors_are_informative() {
         assert!(parse(&["--n"]).unwrap_err().contains("missing value"));
-        assert!(parse(&["--crash", "3-10"]).unwrap_err().contains("PID@ROUND"));
+        assert!(parse(&["--crash", "3-10"])
+            .unwrap_err()
+            .contains("PID@ROUND"));
         assert!(parse(&["--wat"]).unwrap_err().contains("unknown flag"));
         assert!(parse(&["--load", "1.5"]).unwrap_err().contains("within"));
         assert!(parse(&["--causality", "chaotic"])
             .unwrap_err()
             .contains("unknown causality"));
-        assert!(parse(&["--crash", "9@1"]).unwrap_err().contains("outside group"));
+        assert!(parse(&["--crash", "9@1"])
+            .unwrap_err()
+            .contains("outside group"));
         assert!(parse(&["--help"]).unwrap_err().contains("USAGE"));
     }
 }

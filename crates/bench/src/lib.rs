@@ -8,6 +8,7 @@
 //! seed printed in their headers.
 
 pub mod cli;
+pub mod sweep;
 pub mod transported;
 
 use urcgc::sim::{GroupHarness, GroupReport, Workload};

@@ -210,7 +210,11 @@ pub fn run_transported(
         rounds += 1;
         // Global completeness: every node delivered everything generated.
         let complete = net.all_done() && {
-            let total: u64 = net.nodes().iter().map(|nd| nd.generated().len() as u64).sum();
+            let total: u64 = net
+                .nodes()
+                .iter()
+                .map(|nd| nd.generated().len() as u64)
+                .sum();
             net.nodes()
                 .iter()
                 .all(|nd| nd.deliveries().len() as u64 == total)
@@ -232,13 +236,16 @@ pub fn run_transported(
     let mut full = 0u64;
     for (&mid, &gen) in &generated {
         let mut max_round = 0u64;
-        let all = net.nodes().iter().all(|nd| match nd.deliveries().get(&mid) {
-            Some(r) => {
-                max_round = max_round.max(r.0);
-                true
-            }
-            None => false,
-        });
+        let all = net
+            .nodes()
+            .iter()
+            .all(|nd| match nd.deliveries().get(&mid) {
+                Some(r) => {
+                    max_round = max_round.max(r.0);
+                    true
+                }
+                None => false,
+            });
         if all {
             full += 1;
             delays.record(urcgc_simnet::rounds_to_rtd(

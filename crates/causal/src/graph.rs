@@ -222,7 +222,7 @@ mod tests {
     fn cycle_rejected() {
         let mut g = CausalGraph::new();
         g.insert(mid(0, 1), &[mid(1, 1)]).unwrap(); // dep on not-yet-seen ok
-        // Now 1#1 depending on 0#1 would close the cycle.
+                                                    // Now 1#1 depending on 0#1 would close the cycle.
         let err = g.insert(mid(1, 1), &[mid(0, 1)]).unwrap_err();
         assert_eq!(err.via, mid(0, 1));
     }
@@ -367,6 +367,9 @@ mod linearize_tests {
         for p in 0..4u16 {
             g.insert(mid(p, 1), &[]).unwrap();
         }
-        assert_eq!(g.linearize(), vec![mid(0, 1), mid(1, 1), mid(2, 1), mid(3, 1)]);
+        assert_eq!(
+            g.linearize(),
+            vec![mid(0, 1), mid(1, 1), mid(2, 1), mid(3, 1)]
+        );
     }
 }

@@ -259,10 +259,7 @@ mod tests {
     fn general_mode_rejects_self_cause() {
         let mut l = Labeler::new(ProcessId(0), 2, CausalityMode::General);
         let next = l.peek_next_mid();
-        assert_eq!(
-            l.label(&[next]),
-            Err(LabelError::SelfCause { cause: next }),
-        );
+        assert_eq!(l.label(&[next]), Err(LabelError::SelfCause { cause: next }),);
         // Failed label must not consume the seq.
         assert_eq!(l.peek_next_mid(), next);
     }

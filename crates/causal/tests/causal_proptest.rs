@@ -14,7 +14,10 @@ fn mid(p: u16, s: u64) -> Mid {
 /// A random batch of messages with valid (already-inserted) dependencies.
 fn arb_dag(n_msgs: usize) -> impl Strategy<Value = Vec<(Mid, Vec<Mid>)>> {
     prop::collection::vec(
-        (0u16..4, prop::collection::vec(any::<prop::sample::Index>(), 0..3)),
+        (
+            0u16..4,
+            prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+        ),
         1..n_msgs,
     )
     .prop_map(|specs| {

@@ -77,7 +77,11 @@ impl Engine {
     /// Panics if the configuration is invalid or `me` is outside the group.
     pub fn new(me: ProcessId, cfg: ProtocolConfig) -> Self {
         cfg.validate().expect("invalid protocol configuration");
-        assert!(me.index() < cfg.n, "process {me} outside group of {}", cfg.n);
+        assert!(
+            me.index() < cfg.n,
+            "process {me} outside group of {}",
+            cfg.n
+        );
         let n = cfg.n;
         let flow = match cfg.history_threshold {
             Some(t) => FlowControl::with_threshold(t),
@@ -169,9 +173,8 @@ impl Engine {
         self.tracker.is_processed(mid)
     }
 
-    /// A serializable point-in-time view of the whole entity — the
-    /// operations/debugging surface (exported by the UDP runtime's stats
-    /// channel and printable as JSON-ish via serde).
+    /// A point-in-time view of the whole entity — the operations/debugging
+    /// surface (exported by the UDP runtime's stats channel).
     pub fn snapshot(&self) -> crate::output::EngineSnapshot {
         crate::output::EngineSnapshot {
             me: self.me.0,
@@ -337,9 +340,7 @@ impl Engine {
             }
             Pdu::Decision(d) => decision_ok(d),
             Pdu::RecoveryRq(rq) => {
-                rq.requester.index() < n
-                    && rq.origin.index() < n
-                    && rq.after_seq <= rq.upto_seq
+                rq.requester.index() < n && rq.origin.index() < n && rq.after_seq <= rq.upto_seq
             }
             Pdu::RecoveryReply(rep) => {
                 rep.responder.index() < n
@@ -554,7 +555,12 @@ impl Engine {
         }
         if let Some((subrun, matrix)) = &mut self.matrix {
             if req.subrun <= *subrun {
-                matrix.record(req.sender, req.last_processed, req.waiting, req.prev_decision);
+                matrix.record(
+                    req.sender,
+                    req.last_processed,
+                    req.waiting,
+                    req.prev_decision,
+                );
                 return;
             }
         }
@@ -626,7 +632,8 @@ impl Engine {
                 doomed_all.sort();
                 doomed_all.dedup();
                 self.stats.discarded += doomed_all.len() as u64;
-                self.outbox.push_back(Output::Discarded { mids: doomed_all });
+                self.outbox
+                    .push_back(Output::Discarded { mids: doomed_all });
             }
         }
         self.last_decision = d;
@@ -714,7 +721,8 @@ impl Engine {
             return;
         }
         self.status = status;
-        self.outbox.push_back(Output::StatusChanged { status, reason });
+        self.outbox
+            .push_back(Output::StatusChanged { status, reason });
     }
 }
 
@@ -785,9 +793,9 @@ mod tests {
             .map(|&(p, _)| p)
             .collect();
         assert_eq!(delivered.len(), N, "all three processes processed it");
-        assert!(effects
-            .iter()
-            .any(|(p, o)| *p == ProcessId(0) && matches!(o, Output::Confirm { mid: m } if *m == mid)));
+        assert!(effects.iter().any(
+            |(p, o)| *p == ProcessId(0) && matches!(o, Output::Confirm { mid: m } if *m == mid)
+        ));
         for e in &es {
             assert!(e.has_processed(mid));
             assert_eq!(e.history_len(), 1);
@@ -839,9 +847,7 @@ mod tests {
         run_round(&mut es, 0);
         let before = es[1].stats().processed;
         // Replay the same data message.
-        let msg = es[1]
-            .last_decision()
-            .clone(); // dummy borrow to appease lifetimes; real replay below
+        let msg = es[1].last_decision().clone(); // dummy borrow to appease lifetimes; real replay below
         drop(msg);
         let replay = DataMsg {
             mid: Mid::new(ProcessId(0), 1),

@@ -590,7 +590,9 @@ mod tests {
 
     #[test]
     fn diffusion_clients_observe_the_agreed_stream() {
-        let cfg = ClientServerConfig::new(3, 3).with_requests(4).with_diffusion();
+        let cfg = ClientServerConfig::new(3, 3)
+            .with_requests(4)
+            .with_diffusion();
         let report = run_client_server(cfg, FaultPlan::none(), 7, 2_000);
         assert!(report.servers_agree());
         let server_set: std::collections::HashSet<Mid> =
@@ -632,7 +634,9 @@ mod fault_tests {
 
     #[test]
     fn diffusion_survives_omissions() {
-        let mut cfg = ClientServerConfig::new(3, 3).with_requests(5).with_diffusion();
+        let mut cfg = ClientServerConfig::new(3, 3)
+            .with_requests(5)
+            .with_diffusion();
         cfg.protocol = ProtocolConfig::new(3).with_k(3);
         let faults = FaultPlan::none().omission_rate(0.01);
         let report = run_client_server(cfg, faults, 13, 6_000);

@@ -58,8 +58,8 @@ pub mod sim;
 pub mod trace;
 
 pub use engine::Engine;
-pub use trace::{TraceEvent, Tracer};
 pub use output::{EngineSnapshot, EngineStats, Output, ProcessStatus, StatusReason, SubmitError};
+pub use trace::{TraceEvent, Tracer};
 
 pub use urcgc_types::{
     CausalityMode, DataMsg, Decision, Mid, Pdu, ProcessId, ProtocolConfig, Round, Subrun,

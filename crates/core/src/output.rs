@@ -112,7 +112,7 @@ impl fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 /// Counters the engine maintains for observability and experiments.
-#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct EngineStats {
     /// Messages processed (own + foreign).
     pub processed: u64,
@@ -136,7 +136,7 @@ pub struct EngineStats {
 
 /// A serializable point-in-time view of an [`Engine`](crate::Engine) — see
 /// [`Engine::snapshot`](crate::Engine::snapshot).
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct EngineSnapshot {
     /// This member's id.
     pub me: u16,
@@ -183,7 +183,9 @@ mod tests {
 
     #[test]
     fn reasons_render() {
-        assert!(StatusReason::DeclaredCrashed.to_string().contains("crashed"));
+        assert!(StatusReason::DeclaredCrashed
+            .to_string()
+            .contains("crashed"));
         assert!(StatusReason::MissedKDecisions.to_string().contains("K"));
         assert!(StatusReason::RecoveryExhausted.to_string().contains("R"));
     }

@@ -8,7 +8,7 @@
 //! [`urcgc_simnet::FaultPlan`], and per-round sampling of each process's
 //! history length.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 use rand::Rng;
@@ -120,7 +120,9 @@ impl UrcgcNode {
         UrcgcNode {
             engine: Engine::new(me, cfg),
             workload,
-            rng: ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(me.0 as u64 + 1)),
+            rng: ChaCha8Rng::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(me.0 as u64 + 1),
+            ),
             submitted: 0,
             deliveries: HashMap::new(),
             delivery_log: Vec::new(),
@@ -260,8 +262,10 @@ impl Node for UrcgcNode {
         self.maybe_generate(round);
         self.engine.begin_round(round);
         self.flush(net);
-        self.history_series.push((round.0, self.engine.history_len()));
-        self.waiting_series.push((round.0, self.engine.waiting_len()));
+        self.history_series
+            .push((round.0, self.engine.history_len()));
+        self.waiting_series
+            .push((round.0, self.engine.waiting_len()));
     }
 
     fn on_frame(&mut self, from: ProcessId, frame: Bytes, net: &mut NetCtx<'_>) {
@@ -405,8 +409,11 @@ impl GroupHarness {
             })
             .collect();
 
-        // Per-mid generation round (from its origin).
-        let mut generated: HashMap<Mid, Round> = HashMap::new();
+        // Per-mid generation round (from its origin). BTreeMap: the loop
+        // below must visit mids in a deterministic order — delay samples
+        // (and their float-summed mean) would otherwise vary run to run
+        // with HashMap's per-instance hash seed.
+        let mut generated: BTreeMap<Mid, Round> = BTreeMap::new();
         for node in nodes {
             generated.extend(node.generated().iter().map(|(&m, &r)| (m, r)));
         }
@@ -460,8 +467,14 @@ impl GroupHarness {
                 .iter()
                 .map(|nd| nd.engine().stats().flow_blocked_rounds)
                 .sum(),
-            history_series: nodes.iter().map(|nd| nd.history_series().to_vec()).collect(),
-            waiting_series: nodes.iter().map(|nd| nd.waiting_series().to_vec()).collect(),
+            history_series: nodes
+                .iter()
+                .map(|nd| nd.history_series().to_vec())
+                .collect(),
+            waiting_series: nodes
+                .iter()
+                .map(|nd| nd.waiting_series().to_vec())
+                .collect(),
             last_processed: nodes
                 .iter()
                 .map(|nd| {

@@ -167,7 +167,11 @@ fn recovery_reply_with_already_processed_messages_is_harmless() {
         }),
     );
     assert_eq!(e.stats().processed, processed_before);
-    assert_eq!(e.stats().recovered, 0, "duplicates do not count as recovered");
+    assert_eq!(
+        e.stats().recovered,
+        0,
+        "duplicates do not count as recovered"
+    );
 }
 
 #[test]
@@ -277,7 +281,15 @@ fn max_processed_pointing_at_self_never_self_recovers() {
     e.begin_round(Round(3)); // decision phase triggers recovery scan
     let sends: Vec<Output> = drain(&mut e)
         .into_iter()
-        .filter(|o| matches!(o, Output::Send { pdu: Pdu::RecoveryRq(_), .. }))
+        .filter(|o| {
+            matches!(
+                o,
+                Output::Send {
+                    pdu: Pdu::RecoveryRq(_),
+                    ..
+                }
+            )
+        })
         .collect();
     assert!(sends.is_empty(), "self-recovery attempted: {sends:?}");
 }

@@ -97,13 +97,18 @@ fn wild_pdu() -> impl Strategy<Value = Pdu> {
                 upto_seq: b,
             })
         ),
-        (wild_pid(), wild_pid(), prop::collection::vec(wild_data(), 0..3)).prop_map(
-            |(responder, origin, messages)| Pdu::RecoveryReply(RecoveryReply {
-                responder,
-                origin,
-                messages,
-            })
-        ),
+        (
+            wild_pid(),
+            wild_pid(),
+            prop::collection::vec(wild_data(), 0..3)
+        )
+            .prop_map(
+                |(responder, origin, messages)| Pdu::RecoveryReply(RecoveryReply {
+                    responder,
+                    origin,
+                    messages,
+                })
+            ),
     ]
 }
 

@@ -114,9 +114,7 @@ impl History {
 
     /// Number of messages held for one origin.
     pub fn len_for(&self, q: ProcessId) -> usize {
-        self.entries
-            .get(q.index())
-            .map_or(0, |e| e.messages.len())
+        self.entries.get(q.index()).map_or(0, |e| e.messages.len())
     }
 
     /// The purge frontier for origin `q`.

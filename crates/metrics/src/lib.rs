@@ -32,11 +32,15 @@
 //! ```
 
 pub mod delay;
+pub mod json;
 pub mod series;
+pub mod stats;
 pub mod table;
 pub mod traffic;
 
 pub use delay::DelayStats;
+pub use json::Json;
 pub use series::TimeSeries;
+pub use stats::Summary;
 pub use table::Table;
 pub use traffic::TrafficMeter;

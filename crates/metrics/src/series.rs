@@ -1,9 +1,7 @@
 //! Time series sampling (Figures 6 a/b: history length vs simulation time).
 
-use serde::Serialize;
-
 /// An append-only `(time, value)` series.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TimeSeries {
     points: Vec<(f64, f64)>,
 }

@@ -1,0 +1,171 @@
+//! Replicate aggregation: mean / stddev / min / max / 95% confidence
+//! interval over a set of per-replicate measurements.
+//!
+//! The sweep runner (`urcgc-bench::sweep`) runs each scenario `R` times
+//! with derived seeds and aggregates every metric through [`Summary::of`].
+//! The confidence interval uses the Student-t critical value for small
+//! sample counts (the common case: 2–30 replicates) and the normal 1.96
+//! beyond the table.
+
+/// Aggregate statistics over one metric's replicate values.
+///
+/// Non-finite inputs (a replicate that produced `NaN`, e.g. "no delay
+/// samples") are excluded; `n` counts only the finite values that entered
+/// the aggregate.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Summary {
+    /// Number of finite samples aggregated.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 when `n < 2`).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Lower edge of the 95% confidence interval for the mean.
+    pub ci95_lo: f64,
+    /// Upper edge of the 95% confidence interval for the mean.
+    pub ci95_hi: f64,
+}
+
+/// Two-sided 95% Student-t critical values by degrees of freedom (1-based
+/// index; `T95[df - 1]`). Past the table the normal approximation is fine.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// 95% two-sided critical value for `df` degrees of freedom.
+fn t95(df: usize) -> f64 {
+    if df == 0 {
+        f64::NAN
+    } else if df <= T95.len() {
+        T95[df - 1]
+    } else {
+        1.96
+    }
+}
+
+impl Summary {
+    /// Aggregates `values`, ignoring non-finite entries.
+    pub fn of(values: &[f64]) -> Summary {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        let n = finite.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: f64::NAN,
+                stddev: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                ci95_lo: f64::NAN,
+                ci95_hi: f64::NAN,
+            };
+        }
+        let mean = finite.iter().sum::<f64>() / n as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let ss: f64 = finite.iter().map(|v| (v - mean) * (v - mean)).sum();
+            (ss / (n - 1) as f64).sqrt()
+        };
+        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (ci95_lo, ci95_hi) = if n < 2 {
+            (mean, mean)
+        } else {
+            let half = t95(n - 1) * stddev / (n as f64).sqrt();
+            (mean - half, mean + half)
+        };
+        Summary {
+            n,
+            mean,
+            stddev,
+            min,
+            max,
+            ci95_lo,
+            ci95_hi,
+        }
+    }
+
+    /// `mean ± half-width` rendering, or `mean` alone when `n < 2`.
+    pub fn render(&self) -> String {
+        if self.n == 0 {
+            "-".to_string()
+        } else if self.n < 2 {
+            format!("{:.2}", self.mean)
+        } else {
+            format!("{:.2} ±{:.2}", self.mean, self.ci95_hi - self.mean)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn hand_computed_fixture_five_samples() {
+        // Values 2, 4, 4, 4, 6: mean 4, sample variance (4+0+0+0+4)/4 = 2,
+        // stddev √2 ≈ 1.41421. CI half-width t(4)·s/√5 = 2.776·1.41421/2.23607
+        // ≈ 1.75575.
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 6.0]);
+        assert_eq!(s.n, 5);
+        assert!(close(s.mean, 4.0, 1e-12));
+        assert!(close(s.stddev, 2.0f64.sqrt(), 1e-12));
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert!(close(s.ci95_lo, 4.0 - 1.75575, 1e-4), "lo = {}", s.ci95_lo);
+        assert!(close(s.ci95_hi, 4.0 + 1.75575, 1e-4), "hi = {}", s.ci95_hi);
+    }
+
+    #[test]
+    fn hand_computed_fixture_two_samples() {
+        // Values 1, 3: mean 2, stddev √2, CI half-width 12.706·√2/√2 = 12.706.
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.n, 2);
+        assert!(close(s.mean, 2.0, 1e-12));
+        assert!(close(s.stddev, 2.0f64.sqrt(), 1e-12));
+        assert!(close(s.ci95_hi, 2.0 + 12.706, 1e-9));
+        assert!(close(s.ci95_lo, 2.0 - 12.706, 1e-9));
+    }
+
+    #[test]
+    fn single_sample_degenerates() {
+        let s = Summary::of(&[7.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!((s.ci95_lo, s.ci95_hi), (7.5, 7.5));
+    }
+
+    #[test]
+    fn nan_samples_excluded() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.n, 2);
+        assert!(close(s.mean, 2.0, 1e-12));
+    }
+
+    #[test]
+    fn empty_is_all_nan() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert!(s.mean.is_nan() && s.ci95_hi.is_nan());
+        assert_eq!(s.render(), "-");
+    }
+
+    #[test]
+    fn large_sample_uses_normal_critical_value() {
+        let vals: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let s = Summary::of(&vals);
+        // stddev ≈ 0.50252, half-width ≈ 1.96·0.50252/10 ≈ 0.09849.
+        assert!(close(s.ci95_hi - s.mean, 0.09849, 1e-4));
+    }
+}

@@ -2,10 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use serde::Serialize;
-
 /// Per-category message count and byte totals.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Tally {
     /// Messages sent.
     pub count: u64,
@@ -25,7 +23,7 @@ impl Tally {
 }
 
 /// Counts messages and bytes per category label.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TrafficMeter {
     tallies: BTreeMap<String, Tally>,
 }
@@ -137,7 +135,13 @@ mod tests {
         b.record("x", 5);
         b.record("y", 1);
         a.merge(&b);
-        assert_eq!(a.get("x"), Tally { count: 2, bytes: 15 });
+        assert_eq!(
+            a.get("x"),
+            Tally {
+                count: 2,
+                bytes: 15
+            }
+        );
         assert_eq!(a.get("y").count, 1);
     }
 }

@@ -79,8 +79,7 @@ impl FaultPlan {
 
     /// Severs the directional link `from → to` for the whole run.
     pub fn cut_link(mut self, from: ProcessId, to: ProcessId) -> Self {
-        self.cut_links
-            .push((from, to, Round(0), Round(u64::MAX)));
+        self.cut_links.push((from, to, Round(0), Round(u64::MAX)));
         self
     }
 
@@ -249,12 +248,7 @@ mod tests {
 
     #[test]
     fn timed_cut_heals() {
-        let f = FaultPlan::none().cut_link_during(
-            ProcessId(0),
-            ProcessId(1),
-            Round(2),
-            Round(5),
-        );
+        let f = FaultPlan::none().cut_link_during(ProcessId(0), ProcessId(1), Round(2), Round(5));
         assert!(!f.link_cut_at(ProcessId(0), ProcessId(1), Round(1)));
         assert!(f.link_cut_at(ProcessId(0), ProcessId(1), Round(2)));
         assert!(f.link_cut_at(ProcessId(0), ProcessId(1), Round(4)));

@@ -195,12 +195,7 @@ impl<N: Node> SimNet<N> {
 
     /// Applies send-side faults and traffic accounting to a node's queued
     /// output.
-    fn filter_sends(
-        &mut self,
-        from: ProcessId,
-        round: Round,
-        out: Vec<Outgoing>,
-    ) -> Vec<InFlight> {
+    fn filter_sends(&mut self, from: ProcessId, round: Round, out: Vec<Outgoing>) -> Vec<InFlight> {
         let n = self.nodes.len();
         let mut kept = Vec::with_capacity(out.len());
         for o in out {
@@ -358,7 +353,10 @@ mod tests {
         net.step(); // r0: both broadcast
         net.step(); // r1: both deliver + queue echoes
         net.step(); // r2: echoes delivered
-        let got: Vec<&str> = net.node(ProcessId(0)).received.iter()
+        let got: Vec<&str> = net
+            .node(ProcessId(0))
+            .received
+            .iter()
             .map(|(_, f)| std::str::from_utf8(f).unwrap())
             .collect();
         assert_eq!(got, vec!["hello", "ack"]);
@@ -593,8 +591,16 @@ mod straggler_tests {
         // p1's frame from p0 arrives at round 4 (1 + 3 extra); frames from
         // p2 arrive at round 1 as usual.
         let p1 = &net.nodes()[1];
-        let from0 = p1.arrivals.iter().find(|(_, f)| *f == ProcessId(0)).unwrap();
-        let from2 = p1.arrivals.iter().find(|(_, f)| *f == ProcessId(2)).unwrap();
+        let from0 = p1
+            .arrivals
+            .iter()
+            .find(|(_, f)| *f == ProcessId(0))
+            .unwrap();
+        let from2 = p1
+            .arrivals
+            .iter()
+            .find(|(_, f)| *f == ProcessId(2))
+            .unwrap();
         assert_eq!(from0.0, Round(4));
         assert_eq!(from2.0, Round(1));
     }

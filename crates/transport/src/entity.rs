@@ -121,7 +121,10 @@ impl TransportEntity {
         self.next_xfer += 1;
 
         let frag_count = data.len().div_ceil(self.cfg.mtu).max(1);
-        assert!(frag_count <= u16::MAX as usize, "data too large for u16 fragments");
+        assert!(
+            frag_count <= u16::MAX as usize,
+            "data too large for u16 fragments"
+        );
         let mut fragments = Vec::with_capacity(frag_count);
         for i in 0..frag_count {
             let start = i * self.cfg.mtu;
@@ -445,18 +448,39 @@ mod tests {
         let mut a = TransportEntity::new(ProcessId(0), TransportConfig::default());
         let xfer = a.t_data_rq(&dests, 2, Bytes::from_static(b"x"));
         while a.poll_output().is_some() {}
-        a.on_frame(ProcessId(1), TFrame::Ack { xfer, src: ProcessId(1) }.encode());
+        a.on_frame(
+            ProcessId(1),
+            TFrame::Ack {
+                xfer,
+                src: ProcessId(1),
+            }
+            .encode(),
+        );
         assert!(
             std::iter::from_fn(|| a.poll_output()).count() == 0,
             "one ack < h = 2: no confirm yet"
         );
-        a.on_frame(ProcessId(2), TFrame::Ack { xfer, src: ProcessId(2) }.encode());
+        a.on_frame(
+            ProcessId(2),
+            TFrame::Ack {
+                xfer,
+                src: ProcessId(2),
+            }
+            .encode(),
+        );
         let confirms: Vec<_> = std::iter::from_fn(|| a.poll_output()).collect();
         assert!(matches!(confirms[..], [TOutput::Confirm { acked: 2, .. }]));
         // Reaching h ends the transfer: no residual retransmission (the
         // urcgc layer's history recovery covers the third destination).
         assert_eq!(a.in_flight(), 0);
-        a.on_frame(ProcessId(3), TFrame::Ack { xfer, src: ProcessId(3) }.encode());
+        a.on_frame(
+            ProcessId(3),
+            TFrame::Ack {
+                xfer,
+                src: ProcessId(3),
+            }
+            .encode(),
+        );
         assert_eq!(a.in_flight(), 0, "late ack is harmless");
     }
 
@@ -491,7 +515,14 @@ mod tests {
         let mut a = TransportEntity::new(ProcessId(0), TransportConfig::default());
         let xfer = a.t_data_rq(&[ProcessId(1)], 1, Bytes::from_static(b"x"));
         while a.poll_output().is_some() {}
-        a.on_frame(ProcessId(5), TFrame::Ack { xfer, src: ProcessId(5) }.encode());
+        a.on_frame(
+            ProcessId(5),
+            TFrame::Ack {
+                xfer,
+                src: ProcessId(5),
+            }
+            .encode(),
+        );
         assert_eq!(a.in_flight(), 1, "spoofed ack must not complete transfer");
     }
 

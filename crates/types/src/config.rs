@@ -3,10 +3,8 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Which interpretation of Definition 3.1 the group runs under (Section 3).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum CausalityMode {
     /// The most general interpretation: a process may root arbitrarily many
     /// concurrent sequences and a message may list any set of prior mids as
@@ -45,7 +43,7 @@ impl fmt::Display for CausalityMode {
 /// group), `R` the number of unsuccessful history-recovery attempts before a
 /// process leaves, and the history threshold is the `8n` flow-control bound
 /// of Figure 6 b).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ProtocolConfig {
     /// Group cardinality `n`.
     pub n: usize,

@@ -6,13 +6,11 @@
 //! detection via the `attempts` counters), recovery hints (`max_processed`),
 //! and orphan-sequence destruction (`min_waiting`).
 
-use serde::{Deserialize, Serialize};
-
 use crate::id::{ProcessId, Subrun, NO_SEQ};
 
 /// Per-sequence "most updated process" record: who has processed the longest
 /// prefix of a given origin's sequence, and how far they got.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MaxProcessed {
     /// The most updated process for this sequence — the recovery target the
     /// decision advertises to lagging processes.
@@ -42,7 +40,7 @@ impl MaxProcessed {
 /// counters, `process_state` the decided liveness flags, `max_processed` the
 /// most-updated-process hints and `min_waiting` the group-wide oldest
 /// waiting message per sequence.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Decision {
     /// Subrun in which this decision was produced.
     pub subrun: Subrun,

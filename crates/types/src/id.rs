@@ -2,8 +2,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Sequence-number sentinel meaning "no message yet" — mids number from 1.
 pub const NO_SEQ: u64 = 0;
 
@@ -12,7 +10,7 @@ pub const NO_SEQ: u64 = 0;
 /// Processes are densely numbered `0..n` (the paper uses `1..=n`; we index
 /// from zero so a `ProcessId` doubles as an index into the per-process
 /// vectors carried by requests and decisions).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(pub u16);
 
 impl ProcessId {
@@ -63,7 +61,7 @@ impl fmt::Display for ProcessId {
 /// both uniquely identifies a message and orders it within its origin's
 /// sequence. The general interpretation (Definition 3.1) still uses the same
 /// identifier — ordering then comes from the explicit dependency lists.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Mid {
     /// The process that generated the message.
     pub origin: ProcessId,
@@ -101,7 +99,7 @@ impl fmt::Display for Mid {
 /// A communication round (assumption 1 of Section 4). Two rounds make a
 /// subrun; with the paper's timing assumption one subrun spans one network
 /// round-trip delay, so one round is half an rtd.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Round(pub u64);
 
 impl Round {
@@ -132,7 +130,7 @@ impl fmt::Display for Round {
 
 /// A subrun: the two-round unit within which one rotating coordinator
 /// collects requests and broadcasts a decision (assumption 2 of Section 4).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Subrun(pub u64);
 
 impl Subrun {

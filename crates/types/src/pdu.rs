@@ -6,7 +6,6 @@
 //! request/reply pairs served from the history buffer.
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 use crate::decision::Decision;
 use crate::id::{Mid, ProcessId, Round, Subrun};
@@ -14,7 +13,7 @@ use crate::id::{Mid, ProcessId, Round, Subrun};
 /// An application message as it travels on the wire: its unique [`Mid`], the
 /// explicit list of mids it causally depends on (Definition 3.1 — the `list`
 /// field), the round it was generated in, and the opaque payload.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DataMsg {
     /// Unique identifier of this message.
     pub mid: Mid,
@@ -25,13 +24,12 @@ pub struct DataMsg {
     /// experiment harness to measure end-to-end delay in round units).
     pub round: Round,
     /// Application payload.
-    #[serde(with = "serde_bytes_shim")]
     pub payload: Bytes,
 }
 
 /// The request a member sends to the current coordinator in the first round
 /// of every subrun.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RequestMsg {
     /// Requesting process.
     pub sender: ProcessId,
@@ -53,7 +51,7 @@ pub struct RequestMsg {
 
 /// Point-to-point recovery request: "send me origin `origin`'s messages with
 /// sequence numbers in `(after_seq, upto_seq]` from your history".
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RecoveryRq {
     /// The lagging process asking for messages.
     pub requester: ProcessId,
@@ -68,7 +66,7 @@ pub struct RecoveryRq {
 /// Reply to a [`RecoveryRq`]: the recovered messages, in sequence order.
 /// May carry fewer messages than asked for if the responder's history has
 /// already been cleaned past `after_seq` or it never processed that far.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RecoveryReply {
     /// The process serving the recovery.
     pub responder: ProcessId,
@@ -79,7 +77,7 @@ pub struct RecoveryReply {
 }
 
 /// Every PDU the urcgc protocol puts on the wire.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Pdu {
     /// Application data broadcast.
     Data(DataMsg),
@@ -114,7 +112,7 @@ impl Pdu {
 }
 
 /// Discriminant-only view of [`Pdu`] for metrics keys.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum PduKind {
     /// Application data broadcast.
     Data,
@@ -147,21 +145,6 @@ impl PduKind {
             PduKind::RecoveryRq => "recovery-rq",
             PduKind::RecoveryReply => "recovery-reply",
         }
-    }
-}
-
-/// Serde adapter for [`Bytes`] payloads (serialized as byte sequences).
-mod serde_bytes_shim {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
     }
 }
 
@@ -199,8 +182,7 @@ mod tests {
 
     #[test]
     fn all_kinds_have_unique_labels() {
-        let labels: std::collections::HashSet<_> =
-            PduKind::ALL.iter().map(|k| k.label()).collect();
+        let labels: std::collections::HashSet<_> = PduKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), PduKind::ALL.len());
     }
 }

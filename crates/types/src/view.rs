@@ -7,12 +7,10 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::id::ProcessId;
 
 /// A process's view of the group: one liveness flag per member.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct GroupView {
     alive: Vec<bool>,
 }

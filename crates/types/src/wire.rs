@@ -71,7 +71,9 @@ pub fn encode_pdu(pdu: &Pdu) -> Bytes {
 /// the body to be fully consumed.
 pub fn decode_pdu(frame: &Bytes) -> Result<Pdu, WireError> {
     if frame.len() < FRAME_TRAILER_LEN {
-        return Err(WireError::UnexpectedEof { context: "frame trailer" });
+        return Err(WireError::UnexpectedEof {
+            context: "frame trailer",
+        });
     }
     let body_len = frame.len() - FRAME_TRAILER_LEN;
     let carried = u32::from_le_bytes(frame[body_len..].try_into().expect("4 bytes"));

@@ -77,14 +77,16 @@ fn arb_pdu() -> impl Strategy<Value = Pdu> {
             prop::collection::vec(0u64..10_000, 1..32),
             (arb_decision(), any::<bool>())
         )
-            .prop_map(|(sender, subrun, lp, w, (d, fwd))| Pdu::Request(RequestMsg {
-                sender,
-                subrun: Subrun(subrun),
-                last_processed: lp,
-                waiting: w,
-                prev_decision: d,
-                forwarded: fwd,
-            })),
+            .prop_map(
+                |(sender, subrun, lp, w, (d, fwd))| Pdu::Request(RequestMsg {
+                    sender,
+                    subrun: Subrun(subrun),
+                    last_processed: lp,
+                    waiting: w,
+                    prev_decision: d,
+                    forwarded: fwd,
+                })
+            ),
         arb_decision().prop_map(Pdu::Decision),
         (arb_pid(), arb_pid(), 0u64..100, 0u64..100).prop_map(
             |(requester, origin, after_seq, delta)| Pdu::RecoveryRq(RecoveryRq {
@@ -94,13 +96,18 @@ fn arb_pdu() -> impl Strategy<Value = Pdu> {
                 upto_seq: after_seq + delta,
             })
         ),
-        (arb_pid(), arb_pid(), prop::collection::vec(arb_data(), 0..6)).prop_map(
-            |(responder, origin, messages)| Pdu::RecoveryReply(RecoveryReply {
-                responder,
-                origin,
-                messages,
-            })
-        ),
+        (
+            arb_pid(),
+            arb_pid(),
+            prop::collection::vec(arb_data(), 0..6)
+        )
+            .prop_map(
+                |(responder, origin, messages)| Pdu::RecoveryReply(RecoveryReply {
+                    responder,
+                    origin,
+                    messages,
+                })
+            ),
     ]
 }
 

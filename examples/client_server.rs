@@ -37,13 +37,18 @@ fn main() {
     );
 
     // --- Diffusion group -------------------------------------------------
-    let cfg = ClientServerConfig::new(3, 4).with_requests(5).with_diffusion();
+    let cfg = ClientServerConfig::new(3, 4)
+        .with_requests(5)
+        .with_diffusion();
     println!("\ndiffusion group: every processed message forwarded to clients");
     let report = run_client_server(cfg, FaultPlan::none(), 2027, 2_000);
     assert!(report.servers_agree());
     let server_count = report.server_logs[0].len();
     for (i, obs) in report.client_observed.iter().enumerate() {
-        println!("  client {i}: observed {} / {server_count} messages", obs.len());
+        println!(
+            "  client {i}: observed {} / {server_count} messages",
+            obs.len()
+        );
         assert_eq!(obs.len(), server_count);
     }
 

@@ -65,7 +65,11 @@ fn main() {
     println!("\nafter 60 rtd:");
     println!(
         "  statuses: {:?}",
-        report.statuses.iter().map(|s| format!("{s:?}")).collect::<Vec<_>>()
+        report
+            .statuses
+            .iter()
+            .map(|s| format!("{s:?}"))
+            .collect::<Vec<_>>()
     );
     println!(
         "  generated {}, processed-by-all {}, lost-with-crashes {}, partial {}",

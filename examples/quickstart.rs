@@ -6,9 +6,9 @@
 //!
 //! Run: `cargo run --example quickstart`
 
+use urcgc_repro::types::ProcessId;
 use urcgc_repro::urcgc::sim::{GroupHarness, Workload};
 use urcgc_repro::urcgc::ProtocolConfig;
-use urcgc_repro::types::ProcessId;
 
 fn main() {
     // A group of five processes with the paper's default parameters

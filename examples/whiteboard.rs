@@ -12,8 +12,8 @@
 //! Run: `cargo run --example whiteboard`
 
 use bytes::Bytes;
-use urcgc_repro::urcgc::{Engine, Output, ProtocolConfig};
 use urcgc_repro::types::{Mid, Pdu, ProcessId, Round};
+use urcgc_repro::urcgc::{Engine, Output, ProtocolConfig};
 
 const ALICE: usize = 0;
 const BOB: usize = 1;
@@ -74,7 +74,10 @@ fn main() {
     // --- The whiteboard session ---------------------------------------
     // Alice draws a stroke.
     let stroke = engines[ALICE]
-        .submit(Bytes::from_static(b"stroke: red line (10,10)->(90,40)"), &[])
+        .submit(
+            Bytes::from_static(b"stroke: red line (10,10)->(90,40)"),
+            &[],
+        )
         .unwrap();
     run_round(&mut engines, 0, &mut log);
 
@@ -115,8 +118,16 @@ fn main() {
             .map(|&(_, mid, _)| mid)
             .collect();
         let pos = |m: Mid| order.iter().position(|&x| x == m).unwrap();
-        assert!(pos(stroke) < pos(note), "{}: note before stroke", NAMES[member]);
-        assert!(pos(note) < pos(reply), "{}: reply before note", NAMES[member]);
+        assert!(
+            pos(stroke) < pos(note),
+            "{}: note before stroke",
+            NAMES[member]
+        );
+        assert!(
+            pos(note) < pos(reply),
+            "{}: reply before note",
+            NAMES[member]
+        );
         // `sketch` is concurrent with note/reply: only its existence is
         // guaranteed, not its position.
         assert!(order.contains(&sketch));

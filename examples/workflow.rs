@@ -11,8 +11,8 @@
 //! Run: `cargo run --example workflow`
 
 use bytes::Bytes;
-use urcgc_repro::urcgc::{CausalityMode, Engine, Output, ProtocolConfig};
 use urcgc_repro::types::{Mid, ProcessId, Round};
+use urcgc_repro::urcgc::{CausalityMode, Engine, Output, ProtocolConfig};
 
 #[allow(clippy::needless_range_loop)] // mutate one engine while fanning to the others
 fn route(engines: &mut [Engine], log: &mut Vec<(usize, Mid)>) {
@@ -80,7 +80,10 @@ fn main() {
 
     // The join step depends on BOTH chains (a fan-in of the workflow DAG).
     let join = engines[0]
-        .submit(Bytes::from_static(b"join: package release"), &[task_a2, task_b2])
+        .submit(
+            Bytes::from_static(b"join: package release"),
+            &[task_a2, task_b2],
+        )
         .unwrap();
     for r in 3..10 {
         run_round(&mut engines, r, &mut log);

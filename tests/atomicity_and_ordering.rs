@@ -22,9 +22,12 @@ fn assert_causal_order(h: &GroupHarness) {
         for &mid in log {
             let deps = node.deps_of(mid).expect("deps recorded");
             for dep in deps {
-                let dpos = pos
-                    .get(dep)
-                    .unwrap_or_else(|| panic!("{} processed {mid} without its cause {dep}", node.engine().me()));
+                let dpos = pos.get(dep).unwrap_or_else(|| {
+                    panic!(
+                        "{} processed {mid} without its cause {dep}",
+                        node.engine().me()
+                    )
+                });
                 assert!(
                     dpos < pos.get(&mid).unwrap(),
                     "{}: cause {dep} processed after {mid}",
@@ -185,7 +188,8 @@ fn temporal_mode_orders_like_vector_clocks() {
             let deps = node.deps_of(mid).unwrap();
             if mid.seq > 1 {
                 assert!(
-                    deps.iter().any(|d| d.origin == mid.origin && d.seq == mid.seq - 1),
+                    deps.iter()
+                        .any(|d| d.origin == mid.origin && d.seq == mid.seq - 1),
                     "temporal label must chain own messages"
                 );
             }
@@ -277,7 +281,11 @@ fn soak_twenty_processes_full_fault_menu() {
     // consistency, not its survival, is the guarantee; its clean-conditions
     // survival is pinned by failure_scenarios::straggler_survival_depends_on_k.)
     for i in 0..16 {
-        assert!(report.statuses[i].is_active(), "p{i}: {:?}", report.statuses[i]);
+        assert!(
+            report.statuses[i].is_active(),
+            "p{i}: {:?}",
+            report.statuses[i]
+        );
     }
     // Flow control held the paper's 8n bound (plus pipeline slack).
     assert!(

@@ -90,7 +90,10 @@ fn control_traffic_crossover_matches_table1() {
     // urcgc's grows by 2(n−1): CBCAST's slope is steeper for K ≥ 1, n ≥ 2.
     let u_slope = u.control_msgs_crash(3) - u.control_msgs_crash(2);
     let c_slope = c.control_msgs_crash(3) - c.control_msgs_crash(2);
-    assert!(c_slope > u_slope, "cbcast slope {c_slope} vs urcgc {u_slope}");
+    assert!(
+        c_slope > u_slope,
+        "cbcast slope {c_slope} vs urcgc {u_slope}"
+    );
     // And the view-change latency gap widens with f (Figure 5).
     for f in 0..6 {
         assert!(u.recovery_time_rtd(f) < c.recovery_time_rtd(f));
@@ -106,7 +109,9 @@ fn flow_control_strategies_differ_in_kind() {
     let faults = || FaultPlan::none().omission_rate(0.02);
 
     // urcgc with a tight threshold: slower but lossless.
-    let cfg = ProtocolConfig::new(n).with_k(3).with_history_threshold(3 * n);
+    let cfg = ProtocolConfig::new(n)
+        .with_k(3)
+        .with_history_threshold(3 * n);
     let mut h = GroupHarness::builder(cfg)
         .workload(Workload::fixed_count(msgs, 16))
         .faults(faults())
@@ -192,8 +197,7 @@ fn total_order_pays_head_of_line_blocking() {
 
     let mut h = GroupHarness::builder(ProtocolConfig::new(n).with_k(3))
         .workload(
-            urcgc_repro::urcgc::sim::Workload::fixed_count(msgs, 16)
-                .with_deps(DepPolicy::OwnChain),
+            urcgc_repro::urcgc::sim::Workload::fixed_count(msgs, 16).with_deps(DepPolicy::OwnChain),
         )
         .faults(FaultPlan::none().omission_rate(rate))
         .seed(14)

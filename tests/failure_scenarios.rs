@@ -296,7 +296,10 @@ fn long_minority_partition_produces_consistent_split_brain() {
     // Both sides stay *internally* consistent: identical frontiers within
     // each side.
     let fr = &report.last_processed;
-    assert!(fr[..5].windows(2).all(|w| w[0] == w[1]), "majority diverged");
+    assert!(
+        fr[..5].windows(2).all(|w| w[0] == w[1]),
+        "majority diverged"
+    );
     assert_eq!(fr[5], fr[6], "minority diverged");
     assert!(report.statuses.iter().all(|s| s.is_active()));
 }
@@ -318,7 +321,11 @@ fn short_partition_heals_without_casualties() {
         .seed(45)
         .build();
     let report = h.run_to_completion(4_000);
-    assert!(report.statuses.iter().all(|s| s.is_active()), "{:?}", report.statuses);
+    assert!(
+        report.statuses.iter().all(|s| s.is_active()),
+        "{:?}",
+        report.statuses
+    );
     // Nobody was declared crashed.
     let d = h.net().node(ProcessId(0)).engine().last_decision();
     assert!(d.process_state.iter().all(|&a| a), "{:?}", d.process_state);

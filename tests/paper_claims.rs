@@ -161,8 +161,8 @@ fn claim_control_traffic_2n_minus_2_per_subrun() {
         .build();
     let report = h.run_to_completion(5_000);
     let subruns = report.rounds / 2;
-    let ctl = report.stats.traffic.get("request").count
-        + report.stats.traffic.get("decision").count;
+    let ctl =
+        report.stats.traffic.get("request").count + report.stats.traffic.get("decision").count;
     let per_subrun = ctl as f64 / subruns as f64;
     let expected = 2.0 * (n as f64 - 1.0);
     assert!(
@@ -181,7 +181,10 @@ fn claim_datagram_fits() {
     assert!(d15.len() <= 576, "n=15 decision is {} B", d15.len());
     let d40 = encode_pdu(&Pdu::Decision(Decision::genesis(40)));
     assert!(d40.len() <= 1500, "n=40 decision is {} B", d40.len());
-    assert!(d40.len() > 576, "n=40 should need more than a 576 B datagram");
+    assert!(
+        d40.len() > 576,
+        "n=40 should need more than a 576 B datagram"
+    );
     // And the frames decode back (they are real frames, not size stubs).
     assert!(decode_pdu(&d15).is_ok());
     let _ = Pdu::Decision(Decision::genesis(15)).encoded_len();

@@ -23,11 +23,16 @@ struct Universe {
 
 fn arb_universe() -> impl Strategy<Value = Universe> {
     (
-        2usize..9,             // n
-        1u32..4,               // k
-        1u64..10,              // per-proc messages
+        2usize..9,                           // n
+        1u32..4,                             // k
+        1u64..10,                            // per-proc messages
         prop_oneof![Just(1.0), 0.2f64..1.0], // generation probability
-        prop_oneof![Just(0.0), Just(1.0 / 500.0), Just(1.0 / 100.0), Just(1.0 / 50.0)],
+        prop_oneof![
+            Just(0.0),
+            Just(1.0 / 500.0),
+            Just(1.0 / 100.0),
+            Just(1.0 / 50.0)
+        ],
         prop::option::of((0usize..9, 4u64..30)), // crash (victim, round)
         prop_oneof![Just(DepPolicy::OwnChain), Just(DepPolicy::LatestForeign)],
         prop::option::of(8usize..64), // flow threshold

@@ -60,7 +60,10 @@ fn live_engine_traffic_roundtrips_through_codec() {
     }
     // 12 rounds of an 8-member group: 8 data broadcasts + 7 requests ×
     // 6 subruns + 6 decisions = 56 distinct PDUs.
-    assert!(frames_checked >= 56, "only {frames_checked} frames exercised");
+    assert!(
+        frames_checked >= 56,
+        "only {frames_checked} frames exercised"
+    );
 }
 
 /// The paper's datagram-budget claims: for n = 15 the control messages fit
@@ -105,14 +108,23 @@ fn recovery_reply_fragments_across_small_mtu() {
         messages: (1..=40u64)
             .map(|s| DataMsg {
                 mid: Mid::new(ProcessId(0), s),
-                deps: s.checked_sub(1).filter(|&p| p > 0).map(|p| Mid::new(ProcessId(0), p)).into_iter().collect(),
+                deps: s
+                    .checked_sub(1)
+                    .filter(|&p| p > 0)
+                    .map(|p| Mid::new(ProcessId(0), p))
+                    .into_iter()
+                    .collect(),
                 round: Round(s),
                 payload: Bytes::from(vec![s as u8; 48]),
             })
             .collect(),
     });
     let sdu = encode_pdu(&reply);
-    assert!(sdu.len() > 1500, "SDU should exceed one MTU ({} B)", sdu.len());
+    assert!(
+        sdu.len() > 1500,
+        "SDU should exceed one MTU ({} B)",
+        sdu.len()
+    );
 
     let cfg = TransportConfig {
         mtu: 512,
@@ -187,7 +199,10 @@ fn h_equals_n_confirms_only_after_all_acks() {
         }
     }
     for (to, frame) in frames {
-        let r = receivers.iter_mut().find(|r| r.reassembling() == 0).unwrap();
+        let r = receivers
+            .iter_mut()
+            .find(|r| r.reassembling() == 0)
+            .unwrap();
         let _ = r;
         let idx = to.index() - 1;
         receivers[idx].on_frame(ProcessId(0), frame);

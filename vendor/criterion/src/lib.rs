@@ -1,0 +1,195 @@
+//! Offline micro-benchmark harness exposing the subset of the
+//! [`criterion`](https://docs.rs/criterion) API the workspace's benches
+//! use: [`Criterion`], benchmark groups, `bench_function`, `iter` /
+//! `iter_batched`, [`Throughput`], [`BatchSize`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is run
+//! for a fixed warm-up and a fixed measurement budget and the mean, min
+//! and max iteration times are printed. Good enough to spot order-of-
+//! magnitude regressions offline; swap the real crate back in for serious
+//! measurement work.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup output is sized (accepted for API compatibility).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Declares the throughput associated with a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+        }
+    }
+
+    fn record(&mut self, elapsed: Duration) {
+        self.iters += 1;
+        self.total += elapsed;
+        self.min = self.min.min(elapsed);
+        self.max = self.max.max(elapsed);
+    }
+
+    fn budget_spent(&self) -> bool {
+        self.total >= MEASURE_BUDGET && self.iters >= MIN_ITERS
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        while !self.budget_spent() {
+            let t0 = Instant::now();
+            let out = routine();
+            self.record(t0.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` over fresh state from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        while !self.budget_spent() {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            self.record(t0.elapsed());
+            drop(out);
+        }
+    }
+}
+
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const MIN_ITERS: u64 = 10;
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility (sampling is time-budgeted here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        let mean = if b.iters > 0 {
+            b.total / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        let mut line = format!(
+            "{}/{}: {} iters, mean {:?}, min {:?}, max {:?}",
+            self.name, id, b.iters, mean, b.min, b.max
+        );
+        if let Some(Throughput::Bytes(bytes)) = self.throughput {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                line.push_str(&format!(
+                    ", {:.1} MiB/s",
+                    bytes as f64 / secs / (1024.0 * 1024.0)
+                ));
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (printing is immediate; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Benchmark registry / entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export matching criterion's helper; prefer `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function compatible with `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

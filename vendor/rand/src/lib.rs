@@ -1,0 +1,179 @@
+//! Offline drop-in subset of the [`rand`](https://docs.rs/rand) crate.
+//!
+//! The workspace builds without crates.io access, so the `rand` API it
+//! uses is vendored here: the [`RngCore`]/[`SeedableRng`] core traits and
+//! the [`Rng`] extension trait with `gen_bool`/`gen_range`/`gen`/`fill`.
+//! `seed_from_u64` uses the same SplitMix64 expansion as `rand_core` so
+//! seeds documented in experiment headers stay meaningful if the real
+//! crate is ever restored.
+//!
+//! Distribution details (`gen_range` reduction, `gen_bool` threshold) are
+//! simple and unbiased-enough for simulation fault draws; they are *not*
+//! guaranteed to produce the same streams as the real crate, only to be
+//! deterministic given the seed — which is all the simulator requires.
+
+use std::ops::Range;
+
+/// A source of random bits.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// An RNG constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a `u64`, expanding it with SplitMix64 exactly
+    /// as `rand_core`'s default implementation does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (public-domain constants), little-endian output.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    /// Samples a uniformly distributed value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (low as i128 + v) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        low + f64::sample_standard(rng) * (high - low)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p outside [0, 1]");
+        f64::sample_standard(self) < p
+    }
+
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Re-exports mirroring `rand::rngs` (empty: the workspace only uses
+/// `rand_chacha` RNGs), kept so `use rand::rngs::...` lines fail loudly
+/// rather than silently resolving elsewhere.
+pub mod rngs {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
