@@ -1,0 +1,90 @@
+//! Criterion suite for the PR 2 hot-path overhaul: indexed vs rescan
+//! waiting-list drain, shared-buffer vs deep-clone broadcast fan-out, and
+//! history purge/range.
+//!
+//! Run: `cargo bench -p urcgc-bench --bench hotpath`
+//!
+//! The rescan drain is O(W²·D) by construction, so it is only sampled up
+//! to W = 10³ here; the one-shot comparison at W = 10⁴ lives in the
+//! `hotpath` binary (`cargo run --release -p urcgc-bench --bin hotpath`),
+//! which records both sides in the `urcgc-bench/1` JSON document.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use urcgc_bench::hotpath::{
+    chain, drain_indexed, drain_rescan, fanout_deep, fanout_shared, history_filled, history_purge,
+    history_range, park_indexed, park_rescan, sample_msg,
+};
+use urcgc_types::Pdu;
+
+fn bench_waiting_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("waiting-drain");
+    for w in [100usize, 1_000, 10_000] {
+        let msgs = chain(w);
+        g.throughput(Throughput::Elements(w as u64));
+        if w >= 10_000 {
+            g.sample_size(10);
+        }
+        g.bench_function(format!("indexed_w{w}"), |b| {
+            b.iter_batched(
+                || park_indexed(&msgs),
+                |state| assert_eq!(drain_indexed(state), w),
+                BatchSize::LargeInput,
+            )
+        });
+        // The quadratic baseline: W = 10⁴ would take seconds per sample.
+        if w <= 1_000 {
+            g.bench_function(format!("rescan_w{w}"), |b| {
+                b.iter_batched(
+                    || park_rescan(&msgs),
+                    |state| assert_eq!(drain_rescan(state), w),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_broadcast_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast-fanout");
+    let msg = sample_msg(64);
+    let shared = Arc::new(Pdu::data(msg.clone()));
+    for n in [10usize, 50, 100] {
+        g.throughput(Throughput::Elements(n as u64 - 1));
+        g.bench_function(format!("deep_clone_n{n}"), |b| {
+            b.iter(|| fanout_deep(std::hint::black_box(&msg), n))
+        });
+        g.bench_function(format!("arc_shared_n{n}"), |b| {
+            b.iter(|| fanout_shared(std::hint::black_box(&shared), n))
+        });
+    }
+    g.finish();
+}
+
+fn bench_history(c: &mut Criterion) {
+    let mut g = c.benchmark_group("history-hotpath");
+    let (origins, per) = (40usize, 250u64);
+    let filled = history_filled(origins, per);
+    g.bench_function("range_reply_200", |b| {
+        b.iter(|| history_range(std::hint::black_box(&filled), per))
+    });
+    g.bench_function("purge_stable_40x250", |b| {
+        b.iter_batched(
+            || filled.clone(),
+            |h| history_purge(h, origins, per),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_waiting_drain,
+    bench_broadcast_fanout,
+    bench_history
+);
+criterion_main!(benches);

@@ -30,7 +30,7 @@ fn sample_request(n: usize) -> Pdu {
 }
 
 fn sample_data(deps: usize) -> Pdu {
-    Pdu::Data(DataMsg {
+    Pdu::data(DataMsg {
         mid: Mid::new(ProcessId(0), 100),
         deps: (0..deps)
             .map(|i| Mid::new(ProcessId::from_index(i), 7))
@@ -128,12 +128,12 @@ fn bench_history(c: &mut Criterion) {
             |mut h| {
                 for p in 0..40u16 {
                     for s in 1..=20u64 {
-                        h.save(DataMsg {
+                        h.save(std::sync::Arc::new(DataMsg {
                             mid: Mid::new(ProcessId(p), s),
                             deps: vec![],
                             round: Round(0),
                             payload: Bytes::from_static(b"x"),
-                        });
+                        }));
                     }
                 }
                 h.purge_stable(&vec![20u64; 40]);
@@ -189,29 +189,28 @@ fn bench_labeler_and_waiting(c: &mut Criterion) {
             || {
                 let mut w = WaitingList::new();
                 let mut t = DeliveryTracker::new(4);
+                t.mark_processed(Mid::new(ProcessId(1), 1));
                 // 64 parked messages, each waiting on p0#1.
                 for s in 2..=65u64 {
-                    w.park(DataMsg {
-                        mid: Mid::new(ProcessId(1), s),
-                        deps: vec![Mid::new(ProcessId(0), 1), Mid::new(ProcessId(1), s - 1)],
-                        round: Round(0),
-                        payload: Bytes::new(),
-                    });
+                    let tr = &t;
+                    w.park(
+                        std::sync::Arc::new(DataMsg {
+                            mid: Mid::new(ProcessId(1), s),
+                            deps: vec![Mid::new(ProcessId(0), 1), Mid::new(ProcessId(1), s - 1)],
+                            round: Round(0),
+                            payload: Bytes::new(),
+                        }),
+                        |m| tr.is_processed(m),
+                    );
                 }
-                t.mark_processed(Mid::new(ProcessId(1), 1));
                 (w, t)
             },
             |(mut w, mut t)| {
                 t.mark_processed(Mid::new(ProcessId(0), 1));
-                loop {
-                    let tr = &t;
-                    let ready = w.release_ready(|m| tr.is_processed(m));
-                    if ready.is_empty() {
-                        break;
-                    }
-                    for m in ready {
-                        t.mark_processed(m.mid);
-                    }
+                let mut wave = w.wake(Mid::new(ProcessId(0), 1));
+                while let Some(m) = wave.pop() {
+                    t.mark_processed(m.mid);
+                    wave.extend(w.wake(m.mid));
                 }
                 (w, t)
             },

@@ -1,0 +1,217 @@
+//! Hot-path microbenchmark document generator (`urcgc-bench/1`).
+//!
+//! Measures the three paths PR 2 rebuilt — waiting-list drain, broadcast
+//! fan-out, history purge/range — against their pre-PR implementations
+//! (the rescan waiting list kept as executable specification, and a
+//! deep-clone-per-destination fan-out emulation) and emits one JSON
+//! document so future PRs can diff performance trajectories per commit.
+//!
+//! Run:   `cargo run --release -p urcgc-bench --bin hotpath -- --json BENCH.json`
+//! Smoke: `... --bin hotpath -- --profile smoke --json smoke.json`
+//!
+//! Wall times are medians of several runs and naturally vary between
+//! machines; the byte accounting (`*_bytes` metrics) is exact and
+//! machine-independent.
+
+use std::sync::Arc;
+
+use urcgc_bench::hotpath::{
+    chain, deep_clone_bytes, drain_indexed, drain_rescan, fanout_deep, fanout_shared,
+    history_filled, history_purge, history_range, park_indexed, park_rescan, sample_msg,
+    shared_clone_bytes, time_nanos,
+};
+use urcgc_metrics::Json;
+use urcgc_types::Pdu;
+
+const HELP: &str = "\
+hotpath — microbenchmark the urcgc hot paths, emit a urcgc-bench/1 document
+
+USAGE:
+  hotpath [OPTIONS]
+
+OPTIONS:
+  --profile P   hotpath (full sizes, default) | smoke (tiny sizes, for CI)
+  --json PATH   write the urcgc-bench/1 document to PATH
+  --help        print this help
+";
+
+struct Profile {
+    name: &'static str,
+    /// (W, timed iterations for the indexed drain, for the rescan drain).
+    drain_sizes: &'static [(usize, usize, usize)],
+    fanout_sizes: &'static [usize],
+    history: (usize, u64),
+    fanout_iters: usize,
+    history_iters: usize,
+}
+
+const HOTPATH: Profile = Profile {
+    name: "hotpath",
+    // The rescan is O(W²); one timed run at W = 10⁴ is already seconds.
+    drain_sizes: &[(100, 25, 25), (1_000, 9, 5), (10_000, 5, 1)],
+    fanout_sizes: &[10, 50, 100],
+    history: (40, 250),
+    fanout_iters: 25,
+    history_iters: 25,
+};
+
+const SMOKE: Profile = Profile {
+    name: "smoke",
+    drain_sizes: &[(64, 3, 3), (256, 3, 3)],
+    fanout_sizes: &[10],
+    history: (8, 50),
+    fanout_iters: 3,
+    history_iters: 3,
+};
+
+fn parse_args(args: &[String]) -> Result<(&'static Profile, Option<String>), String> {
+    let mut profile = &HOTPATH;
+    let mut json = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--profile" => {
+                profile = match it.next().map(String::as_str) {
+                    Some("hotpath") => &HOTPATH,
+                    Some("smoke") => &SMOKE,
+                    other => return Err(format!("--profile expects hotpath|smoke, got {other:?}")),
+                }
+            }
+            "--json" => {
+                json = Some(
+                    it.next()
+                        .ok_or_else(|| "--json expects a path".to_string())?
+                        .clone(),
+                )
+            }
+            "--help" => return Err(HELP.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n\n{HELP}")),
+        }
+    }
+    Ok((profile, json))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (profile, json_path) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg == HELP { 0 } else { 2 });
+        }
+    };
+
+    let mut benches: Vec<Json> = Vec::new();
+
+    // 1. Waiting-list drain: indexed wake cascade vs full-rescan fixpoint.
+    for &(w, indexed_iters, rescan_iters) in profile.drain_sizes {
+        let msgs = chain(w);
+        let indexed_nanos = time_nanos(
+            indexed_iters,
+            || park_indexed(&msgs),
+            |state| assert_eq!(drain_indexed(state), w),
+        );
+        let rescan_nanos = time_nanos(
+            rescan_iters,
+            || park_rescan(&msgs),
+            |state| assert_eq!(drain_rescan(state), w),
+        );
+        let speedup = rescan_nanos as f64 / indexed_nanos.max(1) as f64;
+        println!(
+            "waiting_drain    w={w:<6} indexed {indexed_nanos:>12} ns   rescan {rescan_nanos:>12} ns   speedup {speedup:.1}x"
+        );
+        benches.push(
+            Json::obj()
+                .with("name", "waiting_drain")
+                .with("params", Json::obj().with("w", w))
+                .with(
+                    "metrics",
+                    Json::obj()
+                        .with("indexed_nanos", indexed_nanos)
+                        .with("rescan_nanos", rescan_nanos)
+                        .with("speedup", speedup),
+                ),
+        );
+    }
+
+    // 2. Broadcast fan-out: deep clone per destination vs one shared body.
+    let msg = sample_msg(64);
+    let shared_pdu = Arc::new(Pdu::data(msg.clone()));
+    for &n in profile.fanout_sizes {
+        let deep_nanos = time_nanos(profile.fanout_iters, || (), |()| fanout_deep(&msg, n));
+        let shared_nanos = time_nanos(
+            profile.fanout_iters,
+            || (),
+            |()| fanout_shared(&shared_pdu, n),
+        );
+        let deep_bytes = deep_clone_bytes(&msg, n);
+        let shared_bytes = shared_clone_bytes(&msg);
+        let reduction = deep_bytes as f64 / shared_bytes as f64;
+        println!(
+            "broadcast_fanout n={n:<6} deep {deep_bytes:>7} B/cast   shared {shared_bytes:>5} B/cast   reduction {reduction:.0}x   ({deep_nanos} ns vs {shared_nanos} ns)"
+        );
+        benches.push(
+            Json::obj()
+                .with("name", "broadcast_fanout")
+                .with("params", Json::obj().with("n", n))
+                .with(
+                    "metrics",
+                    Json::obj()
+                        .with("deep_nanos", deep_nanos)
+                        .with("shared_nanos", shared_nanos)
+                        .with("deep_clone_bytes", deep_bytes)
+                        .with("shared_bytes", shared_bytes)
+                        .with("bytes_reduction", reduction),
+                ),
+        );
+    }
+
+    // 3. History: recovery-reply range extraction and stability purge.
+    let (origins, per) = profile.history;
+    let filled = history_filled(origins, per);
+    let expected_reply = (per - per / 5) as usize;
+    let range_nanos = time_nanos(
+        profile.history_iters,
+        || (),
+        |()| assert_eq!(history_range(&filled, per), expected_reply),
+    );
+    let purge_nanos = time_nanos(
+        profile.history_iters,
+        || filled.clone(),
+        |h| assert_eq!(history_purge(h, origins, per), origins * per as usize),
+    );
+    println!(
+        "history          {origins}x{per:<4} range {range_nanos:>10} ns   purge {purge_nanos:>12} ns"
+    );
+    benches.push(
+        Json::obj()
+            .with("name", "history_purge_range")
+            .with(
+                "params",
+                Json::obj().with("origins", origins).with("per_origin", per),
+            )
+            .with(
+                "metrics",
+                Json::obj()
+                    .with("range_nanos", range_nanos)
+                    .with("purge_nanos", purge_nanos),
+            ),
+    );
+
+    let doc = Json::obj()
+        .with("schema", "urcgc-bench/1")
+        .with("profile", profile.name)
+        .with("benches", Json::Arr(benches));
+
+    if let Some(path) = json_path {
+        match std::fs::write(&path, doc.render_pretty()) {
+            Ok(()) => println!("bench document written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!("{}", doc.render_pretty());
+    }
+}

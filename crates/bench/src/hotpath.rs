@@ -1,0 +1,242 @@
+//! Hot-path microbench scenarios, shared by the criterion suite
+//! (`benches/hotpath.rs`) and the `hotpath` binary that emits the
+//! `urcgc-bench/1` JSON document.
+//!
+//! Three scenarios, one per hot path the PR 2 overhaul rebuilt:
+//!
+//! * **Waiting-list drain** — a worst-case burst of `W` chained messages
+//!   all blocked (transitively) on one root. The indexed [`WaitingList`]
+//!   wakes each link exactly once; the [`RescanWaitingList`] (the old
+//!   implementation, kept as executable specification) pays a full scan
+//!   per released link, i.e. O(W²·D) per burst.
+//! * **Broadcast fan-out** — the pre-PR engine deep-copied the full PDU
+//!   (deps + payload) once per destination and the transport encoded each
+//!   copy separately; the shared-buffer scheme materializes the body once
+//!   behind an `Arc` and fans out refcount bumps plus one shared frame.
+//! * **History purge/range** — recovery replies are served straight out of
+//!   the table as `Arc` handles and stability purges drop whole prefixes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use urcgc_causal::{DeliveryTracker, RescanWaitingList, WaitingList};
+use urcgc_history::History;
+use urcgc_types::{encode_pdu, DataMsg, Mid, Pdu, ProcessId, Round, WireEncode};
+
+/// The mid the whole drain chain is blocked on.
+pub fn chain_root() -> Mid {
+    Mid::new(ProcessId(0), 1)
+}
+
+/// A worst-case waiting-list burst of `w` messages: `p1#s` depends on the
+/// root `p0#1` (unprocessed) and on its predecessor `p1#(s-1)`. Releasing
+/// the root frees the chain one link per fixpoint pass, so the rescan
+/// implementation does `w` passes over up to `w` survivors.
+pub fn chain(w: usize) -> Vec<Arc<DataMsg>> {
+    (2..w as u64 + 2)
+        .map(|s| {
+            Arc::new(DataMsg {
+                mid: Mid::new(ProcessId(1), s),
+                deps: vec![chain_root(), Mid::new(ProcessId(1), s - 1)],
+                round: Round(0),
+                payload: Bytes::new(),
+            })
+        })
+        .collect()
+}
+
+/// Parks the burst on an indexed list (`p1#1` counts as already processed
+/// so only the root and intra-chain edges stay unsatisfied).
+pub fn park_indexed(msgs: &[Arc<DataMsg>]) -> (WaitingList, DeliveryTracker) {
+    let mut w = WaitingList::new();
+    let mut t = DeliveryTracker::new(4);
+    t.mark_processed(Mid::new(ProcessId(1), 1));
+    for m in msgs {
+        let tr = &t;
+        w.park(Arc::clone(m), |d| tr.is_processed(d));
+    }
+    (w, t)
+}
+
+/// Parks the burst on the rescan (reference) list.
+pub fn park_rescan(msgs: &[Arc<DataMsg>]) -> (RescanWaitingList, DeliveryTracker) {
+    let mut w = RescanWaitingList::new();
+    let mut t = DeliveryTracker::new(4);
+    t.mark_processed(Mid::new(ProcessId(1), 1));
+    for m in msgs {
+        w.park(Arc::clone(m));
+    }
+    (w, t)
+}
+
+/// Processes the root and drains the indexed list via the wake cascade.
+/// Returns the number of released messages (must equal the burst size).
+pub fn drain_indexed((mut w, mut t): (WaitingList, DeliveryTracker)) -> usize {
+    t.mark_processed(chain_root());
+    let mut released = 0;
+    let mut wave = w.wake(chain_root());
+    while let Some(m) = wave.pop() {
+        t.mark_processed(m.mid);
+        released += 1;
+        wave.extend(w.wake(m.mid));
+    }
+    assert!(w.is_empty(), "drain left {} parked", w.len());
+    released
+}
+
+/// Processes the root and drains the rescan list via the fixpoint loop the
+/// pre-PR engine ran. Returns the number of released messages.
+pub fn drain_rescan((mut w, mut t): (RescanWaitingList, DeliveryTracker)) -> usize {
+    t.mark_processed(chain_root());
+    let mut released = 0;
+    loop {
+        let tr = &t;
+        let ready = w.release_ready(|d| tr.is_processed(d));
+        if ready.is_empty() {
+            break;
+        }
+        for m in ready {
+            t.mark_processed(m.mid);
+            released += 1;
+        }
+    }
+    assert!(w.is_empty(), "drain left {} parked", w.len());
+    released
+}
+
+/// A representative application message: 8 causal deps and `payload` bytes
+/// of body (the paper's experiments use small payloads; 64 B keeps the
+/// deps-to-payload ratio honest).
+pub fn sample_msg(payload: usize) -> DataMsg {
+    DataMsg {
+        mid: Mid::new(ProcessId(0), 100),
+        deps: (0..8).map(|i| Mid::new(ProcessId(i), 7)).collect(),
+        round: Round(12),
+        payload: Bytes::from(vec![0xabu8; payload]),
+    }
+}
+
+/// The pre-PR fan-out: one deep copy of the message per destination, each
+/// encoded separately. Returns total frame bytes produced (kept so the
+/// optimizer cannot discard the work).
+pub fn fanout_deep(msg: &DataMsg, n: usize) -> usize {
+    let mut produced = 0;
+    for _ in 1..n {
+        let pdu = Pdu::data(msg.clone());
+        let frame = encode_pdu(&pdu);
+        produced += frame.len();
+    }
+    produced
+}
+
+/// The shared-buffer fan-out: the body is materialized once behind an
+/// `Arc<Pdu>`, the frame is encoded once, and each destination gets a
+/// refcount bump plus a shared (`Bytes`) handle to the same frame.
+pub fn fanout_shared(pdu: &Arc<Pdu>, n: usize) -> usize {
+    let frame = encode_pdu(pdu);
+    let mut produced = 0;
+    for _ in 1..n {
+        let p = Arc::clone(pdu);
+        let f = frame.clone();
+        produced += f.len();
+        std::hint::black_box((p, f));
+    }
+    produced
+}
+
+/// Message-body bytes deep-copied per `n`-way broadcast under the pre-PR
+/// per-destination cloning (wire size is the body proxy).
+pub fn deep_clone_bytes(msg: &DataMsg, n: usize) -> u64 {
+    let pdu = Pdu::data(msg.clone());
+    (n as u64 - 1) * pdu.encoded_len() as u64
+}
+
+/// Message-body bytes materialized per broadcast with the shared buffer:
+/// the body exists exactly once regardless of fan-out width.
+pub fn shared_clone_bytes(msg: &DataMsg) -> u64 {
+    Pdu::data(msg.clone()).encoded_len() as u64
+}
+
+/// A history pre-filled with `origins × per_origin` processed messages.
+pub fn history_filled(origins: usize, per_origin: u64) -> History {
+    let mut h = History::new(origins);
+    for p in 0..origins as u16 {
+        for s in 1..=per_origin {
+            h.save(Arc::new(DataMsg {
+                mid: Mid::new(ProcessId(p), s),
+                deps: vec![],
+                round: Round(0),
+                payload: Bytes::from_static(b"hotpath"),
+            }));
+        }
+    }
+    h
+}
+
+/// Serves one recovery reply: the trailing 80% of origin 0's messages,
+/// shared straight out of the table. Returns the reply length.
+pub fn history_range(h: &History, per_origin: u64) -> usize {
+    h.range(ProcessId(0), per_origin / 5, per_origin).len()
+}
+
+/// Applies a full stability purge (everything stable). Returns messages
+/// dropped.
+pub fn history_purge(mut h: History, origins: usize, per_origin: u64) -> usize {
+    h.purge_stable(&vec![per_origin; origins])
+}
+
+/// Median wall time of `iters` runs of `run`, each on a fresh `setup()`
+/// value, in nanoseconds. Only `run` is timed.
+pub fn time_nanos<S, R>(
+    iters: usize,
+    mut setup: impl FnMut() -> S,
+    mut run: impl FnMut(S) -> R,
+) -> u64 {
+    assert!(iters > 0);
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let state = setup();
+            let started = Instant::now();
+            let out = run(state);
+            let nanos = started.elapsed().as_nanos() as u64;
+            std::hint::black_box(out);
+            nanos
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_drains_release_the_whole_chain() {
+        let msgs = chain(64);
+        assert_eq!(drain_indexed(park_indexed(&msgs)), 64);
+        assert_eq!(drain_rescan(park_rescan(&msgs)), 64);
+    }
+
+    #[test]
+    fn fanouts_produce_identical_frame_bytes() {
+        let msg = sample_msg(64);
+        let shared = Arc::new(Pdu::data(msg.clone()));
+        assert_eq!(fanout_deep(&msg, 10), fanout_shared(&shared, 10));
+    }
+
+    #[test]
+    fn byte_accounting_scales_with_fanout() {
+        let msg = sample_msg(64);
+        assert_eq!(deep_clone_bytes(&msg, 100), 99 * shared_clone_bytes(&msg));
+    }
+
+    #[test]
+    fn history_scenario_round_trips() {
+        let h = history_filled(8, 50);
+        assert_eq!(h.len(), 8 * 50);
+        assert_eq!(history_range(&h, 50), 40);
+        assert_eq!(history_purge(h, 8, 50), 8 * 50);
+    }
+}

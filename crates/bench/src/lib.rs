@@ -8,6 +8,7 @@
 //! seed printed in their headers.
 
 pub mod cli;
+pub mod hotpath;
 pub mod sweep;
 pub mod transported;
 

@@ -53,6 +53,6 @@ pub use graph::{CausalGraph, CycleError};
 pub use labeler::Labeler;
 pub use tracker::DeliveryTracker;
 pub use vclock::VectorClock;
-pub use waiting::WaitingList;
+pub use waiting::{RescanWaitingList, WaitingList};
 
 pub use urcgc_types::CausalityMode;

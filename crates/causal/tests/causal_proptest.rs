@@ -99,30 +99,32 @@ proptest! {
         let mut processed_order: Vec<Mid> = Vec::new();
         for &ix in &order {
             let (m, deps) = &batch[ix];
-            let msg = DataMsg {
+            let msg = std::sync::Arc::new(DataMsg {
                 mid: *m,
                 deps: deps.clone(),
                 round: Round(0),
                 payload: Bytes::new(),
-            };
+            });
             if tracker.deliverable(&msg.deps) {
                 if tracker.mark_processed(msg.mid) {
                     processed_order.push(msg.mid);
                 }
-                loop {
-                    let t = &tracker;
-                    let ready = waiting.release_ready(|d| t.is_processed(d));
-                    if ready.is_empty() {
-                        break;
-                    }
-                    for r in ready {
+                // Wave-based cascade, exactly as the engine drives it.
+                let mut wave = waiting.wake(msg.mid);
+                while !wave.is_empty() {
+                    let mut next = Vec::new();
+                    for r in wave {
                         if tracker.mark_processed(r.mid) {
                             processed_order.push(r.mid);
                         }
+                        next.extend(waiting.wake(r.mid));
                     }
+                    next.sort_by_key(|x| x.mid);
+                    wave = next;
                 }
             } else {
-                waiting.park(msg);
+                let t = &tracker;
+                prop_assert!(waiting.park(msg, |d| t.is_processed(d)));
             }
         }
         prop_assert!(waiting.is_empty(), "stuck: {} waiting", waiting.len());
@@ -184,20 +186,30 @@ proptest! {
         }
         let mut waiting = WaitingList::new();
         let mut graph = CausalGraph::new();
+        let mut parked = std::collections::HashSet::new();
         for (m, deps) in &batch {
             graph.insert(*m, deps).unwrap();
-            waiting.park(DataMsg {
-                mid: *m,
-                deps: deps.clone(),
-                round: Round(0),
-                payload: Bytes::new(),
-            });
+            let stored = waiting.park(
+                std::sync::Arc::new(DataMsg {
+                    mid: *m,
+                    deps: deps.clone(),
+                    round: Round(0),
+                    payload: Bytes::new(),
+                }),
+                |_| false,
+            );
+            // Only dep-free messages are refused (nothing is processed here).
+            prop_assert_eq!(stored, !deps.is_empty());
+            if stored {
+                parked.insert(*m);
+            }
         }
         let root = batch[0].0;
         let doomed: std::collections::HashSet<Mid> =
             waiting.discard_dependents(root).into_iter().collect();
         let mut expect = graph.descendants(root);
         expect.insert(root);
+        expect.retain(|m| parked.contains(m));
         prop_assert_eq!(doomed, expect);
     }
 }

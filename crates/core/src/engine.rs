@@ -19,6 +19,7 @@
 //!   destruction on decided unrecoverable gaps.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -296,7 +297,7 @@ impl Engine {
             }
             Pdu::Request(req) => self.handle_request(req),
             Pdu::Decision(d) => {
-                self.apply_decision(d);
+                self.apply_decision(&d);
             }
             Pdu::RecoveryRq(rq) => self.handle_recovery_rq(from, rq),
             Pdu::RecoveryReply(rep) => self.handle_recovery_reply(rep),
@@ -331,7 +332,7 @@ impl Engine {
                 && d.max_processed.iter().all(|m| m.holder.index() < n)
         };
         match pdu {
-            Pdu::Data(d) => data_ok(d),
+            Pdu::Data(d) => data_ok(d.as_ref()),
             Pdu::Request(r) => {
                 r.sender.index() < n
                     && r.last_processed.len() == n
@@ -345,7 +346,7 @@ impl Engine {
             Pdu::RecoveryReply(rep) => {
                 rep.responder.index() < n
                     && rep.origin.index() < n
-                    && rep.messages.iter().all(data_ok)
+                    && rep.messages.iter().all(|m| data_ok(m.as_ref()))
             }
         }
     }
@@ -393,18 +394,20 @@ impl Engine {
             return;
         }
         let (mid, deps, payload) = self.pending.pop_front().expect("checked non-empty");
-        let msg = DataMsg {
+        let msg = Arc::new(DataMsg {
             mid,
             deps,
             round,
             payload,
-        };
+        });
+        // One allocation serves the broadcast, the history table and the
+        // local delivery: everything downstream shares the handle.
         self.outbox.push_back(Output::Broadcast {
-            pdu: Pdu::Data(msg.clone()),
+            pdu: Arc::new(Pdu::Data(Arc::clone(&msg))),
         });
         // "…broadcasts the message to the group and processes it."
         self.process_now(msg);
-        self.drain_waiting();
+        self.drain_waiting_from(mid);
         self.outbox.push_back(Output::Confirm { mid });
     }
 
@@ -444,7 +447,7 @@ impl Engine {
             self.matrix = None;
             self.outbox.push_back(Output::Send {
                 to: coordinator,
-                pdu: Pdu::Request(req),
+                pdu: Box::new(Pdu::Request(req)),
             });
         }
     }
@@ -460,9 +463,13 @@ impl Engine {
         }
         let decision = matrix.compute(subrun, self.me, self.cfg.k, &self.last_decision);
         self.stats.decisions_made += 1;
+        let pdu = Arc::new(Pdu::Decision(decision));
         self.outbox.push_back(Output::Broadcast {
-            pdu: Pdu::Decision(decision.clone()),
+            pdu: Arc::clone(&pdu),
         });
+        let Pdu::Decision(decision) = &*pdu else {
+            unreachable!("just built")
+        };
         self.apply_decision(decision);
     }
 
@@ -472,7 +479,7 @@ impl Engine {
 
     /// Handles an application data message (fresh from the wire or pulled
     /// out of a peer's history). Returns whether it was processed now.
-    fn handle_data(&mut self, msg: DataMsg, via_recovery: bool) -> bool {
+    fn handle_data(&mut self, msg: Arc<DataMsg>, via_recovery: bool) -> bool {
         if msg.mid.origin.index() >= self.cfg.n {
             // A malformed or hostile frame naming an origin outside the
             // group must not disturb (let alone panic) the entity.
@@ -485,40 +492,57 @@ impl Engine {
             if via_recovery {
                 self.stats.recovered += 1;
             }
+            let mid = msg.mid;
             self.process_now(msg);
-            self.drain_waiting();
+            self.drain_waiting_from(mid);
             true
         } else {
-            self.waiting.park(msg);
+            let tracker = &self.tracker;
+            let parked = self.waiting.park(msg, |m| tracker.is_processed(m));
+            debug_assert!(parked, "a non-deliverable message must park");
             false
         }
     }
 
     /// Unconditionally processes `msg`: marks it, saves it to history,
-    /// emits the indication.
-    fn process_now(&mut self, msg: DataMsg) {
+    /// emits the indication. History and delivery share the same handle —
+    /// nothing is copied.
+    fn process_now(&mut self, msg: Arc<DataMsg>) {
         let newly = self.tracker.mark_processed(msg.mid);
         debug_assert!(newly, "process_now on an already-processed message");
         self.labeler.note_processed(msg.mid);
-        self.history.save(msg.clone());
+        self.history.save(Arc::clone(&msg));
         self.stats.processed += 1;
         self.outbox.push_back(Output::Deliver { msg });
     }
 
-    /// Releases waiting messages whose causes are now satisfied, to a
-    /// fixpoint.
-    fn drain_waiting(&mut self) {
-        loop {
-            let tracker = &self.tracker;
-            let ready = self.waiting.release_ready(|m| tracker.is_processed(m));
-            if ready.is_empty() {
-                return;
-            }
-            for msg in ready {
-                if !self.tracker.is_processed(msg.mid) {
+    /// Releases waiting messages unblocked by processing `root`, cascading
+    /// wave by wave until no release unblocks another. Each wake touches
+    /// only the dependents of the mid just processed, and each wave is
+    /// sorted by mid — reproducing, release for release, the order of the
+    /// old full-rescan fixpoint (the sweep-JSON determinism oracle).
+    ///
+    /// Completeness relies on the engine invariant checked in
+    /// `debug_validate`: a parked message always has at least one
+    /// unprocessed cause, so only the mid just processed (and, inductively,
+    /// mids released here) can unblock anything.
+    fn drain_waiting_from(&mut self, root: Mid) {
+        let mut wave = self.waiting.wake(root);
+        while !wave.is_empty() {
+            let mut next = Vec::new();
+            for msg in wave {
+                let mid = msg.mid;
+                if !self.tracker.is_processed(mid) {
+                    debug_assert!(
+                        self.tracker.deliverable(&msg.deps),
+                        "woken message {mid} is not deliverable"
+                    );
                     self.process_now(msg);
                 }
+                next.extend(self.waiting.wake(mid));
             }
+            next.sort_by_key(|m| m.mid);
+            wave = next;
         }
     }
 
@@ -544,7 +568,7 @@ impl Engine {
     fn handle_request(&mut self, req: RequestMsg) {
         // Decision circulation: a request can carry a decision newer than
         // anything we have seen (e.g. we missed the previous broadcast).
-        self.apply_decision(req.prev_decision.clone());
+        self.apply_decision(&req.prev_decision);
         if !self.status.is_active() {
             return; // the carried decision may have declared us dead
         }
@@ -572,7 +596,7 @@ impl Engine {
                 if next != self.me {
                     self.outbox.push_back(Output::Send {
                         to: next,
-                        pdu: Pdu::Request(fwd),
+                        pdu: Box::new(Pdu::Request(fwd)),
                     });
                 }
             }
@@ -589,8 +613,9 @@ impl Engine {
 
     /// Adopts `d` if it is newer than the current decision; applies history
     /// cleaning, view updates, suicide, and orphan destruction. Returns
-    /// whether it was adopted.
-    fn apply_decision(&mut self, d: Decision) -> bool {
+    /// whether it was adopted. Takes a reference and clones only on
+    /// adoption, so the common stale/duplicate case copies nothing.
+    fn apply_decision(&mut self, d: &Decision) -> bool {
         // "Newer" is judged against the last *applied* decision; before any
         // decision has been applied, even a subrun-0 decision supersedes
         // the synthetic genesis value the engine boots with. Carried
@@ -610,7 +635,7 @@ impl Engine {
 
         if !d.process_state[self.me.index()] {
             // The group has declared us crashed: commit suicide.
-            self.last_decision = d;
+            self.last_decision = d.clone();
             self.transition(ProcessStatus::Suicided, StatusReason::DeclaredCrashed);
             return true;
         }
@@ -636,7 +661,7 @@ impl Engine {
                     .push_back(Output::Discarded { mids: doomed_all });
             }
         }
-        self.last_decision = d;
+        self.last_decision = d.clone();
         true
     }
 
@@ -655,11 +680,11 @@ impl Engine {
         }
         self.outbox.push_back(Output::Send {
             to: from,
-            pdu: Pdu::RecoveryReply(RecoveryReply {
+            pdu: Box::new(Pdu::RecoveryReply(RecoveryReply {
                 responder: self.me,
                 origin: rq.origin,
                 messages,
-            }),
+            })),
         });
     }
 
@@ -694,12 +719,12 @@ impl Engine {
             }
             self.outbox.push_back(Output::Send {
                 to: maxp.holder,
-                pdu: Pdu::RecoveryRq(RecoveryRq {
+                pdu: Box::new(Pdu::RecoveryRq(RecoveryRq {
                     requester: self.me,
                     origin: q,
                     after_seq: lp,
                     upto_seq: maxp.seq,
-                }),
+                })),
             });
             self.stats.recovery_requests += 1;
             sent_any = true;
@@ -755,12 +780,12 @@ mod tests {
                 while let Some(out) = engines[i].poll_output() {
                     moved = true;
                     match out {
-                        Output::Send { to, pdu } => engines[to.index()].on_pdu(me, pdu),
+                        Output::Send { to, pdu } => engines[to.index()].on_pdu(me, *pdu),
                         Output::Broadcast { pdu } => {
                             for j in 0..engines.len() {
                                 if j != i {
-                                    let pdu = pdu.clone();
-                                    engines[j].on_pdu(me, pdu);
+                                    // Shallow: Pdu::Data carries an Arc.
+                                    engines[j].on_pdu(me, Pdu::clone(&pdu));
                                 }
                             }
                         }
@@ -812,22 +837,26 @@ mod tests {
         es[0].begin_round(Round(0));
         let mut pdus = Vec::new();
         while let Some(o) = es[0].poll_output() {
-            if let Output::Broadcast { pdu: Pdu::Data(d) } = o {
-                pdus.push(d);
+            if let Output::Broadcast { pdu } = o {
+                if let Pdu::Data(d) = &*pdu {
+                    pdus.push(Arc::clone(d));
+                }
             }
         }
         es[0].begin_round(Round(1));
         while let Some(o) = es[0].poll_output() {
-            if let Output::Broadcast { pdu: Pdu::Data(d) } = o {
-                pdus.push(d);
+            if let Output::Broadcast { pdu } = o {
+                if let Pdu::Data(d) = &*pdu {
+                    pdus.push(Arc::clone(d));
+                }
             }
         }
         assert_eq!(pdus.len(), 2);
         // Out-of-order arrival at p1.
-        es[1].on_pdu(ProcessId(0), Pdu::Data(pdus[1].clone()));
+        es[1].on_pdu(ProcessId(0), Pdu::Data(Arc::clone(&pdus[1])));
         assert!(!es[1].has_processed(m2), "m2 must wait for m1");
         assert_eq!(es[1].waiting_len(), 1);
-        es[1].on_pdu(ProcessId(0), Pdu::Data(pdus[0].clone()));
+        es[1].on_pdu(ProcessId(0), Pdu::Data(Arc::clone(&pdus[0])));
         assert!(es[1].has_processed(m1));
         assert!(es[1].has_processed(m2), "waiting m2 released after m1");
         // Delivery order: m1 then m2.
@@ -847,16 +876,15 @@ mod tests {
         run_round(&mut es, 0);
         let before = es[1].stats().processed;
         // Replay the same data message.
-        let msg = es[1].last_decision().clone(); // dummy borrow to appease lifetimes; real replay below
-        drop(msg);
         let replay = DataMsg {
             mid: Mid::new(ProcessId(0), 1),
             deps: vec![],
             round: Round(0),
             payload: Bytes::from_static(b"x"),
         };
-        es[1].on_pdu(ProcessId(0), Pdu::Data(replay));
+        es[1].on_pdu(ProcessId(0), Pdu::data(replay));
         assert_eq!(es[1].stats().processed, before);
+        assert_eq!(es[1].waiting_len(), 0, "a replay must not park either");
     }
 
     #[test]
@@ -961,11 +989,11 @@ mod tests {
         let mut e = Engine::new(ProcessId(0), cfg());
         let mut newer = Decision::genesis(N);
         newer.subrun = Subrun(5);
-        assert!(e.apply_decision(newer.clone()));
+        assert!(e.apply_decision(&newer));
         let mut stale = Decision::genesis(N);
         stale.subrun = Subrun(2);
         stale.process_state[0] = false; // malicious staleness
-        assert!(!e.apply_decision(stale));
+        assert!(!e.apply_decision(&stale));
         assert_eq!(e.status(), ProcessStatus::Active);
     }
 
@@ -979,7 +1007,7 @@ mod tests {
             round: Round(0),
             payload: Bytes::new(),
         };
-        e.on_pdu(ProcessId(0), Pdu::Data(msg));
+        e.on_pdu(ProcessId(0), Pdu::data(msg));
         assert_eq!(e.waiting_len(), 1);
         // A decision names p1 as most updated for origin 0.
         let mut d = Decision::genesis(N);
@@ -993,12 +1021,10 @@ mod tests {
         e.begin_round(Round(3));
         let mut asked = None;
         while let Some(o) = e.poll_output() {
-            if let Output::Send {
-                to,
-                pdu: Pdu::RecoveryRq(rq),
-            } = o
-            {
-                asked = Some((to, rq));
+            if let Output::Send { to, pdu } = o {
+                if let Pdu::RecoveryRq(rq) = *pdu {
+                    asked = Some((to, rq));
+                }
             }
         }
         let (to, rq) = asked.expect("recovery request sent");
@@ -1029,13 +1055,11 @@ mod tests {
         );
         let mut reply = None;
         while let Some(o) = es[0].poll_output() {
-            if let Output::Send {
-                to,
-                pdu: Pdu::RecoveryReply(r),
-            } = o
-            {
-                assert_eq!(to, ProcessId(2));
-                reply = Some(r);
+            if let Output::Send { to, pdu } = o {
+                if let Pdu::RecoveryReply(r) = *pdu {
+                    assert_eq!(to, ProcessId(2));
+                    reply = Some(r);
+                }
             }
         }
         let reply = reply.expect("recovery served");
@@ -1054,7 +1078,7 @@ mod tests {
         // Park a message blocked on a missing cause.
         e.on_pdu(
             ProcessId(0),
-            Pdu::Data(DataMsg {
+            Pdu::data(DataMsg {
                 mid: Mid::new(ProcessId(0), 2),
                 deps: vec![Mid::new(ProcessId(0), 1)],
                 round: Round(0),
@@ -1094,7 +1118,7 @@ mod tests {
         // Waiting: p0#3 (depends on p0#2, lost) and p2#1 depending on p0#3.
         e.on_pdu(
             ProcessId(0),
-            Pdu::Data(DataMsg {
+            Pdu::data(DataMsg {
                 mid: Mid::new(ProcessId(0), 3),
                 deps: vec![Mid::new(ProcessId(0), 2)],
                 round: Round(0),
@@ -1103,7 +1127,7 @@ mod tests {
         );
         e.on_pdu(
             ProcessId(2),
-            Pdu::Data(DataMsg {
+            Pdu::data(DataMsg {
                 mid: Mid::new(ProcessId(2), 1),
                 deps: vec![Mid::new(ProcessId(0), 3)],
                 round: Round(0),

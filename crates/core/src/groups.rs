@@ -19,6 +19,7 @@
 //! group cardinality is the *server* count.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -106,8 +107,9 @@ pub enum CsFrame {
         /// The mid the group processed it under.
         mid: Mid,
     },
-    /// Server → client (diffusion groups): a processed message.
-    Diffusion(DataMsg),
+    /// Server → client (diffusion groups): a processed message, shared
+    /// with the server engine's history (encoded once per diffusion).
+    Diffusion(Arc<DataMsg>),
 }
 
 const TAG_URCGC: u8 = 0x40;
@@ -172,7 +174,7 @@ impl CsFrame {
                 let mid = Mid::decode(&mut frame).ok()?;
                 Some(CsFrame::Reply { req_id, mid })
             }
-            TAG_DIFFUSION => DataMsg::decode(&mut frame).ok().map(CsFrame::Diffusion),
+            TAG_DIFFUSION => Arc::decode(&mut frame).ok().map(CsFrame::Diffusion),
             _ => None,
         }
     }
@@ -218,13 +220,15 @@ impl ServerNode {
         while let Some(out) = self.engine.poll_output() {
             match out {
                 Output::Send { to, pdu } => {
-                    net.send(to, pdu.kind().label(), CsFrame::Urcgc(pdu).encode());
+                    net.send(to, pdu.kind().label(), CsFrame::Urcgc(*pdu).encode());
                 }
                 Output::Broadcast { pdu } => {
                     // urcgc traffic goes to the *server* core only.
                     let me = self.engine.me();
                     let label = pdu.kind().label();
-                    let frame = CsFrame::Urcgc(pdu).encode();
+                    // Shallow clone: Pdu::Data holds an Arc, and the frame
+                    // is encoded exactly once for the whole fan-out.
+                    let frame = CsFrame::Urcgc(Pdu::clone(&pdu)).encode();
                     for i in 0..servers {
                         let to = ProcessId::from_index(i);
                         if to != me {
@@ -235,7 +239,7 @@ impl ServerNode {
                 Output::Deliver { msg } => {
                     self.processed.push(msg.mid);
                     if self.cfg.diffusion {
-                        let frame = CsFrame::Diffusion(msg.clone()).encode();
+                        let frame = CsFrame::Diffusion(Arc::clone(&msg)).encode();
                         for c in 0..self.cfg.clients {
                             // Each client receives the diffusion from its
                             // home server only (one copy, not one per
@@ -533,7 +537,7 @@ mod tests {
     #[test]
     fn frame_roundtrips() {
         let frames = [
-            CsFrame::Urcgc(Pdu::Data(DataMsg {
+            CsFrame::Urcgc(Pdu::data(DataMsg {
                 mid: Mid::new(ProcessId(0), 1),
                 deps: vec![],
                 round: Round(0),
@@ -547,12 +551,12 @@ mod tests {
                 req_id: 9,
                 mid: Mid::new(ProcessId(1), 4),
             },
-            CsFrame::Diffusion(DataMsg {
+            CsFrame::Diffusion(Arc::new(DataMsg {
                 mid: Mid::new(ProcessId(2), 2),
                 deps: vec![Mid::new(ProcessId(2), 1)],
                 round: Round(3),
                 payload: Bytes::from_static(b"d"),
-            }),
+            })),
         ];
         for f in frames {
             assert_eq!(CsFrame::decode(f.encode()), Some(f));

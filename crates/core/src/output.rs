@@ -1,6 +1,7 @@
 //! Engine effects and status types.
 
 use core::fmt;
+use std::sync::Arc;
 
 use urcgc_types::{DataMsg, Mid, Pdu, ProcessId};
 
@@ -53,23 +54,27 @@ impl fmt::Display for StatusReason {
 /// [`Engine::poll_output`](crate::Engine::poll_output).
 #[derive(Clone, Debug)]
 pub enum Output {
-    /// Transmit `pdu` to one destination.
+    /// Transmit `pdu` to one destination. Unicast is the rare path
+    /// (requests, recovery); boxing keeps the hot outbox variants small.
     Send {
         /// Destination process.
         to: ProcessId,
         /// The protocol data unit to encode and ship.
-        pdu: Pdu,
+        pdu: Box<Pdu>,
     },
-    /// Transmit `pdu` to every other group member.
+    /// Transmit `pdu` to every other group member. The PDU is shared — the
+    /// transport encodes it once and fans the frame out, so an n-way
+    /// broadcast never deep-copies the message body per destination.
     Broadcast {
-        /// The protocol data unit to encode and ship.
-        pdu: Pdu,
+        /// The protocol data unit to encode (once) and ship to everyone.
+        pdu: Arc<Pdu>,
     },
     /// `urcgc.data.Ind`: a message has been *processed* — hand it to the
-    /// application. Emitted in causal order.
+    /// application. Emitted in causal order. The handle is shared with the
+    /// engine's history buffer.
     Deliver {
         /// The processed message.
-        msg: DataMsg,
+        msg: Arc<DataMsg>,
     },
     /// `urcgc.data.Conf`: the local entity has broadcast and processed the
     /// application's own submission.

@@ -148,7 +148,7 @@ impl Tracer {
     pub fn observe(&mut self, round: Round, out: &Output) {
         use urcgc_types::Pdu;
         let ev = match out {
-            Output::Broadcast { pdu } => match pdu {
+            Output::Broadcast { pdu } => match pdu.as_ref() {
                 Pdu::Data(d) => Some(TraceEvent::DataSent {
                     round,
                     mid: d.mid,
@@ -168,7 +168,7 @@ impl Tracer {
                 }),
                 _ => None,
             },
-            Output::Send { to, pdu } => match pdu {
+            Output::Send { to, pdu } => match &**pdu {
                 Pdu::Request(r) => Some(TraceEvent::RequestSent {
                     round,
                     coordinator: *to,

@@ -16,7 +16,7 @@ fn drain(e: &mut Engine) -> Vec<Output> {
 }
 
 fn data(p: u16, s: u64, deps: Vec<Mid>) -> Pdu {
-    Pdu::Data(DataMsg {
+    Pdu::data(DataMsg {
         mid: Mid::new(ProcessId(p), s),
         deps,
         round: Round(0),
@@ -33,9 +33,8 @@ fn two_process_group_works() {
     let route = |src: &mut Engine, dst: &mut Engine, src_id: u16| {
         for o in drain(src) {
             match o {
-                Output::Send { pdu, .. } | Output::Broadcast { pdu } => {
-                    dst.on_pdu(ProcessId(src_id), pdu)
-                }
+                Output::Send { pdu, .. } => dst.on_pdu(ProcessId(src_id), *pdu),
+                Output::Broadcast { pdu } => dst.on_pdu(ProcessId(src_id), Pdu::clone(&pdu)),
                 _ => {}
             }
         }
@@ -158,12 +157,12 @@ fn recovery_reply_with_already_processed_messages_is_harmless() {
         Pdu::RecoveryReply(RecoveryReply {
             responder: ProcessId(0),
             origin: ProcessId(0),
-            messages: vec![DataMsg {
+            messages: vec![std::sync::Arc::new(DataMsg {
                 mid: Mid::new(ProcessId(0), 1),
                 deps: vec![],
                 round: Round(0),
                 payload: Bytes::from_static(b"x"),
-            }],
+            })],
         }),
     );
     assert_eq!(e.stats().processed, processed_before);
@@ -284,10 +283,7 @@ fn max_processed_pointing_at_self_never_self_recovers() {
         .filter(|o| {
             matches!(
                 o,
-                Output::Send {
-                    pdu: Pdu::RecoveryRq(_),
-                    ..
-                }
+                Output::Send { pdu, .. } if matches!(**pdu, Pdu::RecoveryRq(_))
             )
         })
         .collect();

@@ -72,7 +72,7 @@ fn wild_decision() -> impl Strategy<Value = Decision> {
 
 fn wild_pdu() -> impl Strategy<Value = Pdu> {
     prop_oneof![
-        wild_data().prop_map(Pdu::Data),
+        wild_data().prop_map(Pdu::data),
         (
             wild_pid(),
             any::<u64>(),
@@ -106,7 +106,7 @@ fn wild_pdu() -> impl Strategy<Value = Pdu> {
                 |(responder, origin, messages)| Pdu::RecoveryReply(RecoveryReply {
                     responder,
                     origin,
-                    messages,
+                    messages: messages.into_iter().map(std::sync::Arc::new).collect(),
                 })
             ),
     ]

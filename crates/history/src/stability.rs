@@ -410,7 +410,7 @@ mod tests {
         newer.covered = vec![true, true];
         let mut m = StabilityMatrix::new(2);
         m.record(pid(0), vec![9, 9], vec![NO_SEQ; 2], genesis.clone());
-        m.record(pid(1), vec![9, 9], vec![NO_SEQ; 2], newer.clone());
+        m.record(pid(1), vec![9, 9], vec![NO_SEQ; 2], newer);
         assert_eq!(m.freshest_prev().unwrap().subrun, Subrun(5));
         // compute() continues from the newer (partial) decision, so mins
         // include its stable values.

@@ -1,6 +1,7 @@
 //! The history table.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use urcgc_types::{DataMsg, Mid, ProcessId, NO_SEQ};
 
@@ -9,7 +10,7 @@ use urcgc_types::{DataMsg, Mid, ProcessId, NO_SEQ};
 #[derive(Clone, Debug, Default)]
 struct Entry {
     purged_to: u64,
-    messages: BTreeMap<u64, DataMsg>,
+    messages: BTreeMap<u64, Arc<DataMsg>>,
 }
 
 /// The per-process history buffer: processed messages of every origin, kept
@@ -34,8 +35,10 @@ impl History {
 
     /// Saves a processed message. Returns `false` (and stores nothing) if
     /// the message was already present or already purged — both happen
-    /// routinely when recovery duplicates traffic.
-    pub fn save(&mut self, msg: DataMsg) -> bool {
+    /// routinely when recovery duplicates traffic. The stored handle is
+    /// shared with the caller (and with recovery replies served later) —
+    /// saving never copies the message body.
+    pub fn save(&mut self, msg: Arc<DataMsg>) -> bool {
         let i = msg.mid.origin.index();
         assert!(i < self.n(), "origin {} outside group", msg.mid.origin);
         assert_ne!(msg.mid.seq, NO_SEQ, "NO_SEQ is not a message");
@@ -55,22 +58,27 @@ impl History {
     }
 
     /// Retrieves a held message.
-    pub fn get(&self, mid: Mid) -> Option<&DataMsg> {
+    pub fn get(&self, mid: Mid) -> Option<&Arc<DataMsg>> {
         self.entries.get(mid.origin.index())?.messages.get(&mid.seq)
     }
 
     /// Messages of `origin` with `after_seq < seq <= upto_seq`, in order —
-    /// the payload of a recovery reply. Messages already purged or never
-    /// processed are simply absent (the requester retries elsewhere or, past
-    /// `R` attempts, leaves the group).
-    pub fn range(&self, origin: ProcessId, after_seq: u64, upto_seq: u64) -> Vec<DataMsg> {
+    /// the payload of a recovery reply, shared straight out of the buffer
+    /// (each element is an `Arc` handle; nothing is deep-copied). Messages
+    /// already purged or never processed are simply absent (the requester
+    /// retries elsewhere or, past `R` attempts, leaves the group); an origin
+    /// outside the group yields the same empty result as a purged range.
+    pub fn range(&self, origin: ProcessId, after_seq: u64, upto_seq: u64) -> Vec<Arc<DataMsg>> {
         let Some(entry) = self.entries.get(origin.index()) else {
             return Vec::new();
         };
+        if after_seq >= upto_seq {
+            return Vec::new();
+        }
         entry
             .messages
             .range(after_seq + 1..=upto_seq)
-            .map(|(_, m)| m.clone())
+            .map(|(_, m)| Arc::clone(m))
             .collect()
     }
 
@@ -137,13 +145,13 @@ mod tests {
     use bytes::Bytes;
     use urcgc_types::Round;
 
-    fn msg(p: u16, s: u64) -> DataMsg {
-        DataMsg {
+    fn msg(p: u16, s: u64) -> Arc<DataMsg> {
+        Arc::new(DataMsg {
             mid: Mid::new(ProcessId(p), s),
             deps: vec![],
             round: Round(0),
             payload: Bytes::from(format!("m{p}-{s}")),
-        }
+        })
     }
 
     fn mid(p: u16, s: u64) -> Mid {
@@ -180,6 +188,40 @@ mod tests {
         assert_eq!(seqs, vec![2, 3, 4]);
         assert!(h.range(ProcessId(0), 5, 9).is_empty());
         assert!(h.range(ProcessId(3), 0, 9).is_empty(), "unknown origin");
+    }
+
+    #[test]
+    fn range_boundary_cases_share_one_empty_shape() {
+        let mut h = History::new(2);
+        for s in 1..=4 {
+            h.save(msg(0, s));
+        }
+        h.purge_up_to(ProcessId(0), 4);
+        // Fully purged window, absent origin inside the group, origin
+        // outside the group, and inverted/empty windows all produce the
+        // same empty Vec<Arc<DataMsg>> — no caller can tell them apart,
+        // and none of them deep-copies anything.
+        assert!(h.range(ProcessId(0), 0, 4).is_empty(), "fully purged");
+        assert!(h.range(ProcessId(1), 0, 9).is_empty(), "never processed");
+        assert!(h.range(ProcessId(7), 0, 9).is_empty(), "outside group");
+        assert!(h.range(ProcessId(0), 3, 3).is_empty(), "empty window");
+        assert!(h.range(ProcessId(0), 9, 2).is_empty(), "inverted window");
+        assert!(
+            h.range(ProcessId(0), u64::MAX, 1).is_empty(),
+            "NO_SEQ-adjacent after_seq must not overflow"
+        );
+    }
+
+    #[test]
+    fn range_shares_storage_with_the_table() {
+        let mut h = History::new(1);
+        h.save(msg(0, 1));
+        let got = h.range(ProcessId(0), 0, 1);
+        // The reply holds the same allocation the table does.
+        assert!(Arc::ptr_eq(
+            &got[0],
+            h.get(Mid::new(ProcessId(0), 1)).unwrap()
+        ));
     }
 
     #[test]
@@ -273,12 +315,12 @@ mod bytes_tests {
     fn payload_bytes_tracks_save_and_purge() {
         let mut h = History::new(2);
         for s in 1..=3u64 {
-            h.save(DataMsg {
+            h.save(Arc::new(DataMsg {
                 mid: Mid::new(ProcessId(0), s),
                 deps: vec![],
                 round: Round(0),
                 payload: Bytes::from(vec![0u8; 10]),
-            });
+            }));
         }
         assert_eq!(h.payload_bytes(), 30);
         h.purge_up_to(ProcessId(0), 2);

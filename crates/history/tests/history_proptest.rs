@@ -6,13 +6,13 @@ use proptest::prelude::*;
 use urcgc_history::{History, StabilityMatrix};
 use urcgc_types::{DataMsg, Decision, Mid, ProcessId, Round, Subrun, NO_SEQ};
 
-fn msg(p: u16, s: u64) -> DataMsg {
-    DataMsg {
+fn msg(p: u16, s: u64) -> std::sync::Arc<DataMsg> {
+    std::sync::Arc::new(DataMsg {
         mid: Mid::new(ProcessId(p), s),
         deps: vec![],
         round: Round(0),
         payload: Bytes::new(),
-    }
+    })
 }
 
 proptest! {

@@ -20,8 +20,9 @@ use urcgc_types::{DataMsg, Mid, ProcessId, ProtocolConfig, Round};
 /// Events surfaced to the application.
 #[derive(Clone, Debug)]
 pub enum AppEvent {
-    /// `urcgc.data.Ind`: a message was processed, in causal order.
-    Delivered(DataMsg),
+    /// `urcgc.data.Ind`: a message was processed, in causal order. The
+    /// handle is shared with the engine's history buffer.
+    Delivered(Arc<DataMsg>),
     /// `urcgc.data.Conf`: an own submission was broadcast and processed.
     Confirmed(Mid),
     /// Waiting messages were destroyed by orphan elimination.
@@ -471,7 +472,7 @@ mod tests {
         handle: &mut ProcessHandle,
         expect: usize,
         timeout: Duration,
-    ) -> Vec<DataMsg> {
+    ) -> Vec<Arc<DataMsg>> {
         let mut got = Vec::new();
         let deadline = tokio::time::Instant::now() + timeout;
         while got.len() < expect {

@@ -1,6 +1,6 @@
 //! The transport entity state machine.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use bytes::{Bytes, BytesMut};
 use urcgc_types::ProcessId;
@@ -80,7 +80,11 @@ pub struct TransportEntity {
     cfg: TransportConfig,
     tick: u64,
     next_xfer: XferId,
-    outgoing: HashMap<XferId, OutgoingXfer>,
+    /// In-flight transfers, ordered by id so retransmissions in
+    /// [`on_tick`](Self::on_tick) go out in creation order — hash-map
+    /// iteration here made whole-simulation traces nondeterministic by
+    /// reordering resends and shifting the simnet's per-frame RNG draws.
+    outgoing: BTreeMap<XferId, OutgoingXfer>,
     reassembly: HashMap<(ProcessId, XferId), Reassembly>,
     /// Transfers already fully delivered upward (dedup of retransmissions).
     delivered: HashSet<(ProcessId, XferId)>,
@@ -96,7 +100,7 @@ impl TransportEntity {
             cfg,
             tick: 0,
             next_xfer: 1,
-            outgoing: HashMap::new(),
+            outgoing: BTreeMap::new(),
             reassembly: HashMap::new(),
             delivered: HashSet::new(),
             outbox: Vec::new(),

@@ -5,6 +5,8 @@
 //! coordinator **decision** broadcasts, and point-to-point **recovery**
 //! request/reply pairs served from the history buffer.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 
 use crate::decision::Decision;
@@ -72,15 +74,19 @@ pub struct RecoveryReply {
     pub responder: ProcessId,
     /// Origin the messages belong to.
     pub origin: ProcessId,
-    /// Recovered messages in increasing `seq` order.
-    pub messages: Vec<DataMsg>,
+    /// Recovered messages in increasing `seq` order. Shared with the
+    /// responder's history buffer — building a reply never deep-copies
+    /// message bodies.
+    pub messages: Vec<Arc<DataMsg>>,
 }
 
 /// Every PDU the urcgc protocol puts on the wire.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Pdu {
-    /// Application data broadcast.
-    Data(DataMsg),
+    /// Application data broadcast. The message body is reference-counted so
+    /// one submit can fan out to every destination, the history buffer, and
+    /// the local delivery queue without deep-copying `deps`/payload.
+    Data(Arc<DataMsg>),
     /// Member → coordinator subrun request.
     Request(RequestMsg),
     /// Coordinator → group decision broadcast.
@@ -92,6 +98,11 @@ pub enum Pdu {
 }
 
 impl Pdu {
+    /// Wraps a freshly built [`DataMsg`] for the wire.
+    pub fn data(msg: DataMsg) -> Pdu {
+        Pdu::Data(Arc::new(msg))
+    }
+
     /// Short tag for traffic accounting (stable across runs; used as a map
     /// key by the simulator's traffic meter).
     pub fn kind(&self) -> PduKind {
@@ -164,7 +175,7 @@ mod tests {
 
     #[test]
     fn kind_matches_variant() {
-        assert_eq!(Pdu::Data(sample_data()).kind(), PduKind::Data);
+        assert_eq!(Pdu::data(sample_data()).kind(), PduKind::Data);
         let rq = RecoveryRq {
             requester: ProcessId(0),
             origin: ProcessId(1),
@@ -176,7 +187,7 @@ mod tests {
 
     #[test]
     fn control_classification_excludes_data() {
-        assert!(!Pdu::Data(sample_data()).is_control());
+        assert!(!Pdu::data(sample_data()).is_control());
         assert!(Pdu::Decision(Decision::genesis(2)).is_control());
     }
 

@@ -9,6 +9,8 @@
 //! encode()` and `decode(encode(x)) == x`; both invariants are enforced by
 //! property tests.
 
+use std::sync::Arc;
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::decision::{Decision, MaxProcessed};
@@ -238,6 +240,21 @@ impl<T: WireDecode> WireDecode for Vec<T> {
             out.push(T::decode(buf)?);
         }
         Ok(out)
+    }
+}
+
+impl<T: WireEncode> WireEncode for Arc<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (**self).encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        (**self).encoded_len()
+    }
+}
+
+impl<T: WireDecode> WireDecode for Arc<T> {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(Arc::new(T::decode(buf)?))
     }
 }
 
@@ -473,7 +490,7 @@ impl WireEncode for Pdu {
 impl WireDecode for Pdu {
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         match u8::decode(buf)? {
-            TAG_DATA => Ok(Pdu::Data(DataMsg::decode(buf)?)),
+            TAG_DATA => Ok(Pdu::Data(Arc::decode(buf)?)),
             TAG_REQUEST => Ok(Pdu::Request(RequestMsg::decode(buf)?)),
             TAG_DECISION => Ok(Pdu::Decision(Decision::decode(buf)?)),
             TAG_RECOVERY_RQ => Ok(Pdu::RecoveryRq(RecoveryRq::decode(buf)?)),
@@ -525,7 +542,7 @@ mod tests {
 
     #[test]
     fn data_roundtrip() {
-        roundtrip(&Pdu::Data(DataMsg {
+        roundtrip(&Pdu::data(DataMsg {
             mid: Mid::new(ProcessId(3), 12),
             deps: vec![Mid::new(ProcessId(0), 1), Mid::new(ProcessId(2), 4)],
             round: Round(8),
@@ -535,7 +552,7 @@ mod tests {
 
     #[test]
     fn empty_payload_roundtrip() {
-        roundtrip(&Pdu::Data(DataMsg {
+        roundtrip(&Pdu::data(DataMsg {
             mid: Mid::new(ProcessId(0), 1),
             deps: vec![],
             round: Round(0),
@@ -571,12 +588,12 @@ mod tests {
         roundtrip(&Pdu::RecoveryReply(RecoveryReply {
             responder: ProcessId(1),
             origin: ProcessId(0),
-            messages: vec![DataMsg {
+            messages: vec![Arc::new(DataMsg {
                 mid: Mid::new(ProcessId(0), 3),
                 deps: vec![Mid::new(ProcessId(0), 2)],
                 round: Round(6),
                 payload: Bytes::from_static(b"x"),
-            }],
+            })],
         }));
     }
 

@@ -69,7 +69,7 @@ fn arb_decision() -> impl Strategy<Value = Decision> {
 
 fn arb_pdu() -> impl Strategy<Value = Pdu> {
     prop_oneof![
-        arb_data().prop_map(Pdu::Data),
+        arb_data().prop_map(Pdu::data),
         (
             arb_pid(),
             0u64..1_000,
@@ -105,7 +105,7 @@ fn arb_pdu() -> impl Strategy<Value = Pdu> {
                 |(responder, origin, messages)| Pdu::RecoveryReply(RecoveryReply {
                     responder,
                     origin,
-                    messages,
+                    messages: messages.into_iter().map(std::sync::Arc::new).collect(),
                 })
             ),
     ]
@@ -141,7 +141,7 @@ proptest! {
         let frame = encode_pdu(&pdu);
         if frame.len() > 1 {
             let cut = frame.len() / 2;
-            let mut part = frame.clone();
+            let mut part = frame;
             part.truncate(cut);
             prop_assert!(decode_pdu(&part).is_err());
         }

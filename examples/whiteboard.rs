@@ -32,11 +32,11 @@ fn route(engines: &mut [Engine], log: &mut Vec<(usize, Mid, String)>) {
             while let Some(out) = engines[i].poll_output() {
                 moved = true;
                 match out {
-                    Output::Send { to, pdu } => engines[to.index()].on_pdu(me, pdu),
+                    Output::Send { to, pdu } => engines[to.index()].on_pdu(me, *pdu),
                     Output::Broadcast { pdu } => {
                         for j in 0..engines.len() {
                             if j != i {
-                                engines[j].on_pdu(me, pdu.clone());
+                                engines[j].on_pdu(me, Pdu::clone(&pdu));
                             }
                         }
                     }
@@ -147,7 +147,7 @@ fn main() {
         // round-trip in a real system. Here we reconstruct the PDU from the
         // delivery log for demonstration.
         let (_, _, op) = log.iter().find(|(_, m, _)| *m == mid).unwrap().clone();
-        Pdu::Data(urcgc_repro::types::DataMsg {
+        Pdu::data(urcgc_repro::types::DataMsg {
             mid,
             deps: match () {
                 _ if mid == note => vec![stroke],

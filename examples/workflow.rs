@@ -11,7 +11,7 @@
 //! Run: `cargo run --example workflow`
 
 use bytes::Bytes;
-use urcgc_repro::types::{Mid, ProcessId, Round};
+use urcgc_repro::types::{Mid, Pdu, ProcessId, Round};
 use urcgc_repro::urcgc::{CausalityMode, Engine, Output, ProtocolConfig};
 
 #[allow(clippy::needless_range_loop)] // mutate one engine while fanning to the others
@@ -23,11 +23,11 @@ fn route(engines: &mut [Engine], log: &mut Vec<(usize, Mid)>) {
             while let Some(out) = engines[i].poll_output() {
                 moved = true;
                 match out {
-                    Output::Send { to, pdu } => engines[to.index()].on_pdu(me, pdu),
+                    Output::Send { to, pdu } => engines[to.index()].on_pdu(me, *pdu),
                     Output::Broadcast { pdu } => {
                         for j in 0..engines.len() {
                             if j != i {
-                                engines[j].on_pdu(me, pdu.clone());
+                                engines[j].on_pdu(me, Pdu::clone(&pdu));
                             }
                         }
                     }

@@ -69,8 +69,7 @@ fn transient_silence_below_k_is_forgiven() {
     // simplest check is at the decision level using engines directly.
     let n = 4;
     let k = 3;
-    let genesis = Decision::genesis(n);
-    let mut prev = genesis.clone();
+    let mut prev = Decision::genesis(n);
     // Subruns 1 and 2: p3 silent (attempts 1, 2 < K).
     for s in 1..=2u64 {
         let mut m = urcgc_repro::history::StabilityMatrix::new(n);
@@ -160,13 +159,13 @@ fn orphan_sequence_destroyed_group_wide() {
     let n = 3;
     let cfg = ProtocolConfig::new(n).with_k(1);
     let mut e1 = Engine::new(ProcessId(1), cfg.clone());
-    let mut e2 = Engine::new(ProcessId(2), cfg.clone());
+    let mut e2 = Engine::new(ProcessId(2), cfg);
 
     let m1 = Mid::new(ProcessId(0), 1);
     let m2 = Mid::new(ProcessId(0), 2);
     let m3 = Mid::new(ProcessId(0), 3);
     let data = |mid: Mid, deps: Vec<Mid>| {
-        Pdu::Data(urcgc_repro::types::DataMsg {
+        Pdu::data(urcgc_repro::types::DataMsg {
             mid,
             deps,
             round: Round(0),

@@ -34,10 +34,11 @@ fn live_engine_traffic_roundtrips_through_codec() {
                 while let Some(out) = engines[i].poll_output() {
                     moved = true;
                     let (dests, pdu): (Vec<usize>, Pdu) = match out {
-                        Output::Send { to, pdu } => (vec![to.index()], pdu),
-                        Output::Broadcast { pdu } => {
-                            ((0..engines.len()).filter(|&j| j != i).collect(), pdu)
-                        }
+                        Output::Send { to, pdu } => (vec![to.index()], *pdu),
+                        Output::Broadcast { pdu } => (
+                            (0..engines.len()).filter(|&j| j != i).collect(),
+                            Pdu::clone(&pdu),
+                        ),
                         _ => continue,
                     };
                     let frame = encode_pdu(&pdu);
@@ -117,6 +118,7 @@ fn recovery_reply_fragments_across_small_mtu() {
                 round: Round(s),
                 payload: Bytes::from(vec![s as u8; 48]),
             })
+            .map(std::sync::Arc::new)
             .collect(),
     });
     let sdu = encode_pdu(&reply);
