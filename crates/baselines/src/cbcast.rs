@@ -35,6 +35,11 @@ pub struct Load {
     pub total: u64,
     /// Payload size in bytes.
     pub payload_size: usize,
+    /// Keep per-message probe maps (generation/delivery rounds) for delay
+    /// measurement. Disable for long-horizon soak runs: probes grow one
+    /// entry per message, which at millions of messages is the difference
+    /// between bounded and unbounded memory.
+    pub probe: bool,
 }
 
 impl Load {
@@ -44,7 +49,14 @@ impl Load {
             gen_prob: 1.0,
             total,
             payload_size,
+            probe: true,
         }
+    }
+
+    /// Disables per-message probe maps (counters only — soak mode).
+    pub fn unprobed(mut self) -> Self {
+        self.probe = false;
+        self
     }
 }
 
@@ -142,10 +154,13 @@ pub struct CbcastNode {
     flush: Option<Flush>,
     /// Completed view changes (the running `f` for flush-duration modeling).
     view_changes: u32,
-    /// mid ≙ (sender, seq) → local delivery round.
+    /// mid ≙ (sender, seq) → local delivery round (probe; empty when
+    /// `load.probe` is off).
     deliveries: HashMap<(ProcessId, u64), Round>,
-    /// Own generation rounds.
+    /// Own generation rounds (probe; empty when `load.probe` is off).
     generated: HashMap<(ProcessId, u64), Round>,
+    /// Messages delivered here (always counted, probed or not).
+    delivered_count: u64,
     /// Rounds spent with delivery frozen by a flush.
     pub frozen_rounds: u64,
 }
@@ -171,6 +186,7 @@ impl CbcastNode {
             view_changes: 0,
             deliveries: HashMap::new(),
             generated: HashMap::new(),
+            delivered_count: 0,
             frozen_rounds: 0,
         }
     }
@@ -188,6 +204,11 @@ impl CbcastNode {
     /// Messages generated so far.
     pub fn submitted(&self) -> u64 {
         self.submitted
+    }
+
+    /// Messages delivered here (including own), counter-only.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
     }
 
     /// Current delivered-message clock.
@@ -211,8 +232,11 @@ impl CbcastNode {
     }
 
     fn record_delivery(&mut self, msg: &CbMsg, now: Round) {
-        let seq = msg.ts[msg.sender.index()] as u64;
-        self.deliveries.insert((msg.sender, seq), now);
+        self.delivered_count += 1;
+        if self.load.probe {
+            let seq = msg.ts[msg.sender.index()] as u64;
+            self.deliveries.insert((msg.sender, seq), now);
+        }
         self.vc.merge(&msg.clock());
     }
 
@@ -321,9 +345,12 @@ impl Node for CbcastNode {
                     payload: Bytes::from(vec![0u8; self.load.payload_size]),
                 };
                 self.submitted += 1;
-                let seq = self.vc.get(self.me);
-                self.generated.insert((self.me, seq), intent_round);
-                self.deliveries.insert((self.me, seq), round);
+                self.delivered_count += 1;
+                if self.load.probe {
+                    let seq = self.vc.get(self.me);
+                    self.generated.insert((self.me, seq), intent_round);
+                    self.deliveries.insert((self.me, seq), round);
+                }
                 net.broadcast("cbcast-data", msg.encode());
                 return;
             }
@@ -398,7 +425,15 @@ pub fn run_cbcast_group(
     let nodes: Vec<CbcastNode> = (0..n)
         .map(|i| CbcastNode::new(ProcessId::from_index(i), n, k, load))
         .collect();
-    let mut net = SimNet::new(nodes, faults, SimOptions { max_rounds, seed });
+    let mut net = SimNet::new(
+        nodes,
+        faults,
+        SimOptions {
+            max_rounds,
+            seed,
+            ..SimOptions::default()
+        },
+    );
     let mut rounds = 0;
     let mut idle_streak = 0;
     while rounds < max_rounds {

@@ -94,8 +94,17 @@ impl PsMsg {
 pub struct PsyncNode {
     me: ProcessId,
     n: usize,
-    /// Delivered messages.
+    /// Per-sender delivered frontier: messages `1..=frontier[s]` from sender
+    /// `s` have been delivered. Delivery is per-sender in-order (a message's
+    /// context includes its own predecessor), so the delivered set is always
+    /// a contiguous prefix and this vector carries the whole membership role
+    /// of the old per-message map — in O(n) memory instead of O(messages).
+    frontier: Vec<u64>,
+    /// Delivered messages with rounds (probe; empty when `load.probe` is
+    /// off — the frontier above keeps the protocol running without it).
     delivered: HashMap<(ProcessId, u64), Round>,
+    /// Messages delivered here (always counted, probed or not).
+    delivered_count: u64,
     /// Current leaves of the local context graph.
     leaves: Vec<(ProcessId, u64)>,
     /// Received but undeliverable messages, bounded by `waiting_bound`.
@@ -125,7 +134,9 @@ impl PsyncNode {
         PsyncNode {
             me,
             n,
+            frontier: vec![0; n],
             delivered: HashMap::new(),
+            delivered_count: 0,
             leaves: Vec::new(),
             waiting: Vec::new(),
             waiting_bound,
@@ -158,19 +169,27 @@ impl PsyncNode {
         self.submitted
     }
 
+    /// Messages delivered here (including own), counter-only.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
     /// Current waiting-buffer population.
     pub fn waiting_len(&self) -> usize {
         self.waiting.len()
     }
 
+    /// Whether `(sender, seq)` has been delivered here (frontier membership;
+    /// out-of-range senders — e.g. from a corrupted frame — are never
+    /// delivered).
+    fn is_delivered(&self, sender: ProcessId, seq: u64) -> bool {
+        seq >= 1 && seq <= self.frontier.get(sender.index()).copied().unwrap_or(0)
+    }
+
     fn context_satisfied(&self, msg: &PsMsg) -> bool {
         // In-order per sender plus full context delivered.
-        let prev_ok = msg.seq == 1 || self.delivered.contains_key(&(msg.sender, msg.seq - 1));
-        prev_ok
-            && msg
-                .context
-                .iter()
-                .all(|key| self.delivered.contains_key(key))
+        let prev_ok = msg.seq == 1 || self.is_delivered(msg.sender, msg.seq - 1);
+        prev_ok && msg.context.iter().all(|&(p, s)| self.is_delivered(p, s))
     }
 
     fn deliver(&mut self, msg: PsMsg, now: Round) {
@@ -178,7 +197,16 @@ impl PsyncNode {
         self.leaves
             .retain(|k| *k != (msg.sender, msg.seq) && !msg.context.contains(k));
         self.leaves.push((msg.sender, msg.seq));
-        self.delivered.insert((msg.sender, msg.seq), now);
+        debug_assert_eq!(
+            msg.seq,
+            self.frontier[msg.sender.index()] + 1,
+            "per-sender delivery out of order"
+        );
+        self.frontier[msg.sender.index()] = msg.seq;
+        self.delivered_count += 1;
+        if self.load.probe {
+            self.delivered.insert((msg.sender, msg.seq), now);
+        }
     }
 
     fn drain(&mut self, now: Round) {
@@ -258,7 +286,9 @@ impl Node for PsyncNode {
                     payload: Bytes::from(vec![0u8; self.load.payload_size]),
                 };
                 self.submitted += 1;
-                self.generated.insert((self.me, seq), round);
+                if self.load.probe {
+                    self.generated.insert((self.me, seq), round);
+                }
                 self.deliver(msg.clone(), round);
                 net.broadcast("psync-data", msg.encode());
             }
@@ -271,7 +301,7 @@ impl Node for PsyncNode {
         let Some(msg) = PsMsg::decode(frame) else {
             return;
         };
-        if !self.view[msg.sender.index()] || self.delivered.contains_key(&(msg.sender, msg.seq)) {
+        if !self.view[msg.sender.index()] || self.is_delivered(msg.sender, msg.seq) {
             return;
         }
         if self.mask_out_until.is_none() && self.context_satisfied(&msg) {
@@ -316,7 +346,15 @@ pub fn run_psync_group(
     let nodes: Vec<PsyncNode> = (0..n)
         .map(|i| PsyncNode::new(ProcessId::from_index(i), n, waiting_bound, load))
         .collect();
-    let mut net = SimNet::new(nodes, faults, SimOptions { max_rounds, seed });
+    let mut net = SimNet::new(
+        nodes,
+        faults,
+        SimOptions {
+            max_rounds,
+            seed,
+            ..SimOptions::default()
+        },
+    );
     let mut rounds = 0;
     let mut idle = 0;
     while rounds < max_rounds {

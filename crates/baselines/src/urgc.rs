@@ -574,7 +574,15 @@ pub fn run_urgc_total(
     let nodes: Vec<UrgcTotalNode> = (0..n)
         .map(|i| UrgcTotalNode::new(ProcessId::from_index(i), n, load))
         .collect();
-    let mut net = SimNet::new(nodes, faults, SimOptions { max_rounds, seed });
+    let mut net = SimNet::new(
+        nodes,
+        faults,
+        SimOptions {
+            max_rounds,
+            seed,
+            ..SimOptions::default()
+        },
+    );
     let mut rounds = 0;
     let mut idle = 0;
     while rounds < max_rounds {

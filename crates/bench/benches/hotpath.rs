@@ -1,6 +1,8 @@
-//! Criterion suite for the PR 2 hot-path overhaul: indexed vs rescan
+//! Criterion suite for the PR 2 hot-path overhaul — indexed vs rescan
 //! waiting-list drain, shared-buffer vs deep-clone broadcast fan-out, and
-//! history purge/range.
+//! history purge/range — plus the PR 3 scheduler comparison (calendar
+//! queue vs flat-wire rescan) on dense fan-in and long-delay straggler
+//! shapes. The 10⁶-frame drain lives in the `hotpath` binary only.
 //!
 //! Run: `cargo bench -p urcgc-bench --bench hotpath`
 //!
@@ -14,10 +16,12 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use urcgc_bench::hotpath::{
-    chain, drain_indexed, drain_rescan, fanout_deep, fanout_shared, history_filled, history_purge,
-    history_range, park_indexed, park_rescan, sample_msg,
+    chain, chatter_group, drain_indexed, drain_rescan, fanout_deep, fanout_shared, history_filled,
+    history_purge, history_range, park_indexed, park_rescan, run_calendar, run_flatwire,
+    sample_msg,
 };
-use urcgc_types::Pdu;
+use urcgc_simnet::FaultPlan;
+use urcgc_types::{Pdu, ProcessId};
 
 fn bench_waiting_drain(c: &mut Criterion) {
     let mut g = c.benchmark_group("waiting-drain");
@@ -81,10 +85,54 @@ fn bench_history(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+    // Dense fan-in: every node broadcasts every round.
+    let fanin: Vec<usize> = (0..50).collect();
+    let rounds = 20u64;
+    g.throughput(Throughput::Elements(50 * 49 * (rounds - 1)));
+    g.bench_function("dense_fanin_calendar_n50", |b| {
+        b.iter_batched(
+            || chatter_group(50, &fanin, 32),
+            |nodes| run_calendar(nodes, FaultPlan::none(), rounds, 11),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("dense_fanin_flatwire_n50", |b| {
+        b.iter_batched(
+            || chatter_group(50, &fanin, 32),
+            |nodes| run_flatwire(nodes, FaultPlan::none(), rounds, 11),
+            BatchSize::LargeInput,
+        )
+    });
+    // Long-delay straggler: the flat engine rescans delay × (n−1) parked
+    // frames every round; the calendar queue never revisits them.
+    let straggler = FaultPlan::none().slow_sender(ProcessId(0), 128);
+    let s_rounds = 512u64;
+    g.throughput(Throughput::Elements(7 * (s_rounds - 129)));
+    g.bench_function("straggler_calendar_d128", |b| {
+        b.iter_batched(
+            || chatter_group(8, &[0], 32),
+            |nodes| run_calendar(nodes, straggler.clone(), s_rounds, 11),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("straggler_flatwire_d128", |b| {
+        b.iter_batched(
+            || chatter_group(8, &[0], 32),
+            |nodes| run_flatwire(nodes, straggler.clone(), s_rounds, 11),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_waiting_drain,
     bench_broadcast_fanout,
-    bench_history
+    bench_history,
+    bench_scheduler
 );
 criterion_main!(benches);

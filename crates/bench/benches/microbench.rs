@@ -71,7 +71,7 @@ fn bench_decision(c: &mut Criterion) {
                 ProcessId::from_index(i),
                 (0..n as u64).map(|q| q + i as u64).collect(),
                 vec![NO_SEQ; n],
-                prev.clone(),
+                &prev,
             );
         }
         g.bench_function(format!("decision_compute_n{n}"), |b| {

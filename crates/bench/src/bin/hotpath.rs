@@ -3,8 +3,10 @@
 //! Measures the three paths PR 2 rebuilt — waiting-list drain, broadcast
 //! fan-out, history purge/range — against their pre-PR implementations
 //! (the rescan waiting list kept as executable specification, and a
-//! deep-clone-per-destination fan-out emulation) and emits one JSON
-//! document so future PRs can diff performance trajectories per commit.
+//! deep-clone-per-destination fan-out emulation), plus the PR 3 scheduler
+//! scenarios (calendar-queue engine vs the retired flat-wire rescan), and
+//! emits one JSON document so future PRs can diff performance
+//! trajectories per commit.
 //!
 //! Run:   `cargo run --release -p urcgc-bench --bin hotpath -- --json BENCH.json`
 //! Smoke: `... --bin hotpath -- --profile smoke --json smoke.json`
@@ -16,12 +18,13 @@
 use std::sync::Arc;
 
 use urcgc_bench::hotpath::{
-    chain, deep_clone_bytes, drain_indexed, drain_rescan, fanout_deep, fanout_shared,
-    history_filled, history_purge, history_range, park_indexed, park_rescan, sample_msg,
-    shared_clone_bytes, time_nanos,
+    allocs_avoided, chain, chatter_group, deep_clone_bytes, drain_indexed, drain_rescan,
+    fanout_deep, fanout_shared, history_filled, history_purge, history_range, park_indexed,
+    park_rescan, run_calendar, run_flatwire, sample_msg, shared_clone_bytes, time_nanos,
 };
 use urcgc_metrics::Json;
-use urcgc_types::Pdu;
+use urcgc_simnet::FaultPlan;
+use urcgc_types::{Pdu, ProcessId};
 
 const HELP: &str = "\
 hotpath — microbenchmark the urcgc hot paths, emit a urcgc-bench/1 document
@@ -35,6 +38,20 @@ OPTIONS:
   --help        print this help
 ";
 
+/// One scheduler scenario: a chat workload run on both engines.
+struct SchedShape {
+    name: &'static str,
+    n: usize,
+    /// `true` = every node broadcasts each round; `false` = only node 0.
+    all_talk: bool,
+    /// Extra delivery delay for node 0 (the flat engine rescans every
+    /// parked frame each round, so delay × fan-out frames stay hot).
+    delay: u64,
+    rounds: u64,
+    cal_iters: usize,
+    flat_iters: usize,
+}
+
 struct Profile {
     name: &'static str,
     /// (W, timed iterations for the indexed drain, for the rescan drain).
@@ -43,6 +60,7 @@ struct Profile {
     history: (usize, u64),
     fanout_iters: usize,
     history_iters: usize,
+    sched: &'static [SchedShape],
 }
 
 const HOTPATH: Profile = Profile {
@@ -53,6 +71,38 @@ const HOTPATH: Profile = Profile {
     history: (40, 250),
     fanout_iters: 25,
     history_iters: 25,
+    sched: &[
+        SchedShape {
+            name: "sched_dense_fanin",
+            n: 100,
+            all_talk: true,
+            delay: 0,
+            rounds: 40,
+            cal_iters: 5,
+            flat_iters: 5,
+        },
+        // One slow sender parks delay × (n−1) frames the flat engine
+        // rescans every round; the calendar queue never revisits them.
+        SchedShape {
+            name: "sched_straggler",
+            n: 8,
+            all_talk: false,
+            delay: 512,
+            rounds: 4_096,
+            cal_iters: 9,
+            flat_iters: 3,
+        },
+        // ≈ 10⁶ frames end to end: 10 × 9 per round for 11 200 rounds.
+        SchedShape {
+            name: "sched_million_drain",
+            n: 10,
+            all_talk: true,
+            delay: 0,
+            rounds: 11_200,
+            cal_iters: 3,
+            flat_iters: 3,
+        },
+    ],
 };
 
 const SMOKE: Profile = Profile {
@@ -62,6 +112,35 @@ const SMOKE: Profile = Profile {
     history: (8, 50),
     fanout_iters: 3,
     history_iters: 3,
+    sched: &[
+        SchedShape {
+            name: "sched_dense_fanin",
+            n: 20,
+            all_talk: true,
+            delay: 0,
+            rounds: 10,
+            cal_iters: 3,
+            flat_iters: 3,
+        },
+        SchedShape {
+            name: "sched_straggler",
+            n: 8,
+            all_talk: false,
+            delay: 64,
+            rounds: 256,
+            cal_iters: 3,
+            flat_iters: 3,
+        },
+        SchedShape {
+            name: "sched_million_drain",
+            n: 10,
+            all_talk: true,
+            delay: 0,
+            rounds: 500,
+            cal_iters: 3,
+            flat_iters: 3,
+        },
+    ],
 };
 
 fn parse_args(args: &[String]) -> Result<(&'static Profile, Option<String>), String> {
@@ -197,6 +276,88 @@ fn main() {
                     .with("purge_nanos", purge_nanos),
             ),
     );
+
+    // 4. Scheduler: calendar-queue engine vs the retired flat-wire rescan,
+    //    same chat workload, identical delivery population (asserted).
+    for shape in profile.sched {
+        let talkers: Vec<usize> = if shape.all_talk {
+            (0..shape.n).collect()
+        } else {
+            vec![0]
+        };
+        let faults = if shape.delay > 0 {
+            FaultPlan::none().slow_sender(ProcessId(0), shape.delay)
+        } else {
+            FaultPlan::none()
+        };
+        let expected = run_calendar(
+            chatter_group(shape.n, &talkers, 32),
+            faults.clone(),
+            shape.rounds,
+            11,
+        );
+        assert_eq!(
+            expected,
+            run_flatwire(
+                chatter_group(shape.n, &talkers, 32),
+                faults.clone(),
+                shape.rounds,
+                11,
+            ),
+            "{}: engines disagree on the delivered population",
+            shape.name
+        );
+        let (frames, _) = expected;
+        let cal_nanos = time_nanos(
+            shape.cal_iters,
+            || chatter_group(shape.n, &talkers, 32),
+            |nodes| {
+                assert_eq!(
+                    run_calendar(nodes, faults.clone(), shape.rounds, 11).0,
+                    frames
+                )
+            },
+        );
+        let flat_nanos = time_nanos(
+            shape.flat_iters,
+            || chatter_group(shape.n, &talkers, 32),
+            |nodes| {
+                assert_eq!(
+                    run_flatwire(nodes, faults.clone(), shape.rounds, 11).0,
+                    frames
+                )
+            },
+        );
+        let speedup = flat_nanos as f64 / cal_nanos.max(1) as f64;
+        let frames_per_sec = frames as f64 / (cal_nanos as f64 / 1e9);
+        let avoided = allocs_avoided(frames, shape.n, shape.rounds);
+        println!(
+            "{:<18} n={:<4} rounds={:<6} calendar {cal_nanos:>12} ns   flat-wire {flat_nanos:>12} ns   speedup {speedup:.1}x",
+            shape.name, shape.n, shape.rounds
+        );
+        benches.push(
+            Json::obj()
+                .with("name", shape.name)
+                .with(
+                    "params",
+                    Json::obj()
+                        .with("n", shape.n)
+                        .with("rounds", shape.rounds)
+                        .with("delay", shape.delay)
+                        .with("all_talk", shape.all_talk),
+                )
+                .with(
+                    "metrics",
+                    Json::obj()
+                        .with("calendar_nanos", cal_nanos)
+                        .with("flatwire_nanos", flat_nanos)
+                        .with("speedup", speedup)
+                        .with("frames", frames)
+                        .with("frames_per_sec", frames_per_sec)
+                        .with("allocs_avoided", avoided),
+                ),
+        );
+    }
 
     let doc = Json::obj()
         .with("schema", "urcgc-bench/1")

@@ -77,7 +77,7 @@ fn main() {
             .seed(run_seed)
             .build();
         let report = h.run_to_completion(max_rounds);
-        let series = to_series(&report.stats.bytes_per_round);
+        let series = to_series(report.stats.bytes_per_round.per_round());
         let (mean, max) = steady(&series);
         let row = metrics_row![
             "mean_bytes_per_subrun" => mean,
@@ -90,7 +90,7 @@ fn main() {
     // CBCAST runs, same shape of workload and fault.
     let (cbcast_result, cbcast_series) = sweep_scenario_with(&opts, seed, |_rep, run_seed| {
         let cb = run_cbcast_group(N, K, Load::fixed(30, 16), fault(), run_seed, max_rounds);
-        let series = to_series(&cb.stats.bytes_per_round);
+        let series = to_series(cb.stats.bytes_per_round.per_round());
         let (mean, max) = steady(&series);
         let row = metrics_row![
             "mean_bytes_per_subrun" => mean,

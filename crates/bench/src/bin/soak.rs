@@ -1,0 +1,127 @@
+//! Million-message soak workload (`urcgc-bench/1`).
+//!
+//! Pushes millions of application messages through urcgc, CBCAST, and
+//! Psync at n ∈ {10, 50, 100}, streaming one progress line per window,
+//! and emits one JSON document with sustained-throughput metrics
+//! (rounds/sec, frames/sec, peak state gauges). urcgc takes the full
+//! mixed fault plan (1/500 omissions, one slow sender, one mid-run
+//! crash); the retransmission-free baselines take the reliable-channel
+//! variant (slow sender only) — see `urcgc_bench::soak`.
+//!
+//! Run:   `cargo run --release -p urcgc-bench --bin soak -- --json SOAK.json`
+//! Smoke: `... --bin soak -- --profile smoke --json smoke.json` (~10⁴
+//! messages; the CI gate).
+
+use urcgc_bench::soak::{soak_cbcast, soak_psync, soak_urcgc, SoakReport};
+use urcgc_metrics::Json;
+
+const HELP: &str = "\
+soak — sustained million-message workload over the calendar-queue simulator
+
+USAGE:
+  soak [OPTIONS]
+
+OPTIONS:
+  --profile P   soak (default: ~4M messages total) | smoke (~10⁴, for CI)
+  --json PATH   write the urcgc-bench/1 document to PATH
+  --help        print this help
+";
+
+struct Profile {
+    name: &'static str,
+    /// (n, msgs_per_proc) scenario grid, run for every protocol.
+    grid: &'static [(usize, u64)],
+    window: u64,
+}
+
+/// The full soak: the headline row is n = 10 × 100k msgs/process = 10⁶
+/// messages per protocol; the wider groups trade per-process budget for
+/// fan-out so each row stays minutes, not hours.
+const SOAK: Profile = Profile {
+    name: "soak",
+    grid: &[(10, 100_000), (50, 4_000), (100, 1_000)],
+    window: 4_096,
+};
+
+const SMOKE: Profile = Profile {
+    name: "smoke",
+    grid: &[(10, 400)],
+    window: 256,
+};
+
+fn parse_args(args: &[String]) -> Result<(&'static Profile, Option<String>), String> {
+    let mut profile = &SOAK;
+    let mut json = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--profile" => {
+                profile = match it.next().map(String::as_str) {
+                    Some("soak") => &SOAK,
+                    Some("smoke") => &SMOKE,
+                    other => return Err(format!("--profile expects soak|smoke, got {other:?}")),
+                }
+            }
+            "--json" => {
+                json = Some(
+                    it.next()
+                        .ok_or_else(|| "--json expects a path".to_string())?
+                        .clone(),
+                )
+            }
+            "--help" => return Err(HELP.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n\n{HELP}")),
+        }
+    }
+    Ok((profile, json))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (profile, json_path) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg == HELP { 0 } else { 2 });
+        }
+    };
+
+    let seed = 0xC0FFEE;
+    let mut benches: Vec<Json> = Vec::new();
+    let mut total_msgs = 0u64;
+    for &(n, msgs) in profile.grid {
+        for run in [soak_urcgc, soak_cbcast, soak_psync] {
+            let report: SoakReport = run(n, msgs, seed, profile.window);
+            println!(
+                "{:<6} n={:<3} {:>9} msgs  {:>9} rounds  {:>10.0} rounds/s  {:>11.0} frames/s  complete={}",
+                report.protocol,
+                report.n,
+                report.submitted,
+                report.rounds,
+                report.rounds_per_sec(),
+                report.frames_per_sec(),
+                report.completed,
+            );
+            total_msgs += report.submitted;
+            benches.push(report.to_json());
+        }
+    }
+    println!("soak total: {total_msgs} messages offered");
+
+    let doc = Json::obj()
+        .with("schema", "urcgc-bench/1")
+        .with("profile", profile.name)
+        .with("benches", Json::Arr(benches));
+
+    if let Some(path) = json_path {
+        match std::fs::write(&path, doc.render_pretty()) {
+            Ok(()) => println!("bench document written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!("{}", doc.render_pretty());
+    }
+}

@@ -15,6 +15,13 @@
 //!   behind an `Arc` and fans out refcount bumps plus one shared frame.
 //! * **History purge/range** — recovery replies are served straight out of
 //!   the table as `Arc` handles and stability purges drop whole prefixes.
+//!
+//! PR 3 adds the **scheduler** scenarios: the same chat workload run on the
+//! calendar-queue [`SimNet`] and the retired flat-wire engine
+//! ([`FlatWireSimNet`]), in three shapes — dense fan-in (every node
+//! broadcasting), a long-delay straggler (one slow sender parking hundreds
+//! of frames the flat engine rescans every round), and a sustained
+//! million-frame drain.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -22,6 +29,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use urcgc_causal::{DeliveryTracker, RescanWaitingList, WaitingList};
 use urcgc_history::History;
+use urcgc_simnet::{FaultPlan, FlatWireSimNet, NetCtx, Node as SimNode, SimNet, SimOptions};
 use urcgc_types::{encode_pdu, DataMsg, Mid, Pdu, ProcessId, Round, WireEncode};
 
 /// The mid the whole drain chain is blocked on.
@@ -186,6 +194,95 @@ pub fn history_purge(mut h: History, origins: usize, per_origin: u64) -> usize {
     h.purge_stable(&vec![per_origin; origins])
 }
 
+/// A minimal chat node for scheduler benchmarks: talkers broadcast one
+/// fixed-size frame per round, everyone counts receptions. The node does
+/// no protocol work, so an engine comparison measures pure scheduling
+/// overhead (frame parking, release scans, queue recycling).
+pub struct ChatterNode {
+    talks: bool,
+    payload: Bytes,
+    /// Frames delivered to this node.
+    pub received: u64,
+}
+
+impl SimNode for ChatterNode {
+    fn on_round(&mut self, _round: Round, net: &mut NetCtx<'_>) {
+        if self.talks {
+            net.broadcast("chat", self.payload.clone());
+        }
+    }
+
+    fn on_frame(&mut self, _from: ProcessId, _frame: Bytes, _net: &mut NetCtx<'_>) {
+        self.received += 1;
+    }
+}
+
+/// Builds an `n`-node group where exactly the listed `talkers` broadcast a
+/// `payload`-byte frame every round.
+pub fn chatter_group(n: usize, talkers: &[usize], payload: usize) -> Vec<ChatterNode> {
+    let body = Bytes::from(vec![0x5au8; payload]);
+    (0..n)
+        .map(|i| ChatterNode {
+            talks: talkers.contains(&i),
+            payload: body.clone(),
+            received: 0,
+        })
+        .collect()
+}
+
+/// Runs `rounds` rounds on the calendar-queue engine. Returns
+/// `(frames delivered, sum of per-node reception counters)` — the second
+/// is a cross-check against the engine's own accounting.
+pub fn run_calendar(
+    nodes: Vec<ChatterNode>,
+    faults: FaultPlan,
+    rounds: u64,
+    seed: u64,
+) -> (u64, u64) {
+    let mut net = SimNet::new(
+        nodes,
+        faults,
+        SimOptions {
+            seed,
+            ..SimOptions::default()
+        },
+    );
+    net.run_rounds(rounds);
+    let delivered = net.stats().delivered;
+    let (nodes, _) = net.into_parts();
+    (delivered, nodes.iter().map(|n| n.received).sum())
+}
+
+/// Runs the same scenario on the retired flat-wire engine (full rescan of
+/// every parked frame per round), kept as the executable baseline.
+pub fn run_flatwire(
+    nodes: Vec<ChatterNode>,
+    faults: FaultPlan,
+    rounds: u64,
+    seed: u64,
+) -> (u64, u64) {
+    let mut net = FlatWireSimNet::new(
+        nodes,
+        faults,
+        SimOptions {
+            seed,
+            ..SimOptions::default()
+        },
+    );
+    net.run_rounds(rounds);
+    let delivered = net.stats().delivered;
+    let (nodes, _) = net.into_parts();
+    (delivered, nodes.iter().map(|n| n.received).sum())
+}
+
+/// Heap allocations the calendar-queue engine avoids versus the flat-wire
+/// engine over one run: one `Vec<Outgoing>` per delivery and per per-round
+/// node invocation (the shared scratch buffer replaces both), plus one
+/// arrival-bucket `Vec` per round (recycled through the spare pool).
+pub fn allocs_avoided(delivered: u64, n: usize, rounds: u64) -> u64 {
+    delivered + n as u64 * rounds + rounds
+}
+
 /// Median wall time of `iters` runs of `run`, each on a fresh `setup()`
 /// value, in nanoseconds. Only `run` is timed.
 pub fn time_nanos<S, R>(
@@ -230,6 +327,40 @@ mod tests {
     fn byte_accounting_scales_with_fanout() {
         let msg = sample_msg(64);
         assert_eq!(deep_clone_bytes(&msg, 100), 99 * shared_clone_bytes(&msg));
+    }
+
+    #[test]
+    fn engines_agree_on_chat_scenarios() {
+        // Dense fan-in, straggler, and drain shapes at tiny sizes: both
+        // engines must deliver the same frame population.
+        let shapes: &[(usize, Vec<usize>, FaultPlan, u64)] = &[
+            (6, (0..6).collect(), FaultPlan::none(), 12),
+            (
+                5,
+                vec![0],
+                FaultPlan::none().slow_sender(ProcessId(0), 7),
+                40,
+            ),
+            (
+                4,
+                (0..4).collect(),
+                FaultPlan::none().omission_rate(0.1),
+                25,
+            ),
+        ];
+        for (n, talkers, faults, rounds) in shapes {
+            let cal = run_calendar(chatter_group(*n, talkers, 32), faults.clone(), *rounds, 9);
+            let flat = run_flatwire(chatter_group(*n, talkers, 32), faults.clone(), *rounds, 9);
+            assert_eq!(cal, flat, "n={n} talkers={talkers:?}");
+            assert_eq!(cal.0, cal.1, "delivered counter vs node receptions");
+            assert!(cal.0 > 0);
+        }
+    }
+
+    #[test]
+    fn alloc_accounting_is_monotone() {
+        assert_eq!(allocs_avoided(0, 4, 0), 0);
+        assert_eq!(allocs_avoided(90, 10, 3), 90 + 30 + 3);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 pub mod cli;
 pub mod hotpath;
+pub mod soak;
 pub mod sweep;
 pub mod transported;
 

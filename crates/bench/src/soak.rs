@@ -1,0 +1,526 @@
+//! Million-message soak harness over the calendar-queue simulator.
+//!
+//! The sweep binaries measure *protocol* quantities (delay, control
+//! traffic, history size) on short runs; the soak measures *sustained
+//! scheduler throughput* — millions of application messages pushed through
+//! urcgc, CBCAST, and Psync at n ∈ {10, 50, 100} under a mixed fault plan
+//! (background omissions, one slow sender, one mid-run crash). The lossy
+//! parts apply to urcgc only — the baselines have no retransmission
+//! layer, so they take the reliable-channel variant
+//! ([`baseline_soak_faults`]) and measure sustained ordering throughput
+//! rather than a permanently blocked buffer.
+//!
+//! Memory discipline: every per-message probe is disabled. The urcgc side
+//! runs [`SoakUrcgcNode`] (counters and peak gauges only — no delivery
+//! log, no per-mid maps, no per-round series); the baselines run with
+//! [`Load::unprobed`]; and the simulator's byte timeline runs in windowed
+//! mode ([`SimOptions::bytes_window`]), so resident state stays O(n + W)
+//! no matter how many rounds the soak executes. Progress streams out one
+//! line per window.
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use urcgc::sim::{DepPolicy, Workload};
+use urcgc::{Engine, Output, ProtocolConfig};
+use urcgc_baselines::cbcast::Load;
+use urcgc_baselines::{CbcastNode, PsyncNode};
+use urcgc_metrics::Json;
+use urcgc_simnet::{FaultPlan, NetCtx, Node, SimNet, SimOptions};
+use urcgc_types::{encode_pdu, Mid, ProcessId, Round};
+
+/// A urcgc group member stripped to soak essentials: the real [`Engine`]
+/// plus counters. Mirrors `urcgc::sim::UrcgcNode` (same workload RNG
+/// stream, same quiescence rule) minus every per-message probe map.
+pub struct SoakUrcgcNode {
+    engine: Engine,
+    workload: Workload,
+    rng: ChaCha8Rng,
+    submitted: u64,
+    delivered: u64,
+    discarded: u64,
+    undecodable: u64,
+    latest_foreign: Option<Mid>,
+    peak_history: usize,
+    peak_waiting: usize,
+}
+
+impl SoakUrcgcNode {
+    /// Builds the node for process `me` (same per-node seed derivation as
+    /// the probed harness, so workloads are comparable run to run).
+    pub fn new(me: ProcessId, cfg: ProtocolConfig, workload: Workload, seed: u64) -> Self {
+        SoakUrcgcNode {
+            engine: Engine::new(me, cfg),
+            workload,
+            rng: ChaCha8Rng::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(me.0 as u64 + 1),
+            ),
+            submitted: 0,
+            delivered: 0,
+            discarded: 0,
+            undecodable: 0,
+            latest_foreign: None,
+            peak_history: 0,
+            peak_waiting: 0,
+        }
+    }
+
+    /// Application messages processed here.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages this node generated.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Peak history table length observed.
+    pub fn peak_history(&self) -> usize {
+        self.peak_history
+    }
+
+    /// Peak waiting-list length observed.
+    pub fn peak_waiting(&self) -> usize {
+        self.peak_waiting
+    }
+
+    /// Orphan-destruction victims plus undecodable frames seen here.
+    pub fn losses(&self) -> u64 {
+        self.discarded + self.undecodable
+    }
+
+    /// Whole budget generated, no backlog, no known gap (same rule as the
+    /// probed harness node).
+    fn is_quiescent(&self) -> bool {
+        if !self.engine.status().is_active() {
+            return true;
+        }
+        if self.submitted < self.workload.total
+            || self.engine.pending_len() != 0
+            || self.engine.waiting_len() != 0
+        {
+            return false;
+        }
+        let d = self.engine.last_decision();
+        (0..d.n()).all(|q| {
+            let p = ProcessId::from_index(q);
+            d.max_processed[q].seq <= self.engine.last_processed(p)
+                || !self.engine.view().is_alive(d.max_processed[q].holder)
+                || d.max_processed[q].holder == self.engine.me()
+        })
+    }
+
+    fn maybe_generate(&mut self) {
+        if !self.engine.status().is_active() || self.submitted >= self.workload.total {
+            return;
+        }
+        if self.workload.gen_prob < 1.0 && !self.rng.gen_bool(self.workload.gen_prob) {
+            return;
+        }
+        let deps: Vec<Mid> = match self.workload.deps {
+            DepPolicy::OwnChain => vec![],
+            DepPolicy::LatestForeign => self.latest_foreign.into_iter().collect(),
+        };
+        let payload = Bytes::from(vec![0u8; self.workload.payload_size]);
+        if self.engine.submit(payload, &deps).is_ok() {
+            self.submitted += 1;
+        }
+    }
+
+    fn flush(&mut self, net: &mut NetCtx<'_>) {
+        let me = self.engine.me();
+        while let Some(out) = self.engine.poll_output() {
+            match out {
+                Output::Send { to, pdu } => {
+                    net.send(to, pdu.kind().label(), encode_pdu(&pdu));
+                }
+                Output::Broadcast { pdu } => {
+                    net.broadcast(pdu.kind().label(), encode_pdu(&pdu));
+                }
+                Output::Deliver { msg } => {
+                    self.delivered += 1;
+                    if msg.mid.origin != me {
+                        self.latest_foreign = Some(msg.mid);
+                    }
+                }
+                Output::Confirm { .. } => {}
+                Output::Discarded { mids } => self.discarded += mids.len() as u64,
+                Output::StatusChanged { .. } => {}
+            }
+        }
+    }
+}
+
+impl Node for SoakUrcgcNode {
+    fn on_round(&mut self, round: Round, net: &mut NetCtx<'_>) {
+        self.maybe_generate();
+        self.engine.begin_round(round);
+        self.flush(net);
+        self.peak_history = self.peak_history.max(self.engine.history_len());
+        self.peak_waiting = self.peak_waiting.max(self.engine.waiting_len());
+    }
+
+    fn on_frame(&mut self, from: ProcessId, frame: Bytes, net: &mut NetCtx<'_>) {
+        if self.engine.on_frame(from, &frame).is_err() {
+            self.undecodable += 1;
+        }
+        self.flush(net);
+    }
+
+    fn is_done(&self) -> bool {
+        self.is_quiescent()
+    }
+}
+
+/// Per-window soak sample (one per `window` rounds; bounded population).
+#[derive(Clone, Copy, Debug)]
+pub struct WindowSample {
+    /// Last round covered by this window.
+    pub end_round: u64,
+    /// Frames delivered during the window.
+    pub frames: u64,
+    /// Application messages delivered (summed over nodes) in the window.
+    pub app_delivered: u64,
+    /// Wire bytes offered during the window.
+    pub wire_bytes: u64,
+}
+
+/// Outcome of one soak scenario.
+pub struct SoakReport {
+    /// Protocol label (`urcgc` | `cbcast` | `psync`).
+    pub protocol: &'static str,
+    /// Group size.
+    pub n: usize,
+    /// Per-process message budget.
+    pub msgs_per_proc: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Messages generated (summed over nodes).
+    pub submitted: u64,
+    /// Application-level deliveries (summed over nodes).
+    pub app_delivered: u64,
+    /// Frames the simulator handed to nodes.
+    pub frames: u64,
+    /// Total wire bytes offered.
+    pub wire_bytes: u64,
+    /// Whether every alive node finished inside the round budget.
+    pub completed: bool,
+    /// Whether the run was cut short by the stall detector (no application
+    /// deliveries for several consecutive windows — e.g. CBCAST blocked
+    /// forever on a crashed member's vector-clock entries).
+    pub stalled: bool,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+    /// Peak history length across nodes (urcgc only; 0 for baselines).
+    pub peak_history: usize,
+    /// Peak waiting length across nodes (urcgc only; 0 for baselines).
+    pub peak_waiting: usize,
+    /// Windowed throughput trace (one sample per window).
+    pub windows: Vec<WindowSample>,
+}
+
+impl SoakReport {
+    /// Rounds per wall-clock second.
+    pub fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// Frames per wall-clock second.
+    pub fn frames_per_sec(&self) -> f64 {
+        self.frames as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// One `urcgc-bench/1` bench entry for this scenario. The windowed
+    /// trace is thinned to at most 16 samples to keep documents diffable.
+    pub fn to_json(&self) -> Json {
+        let step = self.windows.len().div_ceil(16).max(1);
+        let trace: Vec<Json> = self
+            .windows
+            .iter()
+            .step_by(step)
+            .map(|w| {
+                Json::obj()
+                    .with("end_round", w.end_round)
+                    .with("frames", w.frames)
+                    .with("app_delivered", w.app_delivered)
+                    .with("wire_bytes", w.wire_bytes)
+            })
+            .collect();
+        Json::obj()
+            .with("name", "soak")
+            .with(
+                "params",
+                Json::obj()
+                    .with("protocol", self.protocol)
+                    .with("n", self.n)
+                    .with("msgs_per_proc", self.msgs_per_proc),
+            )
+            .with(
+                "metrics",
+                Json::obj()
+                    .with("rounds", self.rounds)
+                    .with("submitted", self.submitted)
+                    .with("app_delivered", self.app_delivered)
+                    .with("frames", self.frames)
+                    .with("wire_bytes", self.wire_bytes)
+                    .with("completed", self.completed)
+                    .with("stalled", self.stalled)
+                    .with("wall_secs", self.wall_secs)
+                    .with("rounds_per_sec", self.rounds_per_sec())
+                    .with("frames_per_sec", self.frames_per_sec())
+                    .with("peak_history", self.peak_history)
+                    .with("peak_waiting", self.peak_waiting)
+                    .with("windows", Json::Arr(trace)),
+            )
+    }
+}
+
+/// The full soak fault plan: background omissions at the paper's 1/500
+/// rate, one slow sender (process 1, +2 rounds), and process `n-1`
+/// crashing a third of the way through the expected run.
+pub fn soak_faults(n: usize, msgs_per_proc: u64) -> FaultPlan {
+    baseline_soak_faults().crash_at(ProcessId((n - 1) as u16), Round(msgs_per_proc.max(30) / 3))
+}
+
+/// The baseline variant: the slow sender only, over reliable channels.
+/// The CBCAST and Psync models here have no retransmission layer — their
+/// published forms sit on ISIS / negative-acknowledgement machinery that
+/// is out of scope — so a single omitted frame (or a crashed member's
+/// in-flight tail) leaves every later message from that sender
+/// permanently blocked in each affected receiver's buffer, and the run
+/// degenerates into an O(buffer²) rescan that can never quiesce. The
+/// paper's protocol is the one that takes the full lossy plan; the
+/// baselines measure sustained ordering throughput.
+pub fn baseline_soak_faults() -> FaultPlan {
+    FaultPlan::none().slow_sender(ProcessId(1), 2)
+}
+
+/// Scenario identity and budgets for one [`run_soak`] invocation.
+pub struct SoakSpec {
+    /// Protocol label (`urcgc` | `cbcast` | `psync`).
+    pub protocol: &'static str,
+    /// Group size.
+    pub n: usize,
+    /// Per-process message budget.
+    pub msgs_per_proc: u64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Metric window, in rounds.
+    pub window: u64,
+    /// Round budget.
+    pub max_rounds: u64,
+}
+
+/// Drives `nodes` until every alive node reports done (or the spec's
+/// round budget), in window-round chunks, streaming one progress line per
+/// chunk. `app_delivered` extracts the per-node application delivery
+/// counter; `peaks` the per-node (history, waiting) gauges.
+pub fn run_soak<N: Node>(
+    spec: SoakSpec,
+    nodes: Vec<N>,
+    faults: FaultPlan,
+    app_delivered: impl Fn(&N) -> u64,
+    peaks: impl Fn(&N) -> (usize, usize),
+) -> SoakReport {
+    let SoakSpec {
+        protocol,
+        n,
+        msgs_per_proc,
+        seed,
+        window,
+        max_rounds,
+    } = spec;
+    assert!(window > 0);
+    let opts = SimOptions {
+        seed,
+        max_rounds,
+        bytes_window: Some(window),
+    };
+    let mut net = SimNet::new(nodes, faults, opts);
+    let started = Instant::now();
+    let mut windows: Vec<WindowSample> = Vec::new();
+    let (mut prev_frames, mut prev_app, mut prev_bytes) = (0u64, 0u64, 0u64);
+    let mut idle_windows = 0u32;
+    let mut stalled = false;
+    while !net.all_done() && net.round().0 < max_rounds {
+        // A protocol that cannot finish under the fault plan (CBCAST after
+        // a member crash) would otherwise spin to the round limit; eight
+        // delivery-free windows is a conservative steady-state detector.
+        if idle_windows >= 8 {
+            stalled = true;
+            println!("  {protocol:<6} n={n:<3} stalled: no deliveries for {idle_windows} windows, stopping");
+            break;
+        }
+        let chunk = window.min(max_rounds - net.round().0);
+        net.run_rounds(chunk);
+        let frames = net.stats().delivered;
+        let app: u64 = net.nodes().iter().map(&app_delivered).sum();
+        let bytes = net.stats().bytes_per_round.total();
+        let sample = WindowSample {
+            end_round: net.round().0,
+            frames: frames - prev_frames,
+            app_delivered: app - prev_app,
+            wire_bytes: bytes - prev_bytes,
+        };
+        (prev_frames, prev_app, prev_bytes) = (frames, app, bytes);
+        idle_windows = if sample.app_delivered == 0 {
+            idle_windows + 1
+        } else {
+            0
+        };
+        println!(
+            "  {protocol:<6} n={n:<3} round {:>8}  +{:>8} frames  +{:>7} msgs  {:>10} B",
+            sample.end_round, sample.frames, sample.app_delivered, sample.wire_bytes
+        );
+        windows.push(sample);
+    }
+    let completed = net.all_done();
+    let wall_secs = started.elapsed().as_secs_f64();
+    let rounds = net.round().0;
+    let wire_bytes = net.stats().bytes_per_round.total();
+    let frames = net.stats().delivered;
+    let (nodes, _) = net.into_parts();
+    let app_total: u64 = nodes.iter().map(&app_delivered).sum();
+    let (peak_history, peak_waiting) = nodes
+        .iter()
+        .map(&peaks)
+        .fold((0, 0), |(h, w), (nh, nw)| (h.max(nh), w.max(nw)));
+    SoakReport {
+        protocol,
+        n,
+        msgs_per_proc,
+        rounds,
+        submitted: msgs_per_proc * n as u64,
+        app_delivered: app_total,
+        frames,
+        wire_bytes,
+        completed,
+        stalled,
+        wall_secs,
+        peak_history,
+        peak_waiting,
+        windows,
+    }
+}
+
+/// Soaks urcgc: n processes each submitting `msgs_per_proc` messages
+/// back-to-back through real engines.
+pub fn soak_urcgc(n: usize, msgs_per_proc: u64, seed: u64, window: u64) -> SoakReport {
+    let cfg = ProtocolConfig::new(n);
+    let workload = Workload::fixed_count(msgs_per_proc, 32);
+    let nodes: Vec<SoakUrcgcNode> = (0..n)
+        .map(|i| {
+            SoakUrcgcNode::new(
+                ProcessId::from_index(i),
+                cfg.clone(),
+                workload.clone(),
+                seed,
+            )
+        })
+        .collect();
+    run_soak(
+        SoakSpec {
+            protocol: "urcgc",
+            n,
+            msgs_per_proc,
+            seed,
+            window,
+            max_rounds: msgs_per_proc * 8 + 4_000,
+        },
+        nodes,
+        soak_faults(n, msgs_per_proc),
+        |nd| nd.delivered(),
+        |nd| (nd.peak_history(), nd.peak_waiting()),
+    )
+}
+
+/// Soaks CBCAST with probes off (counter-only nodes). Runs the
+/// crash-free plan — see [`baseline_soak_faults`].
+pub fn soak_cbcast(n: usize, msgs_per_proc: u64, seed: u64, window: u64) -> SoakReport {
+    let load = Load::fixed(msgs_per_proc, 32).unprobed();
+    let nodes: Vec<CbcastNode> = (0..n)
+        .map(|i| CbcastNode::new(ProcessId::from_index(i), n, 2, load))
+        .collect();
+    run_soak(
+        SoakSpec {
+            protocol: "cbcast",
+            n,
+            msgs_per_proc,
+            seed,
+            window,
+            max_rounds: msgs_per_proc * 8 + 4_000,
+        },
+        nodes,
+        baseline_soak_faults(),
+        |nd| nd.delivered_count(),
+        |_| (0, 0),
+    )
+}
+
+/// Soaks Psync with probes off, on the crash-free plan
+/// ([`baseline_soak_faults`]). Flow control deletes overflow, so the run
+/// may end at the round limit with `completed = false` — expected: the
+/// scenario measures scheduler throughput, not Psync completeness.
+pub fn soak_psync(n: usize, msgs_per_proc: u64, seed: u64, window: u64) -> SoakReport {
+    let load = Load::fixed(msgs_per_proc, 32).unprobed();
+    let nodes: Vec<PsyncNode> = (0..n)
+        .map(|i| PsyncNode::new(ProcessId::from_index(i), n, 64, load))
+        .collect();
+    run_soak(
+        SoakSpec {
+            protocol: "psync",
+            n,
+            msgs_per_proc,
+            seed,
+            window,
+            max_rounds: msgs_per_proc * 8 + 4_000,
+        },
+        nodes,
+        baseline_soak_faults(),
+        |nd| nd.delivered_count(),
+        |_| (0, 0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn urcgc_soak_smoke_completes_and_counts() {
+        let r = soak_urcgc(5, 40, 7, 16);
+        assert_eq!(r.submitted, 200);
+        // The crashed node's in-flight tail can be lost; everyone else
+        // processes everything (atomicity over the surviving group).
+        assert!(r.app_delivered > 0, "no deliveries");
+        assert!(r.rounds > 0 && r.frames > 0 && r.wire_bytes > 0);
+        assert!(r.completed, "quiescence not reached in {} rounds", r.rounds);
+        assert!(r.peak_history > 0);
+        assert!(!r.windows.is_empty());
+        let win_frames: u64 = r.windows.iter().map(|w| w.frames).sum();
+        assert_eq!(win_frames, r.frames, "windowed trace must tile the run");
+    }
+
+    #[test]
+    fn baseline_soaks_run_unprobed() {
+        let c = soak_cbcast(5, 30, 7, 16);
+        assert!(c.app_delivered > 0 && c.frames > 0);
+        // Reliable channels: CBCAST's causal buffer drains completely.
+        assert!(c.completed, "cbcast did not quiesce in {} rounds", c.rounds);
+        let p = soak_psync(5, 30, 7, 16);
+        assert!(p.app_delivered > 0 && p.frames > 0);
+    }
+
+    #[test]
+    fn soak_report_renders_bench_entry() {
+        let r = soak_urcgc(4, 20, 3, 8);
+        let rendered = r.to_json().render_pretty();
+        assert!(rendered.contains("\"name\": \"soak\""));
+        assert!(rendered.contains("\"protocol\": \"urcgc\""));
+        assert!(rendered.contains("rounds_per_sec"));
+    }
+}

@@ -202,7 +202,15 @@ pub fn run_transported(
         .map(|i| TransportedNode::new(ProcessId::from_index(i), cfg.clone(), h, workload.clone()))
         .collect();
     let faults = FaultPlan::none().omission_rate(loss);
-    let mut net = SimNet::new(nodes, faults, SimOptions { max_rounds, seed });
+    let mut net = SimNet::new(
+        nodes,
+        faults,
+        SimOptions {
+            max_rounds,
+            seed,
+            ..SimOptions::default()
+        },
+    );
     let mut rounds = 0;
     let mut idle = 0;
     while rounds < max_rounds {

@@ -419,17 +419,13 @@ impl Engine {
             self.transition(ProcessStatus::Left, StatusReason::MissedKDecisions);
             return;
         };
-        let req = RequestMsg {
-            sender: self.me,
-            subrun,
-            last_processed: self.tracker.last_processed_vector(),
-            waiting: self.waiting.waiting_vector(self.cfg.n),
-            prev_decision: self.last_decision.clone(),
-            forwarded: false,
-        };
+        let last_processed = self.tracker.last_processed_vector();
+        let waiting = self.waiting.waiting_vector(self.cfg.n);
         if coordinator == self.me {
+            // Self-contribution: no request message is materialized, and the
+            // previous decision is only cloned if the matrix keeps it.
             let mut matrix = StabilityMatrix::new(self.cfg.n);
-            matrix.record(self.me, req.last_processed, req.waiting, req.prev_decision);
+            matrix.record(self.me, last_processed, waiting, &self.last_decision);
             // Fold in stashed straggler/forwarded requests that are still
             // within the staleness window.
             for stashed in std::mem::take(&mut self.request_stash) {
@@ -438,7 +434,7 @@ impl Engine {
                         stashed.sender,
                         stashed.last_processed,
                         stashed.waiting,
-                        stashed.prev_decision,
+                        &stashed.prev_decision,
                     );
                 }
             }
@@ -447,7 +443,14 @@ impl Engine {
             self.matrix = None;
             self.outbox.push_back(Output::Send {
                 to: coordinator,
-                pdu: Box::new(Pdu::Request(req)),
+                pdu: Box::new(Pdu::Request(RequestMsg {
+                    sender: self.me,
+                    subrun,
+                    last_processed,
+                    waiting,
+                    prev_decision: self.last_decision.clone(),
+                    forwarded: false,
+                })),
             });
         }
     }
@@ -583,7 +586,7 @@ impl Engine {
                     req.sender,
                     req.last_processed,
                     req.waiting,
-                    req.prev_decision,
+                    &req.prev_decision,
                 );
                 return;
             }

@@ -489,7 +489,15 @@ pub fn run_client_server(
             }
         })
         .collect();
-    let mut net = SimNet::new(nodes, faults, SimOptions { max_rounds, seed });
+    let mut net = SimNet::new(
+        nodes,
+        faults,
+        SimOptions {
+            max_rounds,
+            seed,
+            ..SimOptions::default()
+        },
+    );
     let mut rounds = 0;
     let mut idle = 0;
     while rounds < max_rounds {

@@ -336,6 +336,7 @@ impl GroupHarnessBuilder {
             SimOptions {
                 max_rounds: self.max_rounds,
                 seed: self.seed,
+                ..SimOptions::default()
             },
         );
         GroupHarness { net }

@@ -56,14 +56,15 @@ impl StabilityMatrix {
 
     /// Records `sender`'s request. Later duplicates (retransmissions)
     /// overwrite earlier ones — `last_processed` is monotone so the newest
-    /// copy is the most informative. The carried previous decision is kept
-    /// if it is the freshest seen so far.
+    /// copy is the most informative. The carried previous decision is cloned
+    /// only when it is the freshest seen so far; stale copies (the common
+    /// case — every member carries the same previous decision) cost nothing.
     pub fn record(
         &mut self,
         sender: ProcessId,
         last_processed: Vec<u64>,
         waiting: Vec<u64>,
-        prev_decision: Decision,
+        prev_decision: &Decision,
     ) {
         assert_eq!(last_processed.len(), self.n, "last_processed width");
         assert_eq!(waiting.len(), self.n, "waiting width");
@@ -76,7 +77,7 @@ impl StabilityMatrix {
             Some(cur) => prev_decision.is_newer_than(cur),
         };
         if fresher {
-            self.freshest_prev = Some(prev_decision);
+            self.freshest_prev = Some(prev_decision.clone());
         }
     }
 
@@ -246,7 +247,7 @@ mod tests {
 
     fn record_simple(m: &mut StabilityMatrix, i: u16, lp: Vec<u64>, prev: &Decision) {
         let n = lp.len();
-        m.record(pid(i), lp, vec![NO_SEQ; n], prev.clone());
+        m.record(pid(i), lp, vec![NO_SEQ; n], prev);
     }
 
     #[test]
@@ -394,8 +395,8 @@ mod tests {
     fn min_waiting_is_groupwide_minimum() {
         let genesis = Decision::genesis(2);
         let mut m = StabilityMatrix::new(2);
-        m.record(pid(0), vec![0, 0], vec![NO_SEQ, 7], genesis.clone());
-        m.record(pid(1), vec![0, 0], vec![NO_SEQ, 4], genesis.clone());
+        m.record(pid(0), vec![0, 0], vec![NO_SEQ, 7], &genesis);
+        m.record(pid(1), vec![0, 0], vec![NO_SEQ, 4], &genesis);
         let d = m.compute(Subrun(1), pid(0), 3, &genesis);
         assert_eq!(d.min_waiting, vec![NO_SEQ, 4]);
     }
@@ -409,8 +410,8 @@ mod tests {
         newer.full_group = false;
         newer.covered = vec![true, true];
         let mut m = StabilityMatrix::new(2);
-        m.record(pid(0), vec![9, 9], vec![NO_SEQ; 2], genesis.clone());
-        m.record(pid(1), vec![9, 9], vec![NO_SEQ; 2], newer);
+        m.record(pid(0), vec![9, 9], vec![NO_SEQ; 2], &genesis);
+        m.record(pid(1), vec![9, 9], vec![NO_SEQ; 2], &newer);
         assert_eq!(m.freshest_prev().unwrap().subrun, Subrun(5));
         // compute() continues from the newer (partial) decision, so mins
         // include its stable values.

@@ -90,7 +90,7 @@ proptest! {
         let prev = Decision::genesis(n);
         let mut m = StabilityMatrix::new(n);
         for (i, f) in frontiers.iter().enumerate() {
-            m.record(ProcessId::from_index(i), f.clone(), vec![NO_SEQ; n], prev.clone());
+            m.record(ProcessId::from_index(i), f.clone(), vec![NO_SEQ; n], &prev);
         }
         let d = m.compute(Subrun(1), ProcessId(0), 3, &prev);
         prop_assert!(d.full_group);
@@ -116,23 +116,23 @@ proptest! {
         // One-shot computation.
         let mut all = StabilityMatrix::new(n);
         for (i, f) in frontiers.iter().enumerate() {
-            all.record(ProcessId::from_index(i), f.clone(), vec![NO_SEQ; n], genesis.clone());
+            all.record(ProcessId::from_index(i), f.clone(), vec![NO_SEQ; n], &genesis);
         }
         let one_shot = all.compute(Subrun(1), ProcessId(0), 9, &genesis);
 
         // Two-subrun computation with the same (stale) frontiers.
         let mut m1 = StabilityMatrix::new(n);
         for (i, f) in frontiers.iter().enumerate().take(at) {
-            m1.record(ProcessId::from_index(i), f.clone(), vec![NO_SEQ; n], genesis.clone());
+            m1.record(ProcessId::from_index(i), f.clone(), vec![NO_SEQ; n], &genesis);
         }
         let d1 = m1.compute(Subrun(1), ProcessId(0), 9, &genesis);
         let mut m2 = StabilityMatrix::new(n);
         for (i, f) in frontiers.iter().enumerate().skip(at) {
-            m2.record(ProcessId::from_index(i), f.clone(), vec![NO_SEQ; n], d1.clone());
+            m2.record(ProcessId::from_index(i), f.clone(), vec![NO_SEQ; n], &d1);
         }
         // Also re-record one early contributor so the coordinator itself is
         // covered (as in the real protocol every member sends each subrun).
-        m2.record(ProcessId::from_index(0), frontiers[0].clone(), vec![NO_SEQ; n], d1.clone());
+        m2.record(ProcessId::from_index(0), frontiers[0].clone(), vec![NO_SEQ; n], &d1);
         let d2 = m2.compute(Subrun(2), ProcessId(1), 9, &d1);
         prop_assert!(d2.full_group, "coverage incomplete: {:?}", d2.covered);
         for q in 0..n {

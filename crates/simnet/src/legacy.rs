@@ -1,0 +1,330 @@
+//! The pre-calendar-queue engine, kept as an executable specification.
+//!
+//! [`FlatWireSimNet`] is the flat-wire scheduler [`crate::SimNet`] replaced:
+//! every round it rescans the whole in-flight vector (a frame delayed `d`
+//! rounds is re-examined `d` times), allocates a fresh `Vec<Outgoing>` per
+//! node invocation, and decides `all_done()` with a full n-node scan. It is
+//! retained — like `RescanWaitingList` before it — so that
+//!
+//! * differential tests can assert the calendar queue reproduces its
+//!   delivery order, RNG draw alignment, and counters bit for bit, and
+//! * the scheduler before/after benchmarks measure the real replaced code,
+//!   not a strawman.
+//!
+//! Do not use it outside tests and benches; it is O(in-flight) per round.
+
+use bytes::Bytes;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use urcgc_types::{ProcessId, Round};
+
+use crate::fault::FaultPlan;
+use crate::net::{InFlight, RunOutcome, SimOptions, SimStats};
+use crate::node::{NetCtx, Node, Outgoing};
+use crate::timeline::ByteTimeline;
+
+/// The old flat-wire engine (see the module docs). API mirrors
+/// [`crate::SimNet`].
+pub struct FlatWireSimNet<N: Node> {
+    nodes: Vec<N>,
+    faults: FaultPlan,
+    opts: SimOptions,
+    rng: ChaCha8Rng,
+    stats: SimStats,
+    round: Round,
+    /// Frames in flight, rescanned in full every round.
+    wire: Vec<InFlight>,
+    /// Bytes offered during the round currently executing.
+    round_bytes: u64,
+}
+
+impl<N: Node> FlatWireSimNet<N> {
+    /// Builds a network over `nodes` (process `i` is `nodes[i]`).
+    pub fn new(nodes: Vec<N>, faults: FaultPlan, opts: SimOptions) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(opts.seed);
+        let stats = SimStats {
+            bytes_per_round: ByteTimeline::new(opts.bytes_window),
+            ..SimStats::default()
+        };
+        FlatWireSimNet {
+            nodes,
+            faults,
+            opts,
+            rng,
+            stats,
+            round: Round(0),
+            wire: Vec::new(),
+            round_bytes: 0,
+        }
+    }
+
+    /// Group cardinality.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The round about to be executed (or just executed, after a step).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Immutable node access for post-run inspection.
+    pub fn node(&self, p: ProcessId) -> &N {
+        &self.nodes[p.index()]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Executes one full round, rescanning the whole wire.
+    pub fn step(&mut self) {
+        let round = self.round;
+        let n = self.nodes.len();
+        let mut new_out: Vec<Outgoing>;
+        let mut sent_this_round: Vec<InFlight> = Vec::new();
+
+        // Phase 1: deliveries; every in-flight frame is examined whether or
+        // not it arrives this round.
+        let wire = std::mem::take(&mut self.wire);
+        let mut still_in_flight = Vec::new();
+        for msg in wire {
+            if msg.arrives > round {
+                still_in_flight.push(msg);
+                continue;
+            }
+            if self.faults.is_crashed(msg.to, round) {
+                self.stats.to_crashed += 1;
+                continue;
+            }
+            if self.faults.recv_omission_prob > 0.0
+                && self.rng.gen_bool(self.faults.recv_omission_prob)
+            {
+                self.stats.recv_omitted += 1;
+                continue;
+            }
+            new_out = Vec::new();
+            {
+                let mut ctx = NetCtx::new(msg.to, n, round, &mut new_out);
+                self.nodes[msg.to.index()].on_frame(msg.from, msg.frame, &mut ctx);
+            }
+            self.stats.delivered += 1;
+            sent_this_round.extend(self.filter_sends(msg.to, round, new_out));
+        }
+
+        // Phase 2: round actions for every alive node.
+        for i in 0..n {
+            let me = ProcessId::from_index(i);
+            if self.faults.is_crashed(me, round) {
+                continue;
+            }
+            new_out = Vec::new();
+            {
+                let mut ctx = NetCtx::new(me, n, round, &mut new_out);
+                self.nodes[i].on_round(round, &mut ctx);
+            }
+            sent_this_round.extend(self.filter_sends(me, round, new_out));
+        }
+
+        still_in_flight.extend(sent_this_round);
+        self.wire = still_in_flight;
+        self.stats.bytes_per_round.record(self.round_bytes);
+        self.round_bytes = 0;
+        self.round = round.next();
+    }
+
+    /// Applies send-side faults and traffic accounting to a node's queued
+    /// output (per-frame crash check and delay lookup, as the old engine
+    /// did).
+    fn filter_sends(&mut self, from: ProcessId, round: Round, out: Vec<Outgoing>) -> Vec<InFlight> {
+        let n = self.nodes.len();
+        let mut kept = Vec::with_capacity(out.len());
+        for o in out {
+            if o.to.index() >= n {
+                self.stats.misaddressed += 1;
+                continue;
+            }
+            if self.faults.is_crashed(from, round) {
+                self.stats.from_crashed += 1;
+                continue;
+            }
+            self.stats.traffic.record(o.kind, o.frame.len());
+            self.round_bytes += o.frame.len() as u64;
+            if self.faults.link_cut_at(from, o.to, round) {
+                self.stats.link_dropped += 1;
+                continue;
+            }
+            if self.faults.send_omission_prob > 0.0
+                && self.rng.gen_bool(self.faults.send_omission_prob)
+            {
+                self.stats.send_omitted += 1;
+                continue;
+            }
+            let frame = if self.faults.corrupt_prob > 0.0
+                && !o.frame.is_empty()
+                && self.rng.gen_bool(self.faults.corrupt_prob)
+            {
+                self.stats.corrupted += 1;
+                let mut raw = o.frame.to_vec();
+                let idx = self.rng.gen_range(0..raw.len());
+                raw[idx] ^= 1 << self.rng.gen_range(0..8);
+                Bytes::from(raw)
+            } else {
+                o.frame
+            };
+            kept.push(InFlight {
+                from,
+                to: o.to,
+                frame,
+                arrives: Round(round.0 + 1 + self.faults.sender_delay(from)),
+            });
+        }
+        kept
+    }
+
+    /// Whether every non-crashed node reports done (full n-node scan).
+    pub fn all_done(&self) -> bool {
+        self.nodes.iter().enumerate().all(|(i, node)| {
+            self.faults.is_crashed(ProcessId::from_index(i), self.round) || node.is_done()
+        })
+    }
+
+    /// Runs until every alive node is done or the round limit is hit.
+    pub fn run(&mut self) -> RunOutcome {
+        while self.round.0 < self.opts.max_rounds {
+            if self.all_done() {
+                return RunOutcome::AllDone {
+                    at_round: self.round.0,
+                };
+            }
+            self.step();
+        }
+        if self.all_done() {
+            RunOutcome::AllDone {
+                at_round: self.round.0,
+            }
+        } else {
+            RunOutcome::RoundLimit
+        }
+    }
+
+    /// Runs exactly `rounds` more rounds (without the done check).
+    pub fn run_rounds(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Consumes the network, returning the nodes and stats for inspection.
+    pub fn into_parts(self) -> (Vec<N>, SimStats) {
+        (self.nodes, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod differential_tests {
+    use super::*;
+    use crate::net::SimNet;
+
+    /// A node whose trace captures everything the scheduler decides: the
+    /// exact (round, sender, frame) delivery sequence, plus sends that
+    /// exercise unicast, broadcast, and per-frame payload variation.
+    #[derive(Clone, Default)]
+    struct Tracer {
+        log: Vec<(Round, ProcessId, Bytes)>,
+        sent: u64,
+    }
+
+    impl Node for Tracer {
+        fn on_round(&mut self, round: Round, net: &mut NetCtx<'_>) {
+            // Two bursts so frames with different delays overlap in flight.
+            if round.0.is_multiple_of(3) && self.sent < 40 {
+                self.sent += 1;
+                let body = vec![round.0 as u8, self.sent as u8, net.me().0 as u8];
+                net.broadcast("data", Bytes::from(body));
+            }
+        }
+
+        fn on_frame(&mut self, from: ProcessId, frame: Bytes, net: &mut NetCtx<'_>) {
+            self.log.push((net.round(), from, frame.clone()));
+            // Echo every third reception back, so phase-1 sends (and their
+            // RNG draws) interleave with phase-2 sends.
+            if self.log.len().is_multiple_of(3) {
+                net.send(from, "echo", frame);
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.sent >= 40 && self.log.len() > 100
+        }
+    }
+
+    fn mixed_faults() -> FaultPlan {
+        FaultPlan::none()
+            .omission_rate(0.05)
+            .corruption_rate(0.02)
+            .slow_sender(ProcessId(1), 4)
+            .slow_sender(ProcessId(3), 9)
+            .crash_at(ProcessId(2), Round(17))
+            .cut_link(ProcessId(0), ProcessId(4))
+    }
+
+    fn counters(s: &SimStats) -> [u64; 8] {
+        [
+            s.delivered,
+            s.send_omitted,
+            s.recv_omitted,
+            s.link_dropped,
+            s.to_crashed,
+            s.from_crashed,
+            s.corrupted,
+            s.misaddressed,
+        ]
+    }
+
+    /// The calendar queue must reproduce the flat-wire engine bit for bit:
+    /// same delivery traces, same fault counters, same RNG alignment (any
+    /// drift desynchronizes the omission/corruption draws and shows up in
+    /// the counters within a few rounds).
+    #[test]
+    fn calendar_queue_matches_flat_wire_exactly() {
+        for seed in [1u64, 7, 0xC0FFEE] {
+            let opts = SimOptions {
+                max_rounds: 200,
+                seed,
+                ..Default::default()
+            };
+            let n = 5;
+            let mut fast = SimNet::new(vec![Tracer::default(); n], mixed_faults(), opts.clone());
+            let mut spec = FlatWireSimNet::new(vec![Tracer::default(); n], mixed_faults(), opts);
+            fast.run_rounds(120);
+            spec.run_rounds(120);
+            assert_eq!(
+                counters(fast.stats()),
+                counters(spec.stats()),
+                "fault counters diverged (seed {seed})"
+            );
+            assert_eq!(
+                fast.stats().bytes_per_round.per_round(),
+                spec.stats().bytes_per_round.per_round(),
+                "offered-load timeline diverged (seed {seed})"
+            );
+            for i in 0..n {
+                let p = ProcessId::from_index(i);
+                assert_eq!(
+                    fast.node(p).log,
+                    spec.node(p).log,
+                    "delivery trace diverged at p{i} (seed {seed})"
+                );
+            }
+            assert_eq!(fast.all_done(), spec.all_done());
+        }
+    }
+}

@@ -47,12 +47,16 @@
 //! ```
 
 pub mod fault;
+pub mod legacy;
 pub mod net;
 pub mod node;
+pub mod timeline;
 
 pub use fault::FaultPlan;
+pub use legacy::FlatWireSimNet;
 pub use net::{RunOutcome, SimNet, SimOptions, SimStats};
 pub use node::{NetCtx, Node, Outgoing};
+pub use timeline::ByteTimeline;
 
 /// Rounds per network round-trip delay (subrun = rtd = 2 rounds).
 pub const ROUNDS_PER_RTD: u64 = 2;

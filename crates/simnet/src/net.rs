@@ -1,4 +1,23 @@
 //! The simulator engine.
+//!
+//! # Calendar-queue scheduler
+//!
+//! Frames in flight live in a round-bucketed calendar queue
+//! (`VecDeque<Vec<InFlight>>` keyed by `arrives - round`), the classic
+//! discrete-event-scheduler structure specialized to the paper's integer
+//! round clock: each round pops exactly the bucket of frames arriving in it,
+//! so a frame delayed `d` rounds by `slow_sender` is touched once on arrival
+//! instead of being re-examined `d` times by a full wire rescan.
+//!
+//! The delivery order and RNG draw sequence are bit-for-bit identical to the
+//! flat-wire engine this replaced (kept as [`crate::legacy::FlatWireSimNet`]
+//! for differential testing): the flat wire was ordered by (send round,
+//! within-round enqueue order) and frames drew no randomness while parked,
+//! so bucket-fill order — older send rounds first, enqueue order within a
+//! round — reproduces the rescan's arrival order exactly, and every fault
+//! draw happens at the same point in the ChaCha stream.
+
+use std::collections::VecDeque;
 
 use bytes::Bytes;
 use rand::Rng;
@@ -9,6 +28,7 @@ use urcgc_types::{ProcessId, Round};
 
 use crate::fault::FaultPlan;
 use crate::node::{NetCtx, Node, Outgoing};
+use crate::timeline::ByteTimeline;
 
 /// Engine parameters.
 #[derive(Clone, Debug)]
@@ -18,6 +38,11 @@ pub struct SimOptions {
     pub max_rounds: u64,
     /// RNG seed; identical seeds reproduce runs bit-for-bit.
     pub seed: u64,
+    /// Aggregate [`SimStats::bytes_per_round`] into windows of this many
+    /// rounds instead of keeping the full per-round series. `None` (the
+    /// default) keeps one entry per round; soak runs over millions of rounds
+    /// set a window so the timeline stays bounded.
+    pub bytes_window: Option<u64>,
 }
 
 impl Default for SimOptions {
@@ -25,6 +50,7 @@ impl Default for SimOptions {
         SimOptions {
             max_rounds: 10_000,
             seed: 0xC0FFEE,
+            bytes_window: None,
         }
     }
 }
@@ -63,18 +89,24 @@ pub struct SimStats {
     pub corrupted: u64,
     /// Frames addressed outside the group (dropped at the edge).
     pub misaddressed: u64,
-    /// Offered wire bytes per round (index = round number) — the network
+    /// Offered wire bytes over time (per round by default, or aggregated
+    /// into fixed windows via [`SimOptions::bytes_window`]) — the network
     /// load timeline the paper's Section 6 characterizes.
-    pub bytes_per_round: Vec<u64>,
+    pub bytes_per_round: ByteTimeline,
 }
 
-struct InFlight {
-    from: ProcessId,
-    to: ProcessId,
-    frame: Bytes,
+pub(crate) struct InFlight {
+    pub(crate) from: ProcessId,
+    pub(crate) to: ProcessId,
+    pub(crate) frame: Bytes,
     /// Round at which this frame becomes deliverable.
-    arrives: Round,
+    pub(crate) arrives: Round,
 }
+
+/// Recycled-bucket pool cap: steady state pops and refills one bucket per
+/// round, so a handful of spares suffices; the cap keeps an idle
+/// million-round run from hoarding empty vectors.
+const SPARE_BUCKET_CAP: usize = 32;
 
 /// A group of nodes wired through the simulated network.
 pub struct SimNet<N: Node> {
@@ -84,26 +116,69 @@ pub struct SimNet<N: Node> {
     rng: ChaCha8Rng,
     stats: SimStats,
     round: Round,
-    /// Frames in flight: sent last round, delivered next round.
-    wire: Vec<InFlight>,
+    /// Calendar queue: at the top of [`SimNet::step`] for round `r`,
+    /// `buckets[j]` holds the frames arriving at round `r + j`; bucket 0 is
+    /// popped first, after which `buckets[j]` holds arrivals at `r + 1 + j`
+    /// (the indexing [`SimNet::filter_sends`] pushes under).
+    buckets: VecDeque<Vec<InFlight>>,
+    /// Emptied buckets kept for reuse so steady-state rounds allocate
+    /// nothing.
+    spare_buckets: Vec<Vec<InFlight>>,
+    /// One scratch output queue reused across every node invocation (the
+    /// old engine allocated a fresh `Vec` per delivery and per round
+    /// action).
+    scratch_out: Vec<Outgoing>,
     /// Bytes offered during the round currently executing.
     round_bytes: u64,
+    /// Cached `is_done()` per node, refreshed at each node's phase-2
+    /// invocation (node state only changes inside invocations, and every
+    /// non-crashed node is invoked every round).
+    done: Vec<bool>,
+    /// Nodes counted as crashed so far (kept in lockstep with
+    /// `crash_cursor`).
+    crashed: Vec<bool>,
+    /// Count of nodes neither done nor crashed: `all_done()` is this
+    /// reaching zero, replacing the old every-round n-node scan.
+    undone: usize,
+    /// Each process's first crash round, sorted; consumed by `crash_cursor`
+    /// as the clock passes each event.
+    crash_events: Vec<(Round, usize)>,
+    crash_cursor: usize,
 }
 
 impl<N: Node> SimNet<N> {
     /// Builds a network over `nodes` (process `i` is `nodes[i]`).
     pub fn new(nodes: Vec<N>, faults: FaultPlan, opts: SimOptions) -> Self {
         let rng = ChaCha8Rng::seed_from_u64(opts.seed);
-        SimNet {
+        let done: Vec<bool> = nodes.iter().map(|n| n.is_done()).collect();
+        let undone = done.iter().filter(|d| !**d).count();
+        let mut crash_events: Vec<(Round, usize)> = (0..nodes.len())
+            .filter_map(|i| faults.crash_round(ProcessId::from_index(i)).map(|r| (r, i)))
+            .collect();
+        crash_events.sort_unstable();
+        let stats = SimStats {
+            bytes_per_round: ByteTimeline::new(opts.bytes_window),
+            ..SimStats::default()
+        };
+        let mut net = SimNet {
+            crashed: vec![false; nodes.len()],
             nodes,
             faults,
             opts,
             rng,
-            stats: SimStats::default(),
+            stats,
             round: Round(0),
-            wire: Vec::new(),
+            buckets: VecDeque::new(),
+            spare_buckets: Vec::new(),
+            scratch_out: Vec::new(),
             round_bytes: 0,
-        }
+            done,
+            undone,
+            crash_events,
+            crash_cursor: 0,
+        };
+        net.apply_crashes_up_to(Round(0));
+        net
     }
 
     /// Group cardinality.
@@ -136,23 +211,49 @@ impl<N: Node> SimNet<N> {
         self.faults.is_crashed(p, self.round)
     }
 
+    /// Advances the crash-event cursor through every event at or before
+    /// `round`, removing newly crashed nodes from the undone count.
+    fn apply_crashes_up_to(&mut self, round: Round) {
+        while let Some(&(at, i)) = self.crash_events.get(self.crash_cursor) {
+            if at > round {
+                break;
+            }
+            self.crash_cursor += 1;
+            self.crashed[i] = true;
+            if !self.done[i] {
+                self.undone -= 1;
+            }
+        }
+    }
+
+    /// Refreshes node `i`'s cached done flag after an invocation.
+    fn note_done(&mut self, i: usize) {
+        debug_assert!(!self.crashed[i], "crashed nodes are never invoked");
+        let now = self.nodes[i].is_done();
+        if now != self.done[i] {
+            self.done[i] = now;
+            if now {
+                self.undone -= 1;
+            } else {
+                self.undone += 1;
+            }
+        }
+    }
+
     /// Executes one full round: deliveries, then node actions, then fault
     /// filtering of the new sends.
     pub fn step(&mut self) {
         let round = self.round;
         let n = self.nodes.len();
-        let mut new_out: Vec<Outgoing>;
-        let mut sent_this_round: Vec<InFlight> = Vec::new();
+        let mut out = std::mem::take(&mut self.scratch_out);
+        debug_assert!(out.is_empty());
 
         // Phase 1: deliveries of wire traffic whose arrival round has come,
-        // in deterministic (receiver, send order) order.
-        let wire = std::mem::take(&mut self.wire);
-        let mut still_in_flight = Vec::new();
-        for msg in wire {
-            if msg.arrives > round {
-                still_in_flight.push(msg);
-                continue;
-            }
+        // in deterministic (send round, send order) order — exactly one
+        // calendar bucket.
+        let mut arriving = self.buckets.pop_front().unwrap_or_default();
+        for msg in arriving.drain(..) {
+            debug_assert_eq!(msg.arrives, round, "bucket indexing drifted");
             if self.faults.is_crashed(msg.to, round) {
                 self.stats.to_crashed += 1;
                 continue;
@@ -163,13 +264,15 @@ impl<N: Node> SimNet<N> {
                 self.stats.recv_omitted += 1;
                 continue;
             }
-            new_out = Vec::new();
             {
-                let mut ctx = NetCtx::new(msg.to, n, round, &mut new_out);
+                let mut ctx = NetCtx::new(msg.to, n, round, &mut out);
                 self.nodes[msg.to.index()].on_frame(msg.from, msg.frame, &mut ctx);
             }
             self.stats.delivered += 1;
-            sent_this_round.extend(self.filter_sends(msg.to, round, new_out));
+            self.filter_sends(msg.to, round, &mut out);
+        }
+        if arriving.capacity() > 0 && self.spare_buckets.len() < SPARE_BUCKET_CAP {
+            self.spare_buckets.push(arriving);
         }
 
         // Phase 2: round actions for every alive node.
@@ -178,34 +281,49 @@ impl<N: Node> SimNet<N> {
             if self.faults.is_crashed(me, round) {
                 continue;
             }
-            new_out = Vec::new();
             {
-                let mut ctx = NetCtx::new(me, n, round, &mut new_out);
+                let mut ctx = NetCtx::new(me, n, round, &mut out);
                 self.nodes[i].on_round(round, &mut ctx);
             }
-            sent_this_round.extend(self.filter_sends(me, round, new_out));
+            self.filter_sends(me, round, &mut out);
+            self.note_done(i);
         }
 
-        still_in_flight.extend(sent_this_round);
-        self.wire = still_in_flight;
-        self.stats.bytes_per_round.push(self.round_bytes);
+        self.scratch_out = out;
+        self.stats.bytes_per_round.record(self.round_bytes);
         self.round_bytes = 0;
         self.round = round.next();
+        self.apply_crashes_up_to(self.round);
     }
 
     /// Applies send-side faults and traffic accounting to a node's queued
-    /// output.
-    fn filter_sends(&mut self, from: ProcessId, round: Round, out: Vec<Outgoing>) -> Vec<InFlight> {
+    /// output, draining `out` into the arrival bucket. Only callable from
+    /// inside [`SimNet::step`] (after the round's own bucket is popped, so
+    /// bucket `j` holds arrivals at `round + 1 + j`).
+    fn filter_sends(&mut self, from: ProcessId, round: Round, out: &mut Vec<Outgoing>) {
+        if out.is_empty() {
+            return;
+        }
         let n = self.nodes.len();
-        let mut kept = Vec::with_capacity(out.len());
-        for o in out {
+        // One sender, one round: the crash check and delivery delay are
+        // constant across the whole batch.
+        let from_crashed = self.faults.is_crashed(from, round);
+        let delay = self.faults.sender_delay(from);
+        let arrives = Round(round.0 + 1 + delay);
+        let slot = delay as usize;
+        while self.buckets.len() <= slot {
+            let spare = self.spare_buckets.pop().unwrap_or_default();
+            self.buckets.push_back(spare);
+        }
+        let mut bucket = std::mem::take(&mut self.buckets[slot]);
+        for o in out.drain(..) {
             if o.to.index() >= n {
                 // A node addressed a nonexistent process (e.g. acting on a
                 // corrupted PDU): the network has nowhere to carry it.
                 self.stats.misaddressed += 1;
                 continue;
             }
-            if self.faults.is_crashed(from, round) {
+            if from_crashed {
                 // Cannot happen for phase-2 sends (crashed nodes don't act)
                 // but a node crashed *this* round may have queued frames in
                 // phase 1 before the crash round check — drop them.
@@ -240,21 +358,28 @@ impl<N: Node> SimNet<N> {
             } else {
                 o.frame
             };
-            kept.push(InFlight {
+            bucket.push(InFlight {
                 from,
                 to: o.to,
                 frame,
-                arrives: Round(round.0 + 1 + self.faults.sender_delay(from)),
+                arrives,
             });
         }
-        kept
+        self.buckets[slot] = bucket;
     }
 
-    /// Whether every non-crashed node reports done.
+    /// Whether every non-crashed node reports done. O(1): maintained from
+    /// `is_done()` transitions and the crash schedule rather than a scan.
     pub fn all_done(&self) -> bool {
-        self.nodes.iter().enumerate().all(|(i, node)| {
-            self.faults.is_crashed(ProcessId::from_index(i), self.round) || node.is_done()
-        })
+        let fast = self.undone == 0;
+        debug_assert_eq!(
+            fast,
+            self.nodes.iter().enumerate().all(|(i, node)| {
+                self.faults.is_crashed(ProcessId::from_index(i), self.round) || node.is_done()
+            }),
+            "incremental done count diverged from full scan"
+        );
+        fast
     }
 
     /// Runs until every alive node is done or the round limit is hit.
@@ -480,6 +605,22 @@ mod tests {
         let outcome = net.run();
         assert!(matches!(outcome, RunOutcome::AllDone { .. }));
     }
+
+    #[test]
+    fn all_done_tracks_mid_run_crashes() {
+        // p0 crashes at round 2, after which the others are already done;
+        // the incremental count must notice the crash event removing p0.
+        struct Never;
+        impl Node for Never {
+            fn on_round(&mut self, _round: Round, _net: &mut NetCtx<'_>) {}
+            fn on_frame(&mut self, _f: ProcessId, _x: Bytes, _n: &mut NetCtx<'_>) {}
+        }
+        let faults = FaultPlan::none().crash_at(ProcessId(0), Round(2));
+        let mut net = SimNet::new(vec![Never], faults, SimOptions::default());
+        assert!(!net.all_done(), "alive and not done");
+        net.run_rounds(2);
+        assert!(net.all_done(), "crashed nodes don't count");
+    }
 }
 
 #[cfg(test)]
@@ -505,10 +646,29 @@ mod load_tests {
             SimOptions::default(),
         );
         net.run_rounds(4);
-        let series = &net.stats().bytes_per_round;
+        let series = net.stats().bytes_per_round.per_round();
         assert_eq!(series.len(), 4);
         // 3 nodes × 2 dests × 8 bytes per round.
         assert!(series.iter().all(|&b| b == 48), "{series:?}");
+    }
+
+    #[test]
+    fn windowed_timeline_matches_per_round_totals() {
+        let mut net = SimNet::new(
+            vec![Talker, Talker, Talker],
+            FaultPlan::none(),
+            SimOptions {
+                bytes_window: Some(3),
+                ..Default::default()
+            },
+        );
+        net.run_rounds(7);
+        let timeline = &net.stats().bytes_per_round;
+        assert_eq!(timeline.window(), Some(3));
+        assert_eq!(timeline.rounds(), 7);
+        // 48 bytes per round, aggregated 3-3-1.
+        assert_eq!(timeline.window_sums(), &[144, 144, 48]);
+        assert_eq!(timeline.total(), 7 * 48);
     }
 }
 

@@ -1,0 +1,170 @@
+//! Offered-load timeline accounting.
+//!
+//! The paper's Section 6 characterizes protocols by the network load they
+//! offer over time. Short experiment runs keep the full per-round series
+//! (one `u64` per round — what `netload_timeline` plots); long-horizon soak
+//! runs (millions of rounds) would accumulate an unbounded vector, so the
+//! timeline can instead aggregate into fixed-width round windows: memory is
+//! `rounds / window` instead of `rounds`, and the windowed sums are exactly
+//! what the soak workload streams.
+
+/// Per-round or window-aggregated offered-byte series.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ByteTimeline {
+    /// One entry per round (the default; unbounded over the run length).
+    PerRound(Vec<u64>),
+    /// Aggregated sums over consecutive `window`-round spans.
+    Windowed {
+        /// Window width in rounds.
+        window: u64,
+        /// Per-window byte sums; the last entry may cover a partial window.
+        sums: Vec<u64>,
+        /// Rounds recorded so far.
+        rounds: u64,
+        /// Total bytes over the whole run.
+        total: u64,
+    },
+}
+
+impl Default for ByteTimeline {
+    fn default() -> Self {
+        ByteTimeline::PerRound(Vec::new())
+    }
+}
+
+impl ByteTimeline {
+    /// A timeline in per-round mode (`window = None`) or windowed mode.
+    pub fn new(window: Option<u64>) -> Self {
+        match window {
+            None => ByteTimeline::PerRound(Vec::new()),
+            Some(w) => {
+                assert!(w > 0, "window must be at least one round");
+                ByteTimeline::Windowed {
+                    window: w,
+                    sums: Vec::new(),
+                    rounds: 0,
+                    total: 0,
+                }
+            }
+        }
+    }
+
+    /// Records one round's offered bytes. Called once per simulated round.
+    pub fn record(&mut self, bytes: u64) {
+        match self {
+            ByteTimeline::PerRound(series) => series.push(bytes),
+            ByteTimeline::Windowed {
+                window,
+                sums,
+                rounds,
+                total,
+            } => {
+                let idx = (*rounds / *window) as usize;
+                if sums.len() <= idx {
+                    sums.push(0);
+                }
+                sums[idx] += bytes;
+                *rounds += 1;
+                *total += bytes;
+            }
+        }
+    }
+
+    /// Rounds recorded so far.
+    pub fn rounds(&self) -> u64 {
+        match self {
+            ByteTimeline::PerRound(series) => series.len() as u64,
+            ByteTimeline::Windowed { rounds, .. } => *rounds,
+        }
+    }
+
+    /// Total bytes over the whole run.
+    pub fn total(&self) -> u64 {
+        match self {
+            ByteTimeline::PerRound(series) => series.iter().sum(),
+            ByteTimeline::Windowed { total, .. } => *total,
+        }
+    }
+
+    /// The full per-round series. Panics in windowed mode — the per-round
+    /// resolution was deliberately not kept.
+    pub fn per_round(&self) -> &[u64] {
+        match self {
+            ByteTimeline::PerRound(series) => series,
+            ByteTimeline::Windowed { .. } => {
+                panic!("per-round series not kept: timeline runs in windowed mode")
+            }
+        }
+    }
+
+    /// Window width in rounds (`None` in per-round mode).
+    pub fn window(&self) -> Option<u64> {
+        match self {
+            ByteTimeline::PerRound(_) => None,
+            ByteTimeline::Windowed { window, .. } => Some(*window),
+        }
+    }
+
+    /// Per-window byte sums (per-round mode: each round is its own window).
+    pub fn window_sums(&self) -> &[u64] {
+        match self {
+            ByteTimeline::PerRound(series) => series,
+            ByteTimeline::Windowed { sums, .. } => sums,
+        }
+    }
+
+    /// Mean offered bytes per round (0 before any round).
+    pub fn mean_per_round(&self) -> f64 {
+        let rounds = self.rounds();
+        if rounds == 0 {
+            return 0.0;
+        }
+        self.total() as f64 / rounds as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_round_keeps_every_sample() {
+        let mut t = ByteTimeline::new(None);
+        for b in [10, 0, 30] {
+            t.record(b);
+        }
+        assert_eq!(t.per_round(), &[10, 0, 30]);
+        assert_eq!(t.rounds(), 3);
+        assert_eq!(t.total(), 40);
+        assert_eq!(t.window(), None);
+        assert_eq!(t.window_sums(), &[10, 0, 30]);
+    }
+
+    #[test]
+    fn windowed_aggregates_and_bounds_memory() {
+        let mut t = ByteTimeline::new(Some(4));
+        for r in 0..10u64 {
+            t.record(r);
+        }
+        // 0+1+2+3, 4+5+6+7, 8+9 (partial tail window).
+        assert_eq!(t.window_sums(), &[6, 22, 17]);
+        assert_eq!(t.rounds(), 10);
+        assert_eq!(t.total(), 45);
+        assert_eq!(t.window(), Some(4));
+        assert!((t.mean_per_round() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "windowed mode")]
+    fn per_round_accessor_panics_in_windowed_mode() {
+        let mut t = ByteTimeline::new(Some(2));
+        t.record(1);
+        let _ = t.per_round();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_window_panics() {
+        let _ = ByteTimeline::new(Some(0));
+    }
+}

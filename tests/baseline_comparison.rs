@@ -156,6 +156,7 @@ fn all_three_harnesses_are_deterministic() {
                 gen_prob: 0.7,
                 total: 8,
                 payload_size: 8,
+                probe: true,
             },
             FaultPlan::none().omission_rate(0.01),
             seed,
@@ -173,6 +174,7 @@ fn all_three_harnesses_are_deterministic() {
                 gen_prob: 0.7,
                 total: 8,
                 payload_size: 8,
+                probe: true,
             },
             FaultPlan::none().omission_rate(0.01),
             seed,

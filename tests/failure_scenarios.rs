@@ -74,7 +74,7 @@ fn transient_silence_below_k_is_forgiven() {
     for s in 1..=2u64 {
         let mut m = urcgc_repro::history::StabilityMatrix::new(n);
         for i in 0..3u16 {
-            m.record(ProcessId(i), vec![0; n], vec![0; n], prev.clone());
+            m.record(ProcessId(i), vec![0; n], vec![0; n], &prev);
         }
         prev = m.compute(Subrun(s), ProcessId(0), k, &prev);
         assert!(prev.process_state[3], "declared dead too early at s{s}");
@@ -82,7 +82,7 @@ fn transient_silence_below_k_is_forgiven() {
     // Subrun 3: p3 speaks again; counter resets.
     let mut m = urcgc_repro::history::StabilityMatrix::new(n);
     for i in 0..4u16 {
-        m.record(ProcessId(i), vec![0; n], vec![0; n], prev.clone());
+        m.record(ProcessId(i), vec![0; n], vec![0; n], &prev);
     }
     prev = m.compute(Subrun(3), ProcessId(0), k, &prev);
     assert_eq!(prev.attempts[3], 0);
