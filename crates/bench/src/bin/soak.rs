@@ -8,11 +8,18 @@
 //! crash); the retransmission-free baselines take the reliable-channel
 //! variant (slow sender only) — see `urcgc_bench::soak`.
 //!
+//! With `--jobs J` the 9 grid cells (3 protocols × 3 group sizes) run
+//! concurrently on the sweep job pool. Per-cell seeds and budgets do not
+//! depend on the job count, so every cell's report — and the emitted
+//! document — is identical whatever `--jobs` is; only the per-window
+//! progress stream is suppressed (parallel cells would interleave it).
+//!
 //! Run:   `cargo run --release -p urcgc-bench --bin soak -- --json SOAK.json`
 //! Smoke: `... --bin soak -- --profile smoke --json smoke.json` (~10⁴
 //! messages; the CI gate).
 
-use urcgc_bench::soak::{soak_cbcast, soak_psync, soak_urcgc, SoakReport};
+use urcgc_bench::soak::{soak_cell, SoakProtocol, SoakReport};
+use urcgc_bench::sweep::run_pool;
 use urcgc_metrics::Json;
 
 const HELP: &str = "\
@@ -23,6 +30,8 @@ USAGE:
 
 OPTIONS:
   --profile P   soak (default: ~4M messages total) | smoke (~10⁴, for CI)
+  --jobs J      run grid cells on J worker threads (default 1; output is
+                identical whatever J is, per-window progress lines excepted)
   --json PATH   write the urcgc-bench/1 document to PATH
   --help        print this help
 ";
@@ -49,21 +58,37 @@ const SMOKE: Profile = Profile {
     window: 256,
 };
 
-fn parse_args(args: &[String]) -> Result<(&'static Profile, Option<String>), String> {
-    let mut profile = &SOAK;
-    let mut json = None;
+struct Opts {
+    profile: &'static Profile,
+    jobs: usize,
+    json: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        profile: &SOAK,
+        jobs: 1,
+        json: None,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--profile" => {
-                profile = match it.next().map(String::as_str) {
+                opts.profile = match it.next().map(String::as_str) {
                     Some("soak") => &SOAK,
                     Some("smoke") => &SMOKE,
                     other => return Err(format!("--profile expects soak|smoke, got {other:?}")),
                 }
             }
+            "--jobs" => {
+                opts.jobs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&j| j >= 1)
+                    .ok_or_else(|| "--jobs expects a positive integer".to_string())?
+            }
             "--json" => {
-                json = Some(
+                opts.json = Some(
                     it.next()
                         .ok_or_else(|| "--json expects a path".to_string())?
                         .clone(),
@@ -73,38 +98,49 @@ fn parse_args(args: &[String]) -> Result<(&'static Profile, Option<String>), Str
             other => return Err(format!("unknown argument {other:?}\n\n{HELP}")),
         }
     }
-    Ok((profile, json))
+    Ok(opts)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (profile, json_path) = match parse_args(&args) {
+    let opts = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(if msg == HELP { 0 } else { 2 });
         }
     };
+    let profile = opts.profile;
 
     let seed = 0xC0FFEE;
+    // The cell list in grid order; run_pool returns reports in the same
+    // order whatever the job count, so the document layout is stable.
+    let cells: Vec<(usize, u64, SoakProtocol)> = profile
+        .grid
+        .iter()
+        .flat_map(|&(n, msgs)| SoakProtocol::ALL.map(|p| (n, msgs, p)))
+        .collect();
+    let progress = opts.jobs == 1;
+    let reports: Vec<SoakReport> = run_pool(cells.len(), opts.jobs, |i| {
+        let (n, msgs, protocol) = cells[i];
+        soak_cell(protocol, n, msgs, seed, profile.window, progress)
+    });
+
     let mut benches: Vec<Json> = Vec::new();
     let mut total_msgs = 0u64;
-    for &(n, msgs) in profile.grid {
-        for run in [soak_urcgc, soak_cbcast, soak_psync] {
-            let report: SoakReport = run(n, msgs, seed, profile.window);
-            println!(
-                "{:<6} n={:<3} {:>9} msgs  {:>9} rounds  {:>10.0} rounds/s  {:>11.0} frames/s  complete={}",
-                report.protocol,
-                report.n,
-                report.submitted,
-                report.rounds,
-                report.rounds_per_sec(),
-                report.frames_per_sec(),
-                report.completed,
-            );
-            total_msgs += report.submitted;
-            benches.push(report.to_json());
-        }
+    for report in &reports {
+        println!(
+            "{:<6} n={:<3} {:>9} msgs  {:>9} rounds  {:>10.0} rounds/s  {:>11.0} frames/s  complete={}",
+            report.protocol,
+            report.n,
+            report.submitted,
+            report.rounds,
+            report.rounds_per_sec(),
+            report.frames_per_sec(),
+            report.completed,
+        );
+        total_msgs += report.submitted;
+        benches.push(report.to_json());
     }
     println!("soak total: {total_msgs} messages offered");
 
@@ -113,7 +149,7 @@ fn main() {
         .with("profile", profile.name)
         .with("benches", Json::Arr(benches));
 
-    if let Some(path) = json_path {
+    if let Some(path) = opts.json {
         match std::fs::write(&path, doc.render_pretty()) {
             Ok(()) => println!("bench document written to {path}"),
             Err(e) => {

@@ -313,6 +313,10 @@ pub struct SoakSpec {
     pub window: u64,
     /// Round budget.
     pub max_rounds: u64,
+    /// Whether to stream one progress line per window. Off when scenarios
+    /// run concurrently on the job pool (interleaved lines from parallel
+    /// cells would be nondeterministic noise); metrics are unaffected.
+    pub progress: bool,
 }
 
 /// Drives `nodes` until every alive node reports done (or the spec's
@@ -333,6 +337,7 @@ pub fn run_soak<N: Node>(
         seed,
         window,
         max_rounds,
+        progress,
     } = spec;
     assert!(window > 0);
     let opts = SimOptions {
@@ -352,7 +357,9 @@ pub fn run_soak<N: Node>(
         // delivery-free windows is a conservative steady-state detector.
         if idle_windows >= 8 {
             stalled = true;
-            println!("  {protocol:<6} n={n:<3} stalled: no deliveries for {idle_windows} windows, stopping");
+            if progress {
+                println!("  {protocol:<6} n={n:<3} stalled: no deliveries for {idle_windows} windows, stopping");
+            }
             break;
         }
         let chunk = window.min(max_rounds - net.round().0);
@@ -372,10 +379,12 @@ pub fn run_soak<N: Node>(
         } else {
             0
         };
-        println!(
-            "  {protocol:<6} n={n:<3} round {:>8}  +{:>8} frames  +{:>7} msgs  {:>10} B",
-            sample.end_round, sample.frames, sample.app_delivered, sample.wire_bytes
-        );
+        if progress {
+            println!(
+                "  {protocol:<6} n={n:<3} round {:>8}  +{:>8} frames  +{:>7} msgs  {:>10} B",
+                sample.end_round, sample.frames, sample.app_delivered, sample.wire_bytes
+            );
+        }
         windows.push(sample);
     }
     let completed = net.all_done();
@@ -407,58 +416,124 @@ pub fn run_soak<N: Node>(
     }
 }
 
+/// Which protocol a soak cell exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SoakProtocol {
+    /// The paper's protocol, under the full lossy plan.
+    Urcgc,
+    /// CBCAST baseline, reliable-channel plan.
+    Cbcast,
+    /// Psync baseline, reliable-channel plan.
+    Psync,
+}
+
+impl SoakProtocol {
+    /// All protocols, in grid order.
+    pub const ALL: [SoakProtocol; 3] = [
+        SoakProtocol::Urcgc,
+        SoakProtocol::Cbcast,
+        SoakProtocol::Psync,
+    ];
+}
+
+/// Runs one cell of the soak grid. `progress` streams per-window lines —
+/// keep it off when cells run concurrently (the job pool). Per-cell seeds
+/// and budgets are identical whatever `progress` (or the caller's job
+/// count) is, so reports are deterministic cell by cell.
+pub fn soak_cell(
+    protocol: SoakProtocol,
+    n: usize,
+    msgs_per_proc: u64,
+    seed: u64,
+    window: u64,
+    progress: bool,
+) -> SoakReport {
+    let max_rounds = msgs_per_proc * 8 + 4_000;
+    match protocol {
+        SoakProtocol::Urcgc => {
+            let cfg = ProtocolConfig::new(n);
+            let workload = Workload::fixed_count(msgs_per_proc, 32);
+            let nodes: Vec<SoakUrcgcNode> = (0..n)
+                .map(|i| {
+                    SoakUrcgcNode::new(
+                        ProcessId::from_index(i),
+                        cfg.clone(),
+                        workload.clone(),
+                        seed,
+                    )
+                })
+                .collect();
+            run_soak(
+                SoakSpec {
+                    protocol: "urcgc",
+                    n,
+                    msgs_per_proc,
+                    seed,
+                    window,
+                    max_rounds,
+                    progress,
+                },
+                nodes,
+                soak_faults(n, msgs_per_proc),
+                |nd| nd.delivered(),
+                |nd| (nd.peak_history(), nd.peak_waiting()),
+            )
+        }
+        SoakProtocol::Cbcast => {
+            let load = Load::fixed(msgs_per_proc, 32).unprobed();
+            let nodes: Vec<CbcastNode> = (0..n)
+                .map(|i| CbcastNode::new(ProcessId::from_index(i), n, 2, load))
+                .collect();
+            run_soak(
+                SoakSpec {
+                    protocol: "cbcast",
+                    n,
+                    msgs_per_proc,
+                    seed,
+                    window,
+                    max_rounds,
+                    progress,
+                },
+                nodes,
+                baseline_soak_faults(),
+                |nd| nd.delivered_count(),
+                |_| (0, 0),
+            )
+        }
+        SoakProtocol::Psync => {
+            let load = Load::fixed(msgs_per_proc, 32).unprobed();
+            let nodes: Vec<PsyncNode> = (0..n)
+                .map(|i| PsyncNode::new(ProcessId::from_index(i), n, 64, load))
+                .collect();
+            run_soak(
+                SoakSpec {
+                    protocol: "psync",
+                    n,
+                    msgs_per_proc,
+                    seed,
+                    window,
+                    max_rounds,
+                    progress,
+                },
+                nodes,
+                baseline_soak_faults(),
+                |nd| nd.delivered_count(),
+                |_| (0, 0),
+            )
+        }
+    }
+}
+
 /// Soaks urcgc: n processes each submitting `msgs_per_proc` messages
 /// back-to-back through real engines.
 pub fn soak_urcgc(n: usize, msgs_per_proc: u64, seed: u64, window: u64) -> SoakReport {
-    let cfg = ProtocolConfig::new(n);
-    let workload = Workload::fixed_count(msgs_per_proc, 32);
-    let nodes: Vec<SoakUrcgcNode> = (0..n)
-        .map(|i| {
-            SoakUrcgcNode::new(
-                ProcessId::from_index(i),
-                cfg.clone(),
-                workload.clone(),
-                seed,
-            )
-        })
-        .collect();
-    run_soak(
-        SoakSpec {
-            protocol: "urcgc",
-            n,
-            msgs_per_proc,
-            seed,
-            window,
-            max_rounds: msgs_per_proc * 8 + 4_000,
-        },
-        nodes,
-        soak_faults(n, msgs_per_proc),
-        |nd| nd.delivered(),
-        |nd| (nd.peak_history(), nd.peak_waiting()),
-    )
+    soak_cell(SoakProtocol::Urcgc, n, msgs_per_proc, seed, window, true)
 }
 
 /// Soaks CBCAST with probes off (counter-only nodes). Runs the
 /// crash-free plan — see [`baseline_soak_faults`].
 pub fn soak_cbcast(n: usize, msgs_per_proc: u64, seed: u64, window: u64) -> SoakReport {
-    let load = Load::fixed(msgs_per_proc, 32).unprobed();
-    let nodes: Vec<CbcastNode> = (0..n)
-        .map(|i| CbcastNode::new(ProcessId::from_index(i), n, 2, load))
-        .collect();
-    run_soak(
-        SoakSpec {
-            protocol: "cbcast",
-            n,
-            msgs_per_proc,
-            seed,
-            window,
-            max_rounds: msgs_per_proc * 8 + 4_000,
-        },
-        nodes,
-        baseline_soak_faults(),
-        |nd| nd.delivered_count(),
-        |_| (0, 0),
-    )
+    soak_cell(SoakProtocol::Cbcast, n, msgs_per_proc, seed, window, true)
 }
 
 /// Soaks Psync with probes off, on the crash-free plan
@@ -466,24 +541,7 @@ pub fn soak_cbcast(n: usize, msgs_per_proc: u64, seed: u64, window: u64) -> Soak
 /// may end at the round limit with `completed = false` — expected: the
 /// scenario measures scheduler throughput, not Psync completeness.
 pub fn soak_psync(n: usize, msgs_per_proc: u64, seed: u64, window: u64) -> SoakReport {
-    let load = Load::fixed(msgs_per_proc, 32).unprobed();
-    let nodes: Vec<PsyncNode> = (0..n)
-        .map(|i| PsyncNode::new(ProcessId::from_index(i), n, 64, load))
-        .collect();
-    run_soak(
-        SoakSpec {
-            protocol: "psync",
-            n,
-            msgs_per_proc,
-            seed,
-            window,
-            max_rounds: msgs_per_proc * 8 + 4_000,
-        },
-        nodes,
-        baseline_soak_faults(),
-        |nd| nd.delivered_count(),
-        |_| (0, 0),
-    )
+    soak_cell(SoakProtocol::Psync, n, msgs_per_proc, seed, window, true)
 }
 
 #[cfg(test)]

@@ -41,31 +41,26 @@ pub fn derive_seed(base: u64, replicate: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Runs `f(replicate_index, derived_seed)` for every replicate, spreading
-/// the calls over `jobs` scoped worker threads, and returns the results in
-/// replicate order (independent of scheduling).
-pub fn run_replicates<T: Send>(
-    base_seed: u64,
-    replicates: usize,
-    jobs: usize,
-    f: impl Fn(usize, u64) -> T + Sync,
-) -> Vec<T> {
-    let jobs = jobs.max(1).min(replicates.max(1));
+/// Runs `f(i)` for `i` in `0..count`, spreading the calls over `jobs`
+/// scoped worker threads (work-stealing over an atomic cursor), and returns
+/// the results in index order (independent of scheduling). The generic job
+/// pool under [`run_replicates`], reused by the soak grid and the checker's
+/// exploration fan-out.
+pub fn run_pool<T: Send>(count: usize, jobs: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let jobs = jobs.max(1).min(count.max(1));
     if jobs == 1 {
-        return (0..replicates)
-            .map(|i| f(i, derive_seed(base_seed, i)))
-            .collect();
+        return (0..count).map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..replicates).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= replicates {
+                if i >= count {
                     break;
                 }
-                let out = f(i, derive_seed(base_seed, i));
+                let out = f(i);
                 *slots[i].lock().expect("result slot") = Some(out);
             });
         }
@@ -75,9 +70,21 @@ pub fn run_replicates<T: Send>(
         .map(|slot| {
             slot.into_inner()
                 .expect("result slot")
-                .expect("every replicate completed")
+                .expect("every job completed")
         })
         .collect()
+}
+
+/// Runs `f(replicate_index, derived_seed)` for every replicate, spreading
+/// the calls over `jobs` scoped worker threads, and returns the results in
+/// replicate order (independent of scheduling).
+pub fn run_replicates<T: Send>(
+    base_seed: u64,
+    replicates: usize,
+    jobs: usize,
+    f: impl Fn(usize, u64) -> T + Sync,
+) -> Vec<T> {
+    run_pool(replicates, jobs, |i| f(i, derive_seed(base_seed, i)))
 }
 
 /// One replicate's named metric values, in a stable order.
@@ -308,6 +315,17 @@ mod tests {
         for jobs in [2, 4, 8] {
             assert_eq!(run_replicates(9, 16, jobs, f), serial, "jobs = {jobs}");
         }
+    }
+
+    #[test]
+    fn run_pool_preserves_index_order() {
+        let f = |i: usize| i * i;
+        let serial = run_pool(13, 1, f);
+        assert_eq!(serial, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        for jobs in [3, 7, 32] {
+            assert_eq!(run_pool(13, jobs, f), serial, "jobs = {jobs}");
+        }
+        assert!(run_pool(0, 4, f).is_empty());
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Adversarial checker CLI (`urcgc-check/1` summaries, `urcgc-repro/1`
+//! counterexamples).
+//!
+//! Explore: `cargo run --release -p urcgc-check --bin checker -- \
+//!           --runs 500 --n 3,5 --seed 1 --jobs 4 --json CHECK.json`
+//! Replay:  `... --bin checker -- --replay counterexample.json`
+//!
+//! Exit status: 0 when every run passed every oracle, 1 when a violation
+//! was found (or a replayed repro still reproduces), 2 on usage errors.
+
+use urcgc_check::explore::{explore, summary_doc, ExploreOpts};
+use urcgc_check::repro::{parse_repro, repro_doc};
+use urcgc_check::run::run_spec;
+
+const HELP: &str = "\
+checker — adversarial schedule explorer with property oracles
+
+USAGE:
+  checker [OPTIONS]
+  checker --replay FILE
+
+OPTIONS:
+  --runs N          run budget (default 200)
+  --n LIST          comma-separated group sizes, cycled per run (default 3,5)
+  --msgs M          per-process message budget ceiling (default 12)
+  --seed S          base seed of the run schedule (default 1)
+  --jobs J          worker threads (default 1; results independent of J)
+  --secs S          wall-clock budget in seconds (checked between waves)
+  --max-shrink K    candidate-run cap while shrinking (default 300)
+  --json PATH       write the urcgc-check/1 summary to PATH
+  --repro-dir DIR   where to write counterexample JSON (default .)
+  --no-differential skip the flat-wire differential check
+  --broken-purge    check the deliberately-broken purge variant (self-test)
+  --replay FILE     re-run a urcgc-repro/1 file and report the verdict
+  --help            print this help
+";
+
+struct Cli {
+    opts: ExploreOpts,
+    json: Option<String>,
+    repro_dir: String,
+    replay: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        opts: ExploreOpts::default(),
+        json: None,
+        repro_dir: ".".to_string(),
+        replay: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--runs" => {
+                cli.opts.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?
+            }
+            "--n" => {
+                cli.opts.ns = value("--n")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("--n: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if cli.opts.ns.iter().any(|&n| n < 2) {
+                    return Err("--n: group sizes must be at least 2".to_string());
+                }
+            }
+            "--msgs" => {
+                cli.opts.msgs = value("--msgs")?
+                    .parse()
+                    .map_err(|e| format!("--msgs: {e}"))?
+            }
+            "--seed" => {
+                cli.opts.base_seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--jobs" => {
+                cli.opts.jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?
+                    .max(1)
+            }
+            "--secs" => {
+                cli.opts.secs = Some(
+                    value("--secs")?
+                        .parse()
+                        .map_err(|e| format!("--secs: {e}"))?,
+                )
+            }
+            "--max-shrink" => {
+                cli.opts.max_shrink = value("--max-shrink")?
+                    .parse()
+                    .map_err(|e| format!("--max-shrink: {e}"))?
+            }
+            "--json" => cli.json = Some(value("--json")?),
+            "--repro-dir" => cli.repro_dir = value("--repro-dir")?,
+            "--no-differential" => cli.opts.differential = false,
+            "--broken-purge" => cli.opts.broken_purge = true,
+            "--replay" => cli.replay = Some(value("--replay")?),
+            "--help" => return Err(HELP.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n\n{HELP}")),
+        }
+    }
+    if cli.opts.runs == 0 {
+        return Err("--runs must be at least 1".to_string());
+    }
+    Ok(cli)
+}
+
+fn replay(path: &str, differential: bool) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let spec = match parse_repro(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "replaying {path}: seed {} n={} msgs={}{}",
+        spec.seed,
+        spec.n,
+        spec.msgs,
+        if spec.broken_purge {
+            " (broken-purge variant)"
+        } else {
+            ""
+        }
+    );
+    let result = run_spec(&spec, differential);
+    if result.violated() {
+        for v in &result.violations {
+            match v.round {
+                Some(r) => println!("  VIOLATION [{}] at round {r}: {}", v.kind, v.detail),
+                None => println!("  VIOLATION [{}]: {}", v.kind, v.detail),
+            }
+        }
+        println!("repro still reproduces ({} rounds)", result.rounds);
+        1
+    } else {
+        println!(
+            "repro no longer reproduces ({} rounds, clean)",
+            result.rounds
+        );
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg == HELP { 0 } else { 2 });
+        }
+    };
+
+    if let Some(path) = &cli.replay {
+        std::process::exit(replay(path, cli.opts.differential));
+    }
+
+    println!(
+        "checker: {} run(s), n∈{:?}, base seed {}, {} job(s){}{}",
+        cli.opts.runs,
+        cli.opts.ns,
+        cli.opts.base_seed,
+        cli.opts.jobs,
+        if cli.opts.differential {
+            ", differential"
+        } else {
+            ""
+        },
+        if cli.opts.broken_purge {
+            ", BROKEN-PURGE VARIANT"
+        } else {
+            ""
+        },
+    );
+    let outcome = explore(&cli.opts);
+
+    let mut repro_path = None;
+    if let Some(cx) = &outcome.counterexample {
+        println!(
+            "\ncounterexample at run {} (seed {}), shrunk in {} attempt(s):",
+            cx.run_index, cx.original.seed, cx.shrink_attempts
+        );
+        for v in &cx.violations {
+            match v.round {
+                Some(r) => println!("  [{}] at round {r}: {}", v.kind, v.detail),
+                None => println!("  [{}]: {}", v.kind, v.detail),
+            }
+        }
+        let path = format!(
+            "{}/counterexample-seed{}-run{}.json",
+            cli.repro_dir.trim_end_matches('/'),
+            cx.shrunk.seed,
+            cx.run_index
+        );
+        let doc = repro_doc(&cx.shrunk, &cx.violations);
+        match std::fs::write(&path, doc.render_pretty()) {
+            Ok(()) => {
+                println!("repro written to {path} (replay with --replay {path})");
+                repro_path = Some(path);
+            }
+            Err(e) => eprintln!("failed to write repro {path}: {e}"),
+        }
+    }
+
+    println!(
+        "\nchecker: {} run(s) executed, {} violating, {:.2}s wall-clock",
+        outcome.executed, outcome.violating_runs, outcome.wall_secs
+    );
+    if let Some(path) = &cli.json {
+        let doc = summary_doc(&cli.opts, &outcome, repro_path.as_deref());
+        match std::fs::write(path, doc.render_pretty()) {
+            Ok(()) => println!("summary written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::process::exit(if outcome.violating_runs > 0 { 1 } else { 0 });
+}

@@ -1,0 +1,238 @@
+//! Budgeted exploration: generate → run → (on violation) shrink.
+//!
+//! Specs for run `i` are generated from `derive_seed(base_seed, i)` — the
+//! sweep runner's seed schedule — so a budget of `R` runs checks the same
+//! `R` specs whatever `--jobs` is, and any violation is reported for the
+//! lowest-indexed violating run deterministically. Runs execute in waves
+//! over the sweep job pool; an optional wall-clock budget is checked
+//! between waves.
+
+use std::time::Instant;
+
+use urcgc_bench::sweep::{derive_seed, run_pool};
+use urcgc_metrics::Json;
+
+use crate::oracle::Violation;
+use crate::run::{run_spec, RunResult};
+use crate::shrink::shrink;
+use crate::spec::CheckSpec;
+
+/// Exploration budget and scenario shape.
+#[derive(Clone, Debug)]
+pub struct ExploreOpts {
+    /// Base seed of the run schedule.
+    pub base_seed: u64,
+    /// Run budget.
+    pub runs: usize,
+    /// Group sizes, cycled run by run.
+    pub ns: Vec<usize>,
+    /// Per-process message budget ceiling (each spec samples below it).
+    pub msgs: u64,
+    /// Worker threads for the run fan-out.
+    pub jobs: usize,
+    /// Differential-check every run against the flat-wire engine.
+    pub differential: bool,
+    /// Optional wall-clock budget in seconds (checked between waves).
+    pub secs: Option<f64>,
+    /// Candidate-run cap for shrinking.
+    pub max_shrink: u32,
+    /// Explore the deliberately-broken purge variant (oracle self-test).
+    pub broken_purge: bool,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> ExploreOpts {
+        ExploreOpts {
+            base_seed: 1,
+            runs: 200,
+            ns: vec![3, 5],
+            msgs: 12,
+            jobs: 1,
+            differential: true,
+            secs: None,
+            max_shrink: 300,
+            broken_purge: false,
+        }
+    }
+}
+
+/// A shrunk, replayable counterexample.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Index of the violating run in the schedule.
+    pub run_index: usize,
+    /// The spec as generated.
+    pub original: CheckSpec,
+    /// The spec after shrinking (what the repro file carries).
+    pub shrunk: CheckSpec,
+    /// Violations the shrunk spec provokes.
+    pub violations: Vec<Violation>,
+    /// Candidate runs spent shrinking.
+    pub shrink_attempts: u32,
+}
+
+/// Outcome of one exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreOutcome {
+    /// Runs actually executed (≤ the budget if a violation or the clock
+    /// stopped exploration early).
+    pub executed: usize,
+    /// Violating runs among those executed.
+    pub violating_runs: usize,
+    /// The first (lowest-index) counterexample, shrunk.
+    pub counterexample: Option<Counterexample>,
+    /// Exploration + shrinking wall-clock.
+    pub wall_secs: f64,
+}
+
+/// The spec of run `i` under `opts` (exposed so a repro can be traced
+/// back to its schedule position).
+pub fn spec_for_run(opts: &ExploreOpts, i: usize) -> CheckSpec {
+    CheckSpec::generate(
+        derive_seed(opts.base_seed, i),
+        opts.ns[i % opts.ns.len()],
+        opts.msgs,
+        opts.broken_purge,
+    )
+}
+
+/// Runs the exploration loop. Stops at the run budget, the wall-clock
+/// budget, or the first violating wave (whose lowest-indexed violation is
+/// shrunk into the counterexample).
+pub fn explore(opts: &ExploreOpts) -> ExploreOutcome {
+    assert!(!opts.ns.is_empty(), "need at least one group size");
+    let started = Instant::now();
+    let wave = (opts.jobs.max(1) * 4).min(64);
+    let mut executed = 0usize;
+    let mut violating_runs = 0usize;
+    let mut counterexample = None;
+
+    while executed < opts.runs && counterexample.is_none() {
+        if let Some(secs) = opts.secs {
+            if started.elapsed().as_secs_f64() >= secs {
+                break;
+            }
+        }
+        let count = wave.min(opts.runs - executed);
+        let base = executed;
+        let results: Vec<(CheckSpec, RunResult)> = run_pool(count, opts.jobs, |i| {
+            let spec = spec_for_run(opts, base + i);
+            let result = run_spec(&spec, opts.differential);
+            (spec, result)
+        });
+        executed += count;
+        for (i, (spec, result)) in results.into_iter().enumerate() {
+            if !result.violated() {
+                continue;
+            }
+            violating_runs += 1;
+            if counterexample.is_none() {
+                let (shrunk, violations, stats) = shrink(&spec, opts.differential, opts.max_shrink);
+                counterexample = Some(Counterexample {
+                    run_index: base + i,
+                    original: spec,
+                    shrunk,
+                    violations,
+                    shrink_attempts: stats.attempts,
+                });
+            }
+        }
+    }
+    ExploreOutcome {
+        executed,
+        violating_runs,
+        counterexample,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Builds the `urcgc-check/1` summary document.
+pub fn summary_doc(opts: &ExploreOpts, outcome: &ExploreOutcome, repro_path: Option<&str>) -> Json {
+    let ns: Vec<Json> = opts.ns.iter().map(|&n| Json::Num(n as f64)).collect();
+    let counterexample = match &outcome.counterexample {
+        None => Json::Null,
+        Some(cx) => {
+            let violations: Vec<Json> = cx
+                .violations
+                .iter()
+                .map(|v| {
+                    Json::obj()
+                        .with("kind", v.kind.label())
+                        .with(
+                            "round",
+                            match v.round {
+                                Some(r) => Json::Num(r as f64),
+                                None => Json::Null,
+                            },
+                        )
+                        .with("detail", v.detail.as_str())
+                })
+                .collect();
+            Json::obj()
+                .with("run_index", cx.run_index)
+                .with("seed", cx.shrunk.seed.to_string())
+                .with("n", cx.shrunk.n)
+                .with("shrink_attempts", cx.shrink_attempts)
+                .with("violations", Json::Arr(violations))
+                .with(
+                    "repro_path",
+                    match repro_path {
+                        Some(p) => Json::Str(p.to_string()),
+                        None => Json::Null,
+                    },
+                )
+        }
+    };
+    Json::obj()
+        .with("schema", "urcgc-check/1")
+        .with("base_seed", opts.base_seed.to_string())
+        .with("runs_requested", opts.runs)
+        .with("runs_executed", outcome.executed)
+        .with("ns", Json::Arr(ns))
+        .with("msgs", opts.msgs)
+        .with("jobs", opts.jobs)
+        .with("differential", opts.differential)
+        .with("broken_purge", opts.broken_purge)
+        .with("violating_runs", outcome.violating_runs)
+        .with("wall_secs", outcome.wall_secs)
+        .with("counterexample", counterexample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_exploration_of_the_real_protocol_is_clean() {
+        let opts = ExploreOpts {
+            runs: 20,
+            msgs: 8,
+            jobs: 2,
+            ..ExploreOpts::default()
+        };
+        let outcome = explore(&opts);
+        assert_eq!(outcome.executed, 20);
+        assert_eq!(outcome.violating_runs, 0);
+        assert!(outcome.counterexample.is_none());
+        let doc = summary_doc(&opts, &outcome, None);
+        let text = doc.render_pretty();
+        assert!(text.contains("urcgc-check/1"));
+        urcgc_metrics::json::parse(&text).expect("summary parses");
+    }
+
+    #[test]
+    fn exploration_is_deterministic_across_job_counts() {
+        let run = |jobs: usize| {
+            let opts = ExploreOpts {
+                runs: 12,
+                msgs: 6,
+                jobs,
+                differential: false,
+                ..ExploreOpts::default()
+            };
+            let outcome = explore(&opts);
+            (outcome.executed, outcome.violating_runs)
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Adversarial schedule explorer for the urcgc protocol.
+//!
+//! The hand-written scenarios in `tests/failure_scenarios.rs` each pin one
+//! interesting point of the fault space; this crate *searches* it. An
+//! exploration run repeatedly:
+//!
+//! 1. **generates** a random [`CheckSpec`](spec::CheckSpec) — a fault-plan
+//!    genome (crashes, omission rates, timed link cuts, targeted cuts
+//!    around coordinator handoffs) plus a delivery-schedule perturbation
+//!    ([`SchedSpec`](spec::SchedSpec), realized as a PCT-style
+//!    [`Adversary`](urcgc_simnet::Adversary)) — all within the paper's
+//!    failure model, so the protocol's guarantees must hold;
+//! 2. **runs** it on the probed [`GroupHarness`](urcgc::sim::GroupHarness)
+//!    and checks every round and the final report against the typed
+//!    property [`oracle`]s: Uniform Atomicity, Uniform Ordering,
+//!    stability-safety (no history entry purged before it is stable),
+//!    frontier agreement, termination, and a differential comparison of
+//!    the calendar-queue and flat-wire simulation engines;
+//! 3. on violation, **shrinks** the spec to a locally-minimal
+//!    counterexample ([`shrink`]) and serializes it as a replayable
+//!    `urcgc-repro/1` JSON document ([`repro`]).
+//!
+//! The `checker` binary drives [`explore`] with a run budget, an optional
+//! wall-clock budget, and `--jobs` fan-out over the sweep job pool, and
+//! emits a `urcgc-check/1` summary document.
+
+pub mod explore;
+pub mod oracle;
+pub mod repro;
+pub mod run;
+pub mod sched;
+pub mod shrink;
+pub mod spec;
+
+pub use explore::{explore, ExploreOpts, ExploreOutcome};
+pub use oracle::{OracleKind, Violation};
+pub use run::{run_spec, RunResult};
+pub use spec::{CheckSpec, PlanSpec, SchedSpec};

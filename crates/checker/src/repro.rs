@@ -1,0 +1,65 @@
+//! Replayable counterexample documents (`urcgc-repro/1`).
+//!
+//! A repro file carries one shrunk [`CheckSpec`] plus the violations it
+//! provokes. `checker --replay FILE` parses the spec, re-runs it, and
+//! reports whether the violation still reproduces — the violations array
+//! is informational (what the original run saw), the spec is normative.
+
+use urcgc_metrics::Json;
+
+use crate::oracle::Violation;
+use crate::spec::CheckSpec;
+
+/// Builds a `urcgc-repro/1` document for a (shrunk) violating spec.
+pub fn repro_doc(spec: &CheckSpec, violations: &[Violation]) -> Json {
+    let violations: Vec<Json> = violations
+        .iter()
+        .map(|v| {
+            Json::obj()
+                .with("kind", v.kind.label())
+                .with(
+                    "round",
+                    match v.round {
+                        Some(r) => Json::Num(r as f64),
+                        None => Json::Null,
+                    },
+                )
+                .with("detail", v.detail.as_str())
+        })
+        .collect();
+    Json::obj()
+        .with("schema", "urcgc-repro/1")
+        .with("spec", spec.to_json())
+        .with("violations", Json::Arr(violations))
+}
+
+/// Parses a `urcgc-repro/1` document back into its spec.
+pub fn parse_repro(text: &str) -> Result<CheckSpec, String> {
+    let doc = urcgc_metrics::json::parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("urcgc-repro/1") => {}
+        other => return Err(format!("not a urcgc-repro/1 document (schema {other:?})")),
+    }
+    CheckSpec::from_json(doc.get("spec").ok_or("repro missing \"spec\"")?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleKind;
+
+    #[test]
+    fn repro_documents_round_trip() {
+        let spec = CheckSpec::generate(11, 3, 8, true);
+        let violations = vec![Violation {
+            kind: OracleKind::StabilitySafety,
+            round: Some(42),
+            detail: "p0 purged too far".to_string(),
+        }];
+        let rendered = repro_doc(&spec, &violations).render_pretty();
+        assert!(rendered.contains("urcgc-repro/1"));
+        assert!(rendered.contains("stability_safety"));
+        assert_eq!(parse_repro(&rendered).expect("parses"), spec);
+        assert!(parse_repro("{\"schema\":\"urcgc-sweep/1\"}").is_err());
+    }
+}

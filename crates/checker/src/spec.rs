@@ -1,0 +1,442 @@
+//! Check specifications: the replayable genome of one adversarial run.
+//!
+//! A [`CheckSpec`] is everything needed to reproduce a run bit for bit:
+//! the engine seed, the group size and per-process budget, a fault-plan
+//! genome ([`PlanSpec`]) rebuilt through [`FaultPlan`]'s own builders, and
+//! a schedule-perturbation genome ([`SchedSpec`]). Generation samples only
+//! *in-model* faults — crash counts within the resilience bound
+//! `t = (n−1)/2`, a config sized for the sampled coordinator-crash burst,
+//! modest omission rates, bounded healing cuts, no partitions — so any
+//! oracle violation it provokes is a protocol bug, not an out-of-model
+//! scenario.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use urcgc_metrics::Json;
+use urcgc_simnet::FaultPlan;
+use urcgc_types::{ProcessId, ProtocolConfig, Round, Subrun};
+
+/// Fault-plan genome: the arguments to replay through [`FaultPlan`]'s
+/// builders. Plain data (no `FaultPlan` serialization needed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanSpec {
+    /// Individual fail-stop crashes: `(process, round)`.
+    pub crashes: Vec<(u16, u64)>,
+    /// A burst of `f` consecutive coordinator crashes starting at the
+    /// given subrun (the Figure 5 scenario shape).
+    pub coordinator_crashes: Option<(u64, u32)>,
+    /// I.i.d. per-frame send-omission probability.
+    pub send_omission: f64,
+    /// I.i.d. per-frame receive-omission probability.
+    pub recv_omission: f64,
+    /// One slow sender: `(process, extra rounds of delay)`.
+    pub slow_sender: Option<(u16, u64)>,
+    /// Timed directional link cuts: `(from, to, from_round, to_round)`.
+    pub cuts: Vec<(u16, u16, u64, u64)>,
+    /// Targeted cuts around a coordinator handoff: `(subrun, member)`
+    /// severs member→coordinator during the request round and
+    /// coordinator→member during the decision round of that subrun.
+    pub handoff_cuts: Vec<(u64, u16)>,
+}
+
+impl PlanSpec {
+    /// A fault-free plan.
+    pub fn none() -> PlanSpec {
+        PlanSpec {
+            crashes: Vec::new(),
+            coordinator_crashes: None,
+            send_omission: 0.0,
+            recv_omission: 0.0,
+            slow_sender: None,
+            cuts: Vec::new(),
+            handoff_cuts: Vec::new(),
+        }
+    }
+
+    /// Realizes the genome as a [`FaultPlan`] for a group of `n`.
+    pub fn to_fault_plan(&self, n: usize) -> FaultPlan {
+        let mut plan = FaultPlan::none()
+            .send_omissions(self.send_omission)
+            .recv_omissions(self.recv_omission);
+        for &(p, r) in &self.crashes {
+            plan = plan.crash_at(ProcessId(p), Round(r));
+        }
+        if let Some((first_subrun, f)) = self.coordinator_crashes {
+            plan = plan.consecutive_coordinator_crashes(first_subrun, f, n);
+        }
+        if let Some((p, extra)) = self.slow_sender {
+            plan = plan.slow_sender(ProcessId(p), extra);
+        }
+        for &(from, to, from_round, to_round) in &self.cuts {
+            plan = plan.cut_link_during(
+                ProcessId(from),
+                ProcessId(to),
+                Round(from_round),
+                Round(to_round),
+            );
+        }
+        for &(s, member) in &self.handoff_cuts {
+            let subrun = Subrun(s);
+            let coord = ProcessId::coordinator_for(subrun, n);
+            let member = ProcessId(member);
+            if member == coord {
+                continue;
+            }
+            // Inbound contribution lost in the request round, outbound
+            // decision lost in the decision round: the handoff shapes the
+            // detection/recovery machinery has to ride out.
+            plan = plan
+                .cut_link_during(
+                    member,
+                    coord,
+                    subrun.request_round(),
+                    subrun.decision_round(),
+                )
+                .cut_link_during(
+                    coord,
+                    member,
+                    subrun.decision_round(),
+                    Round(subrun.decision_round().0 + 1),
+                );
+        }
+        plan
+    }
+
+    /// Number of distinct processes this genome crashes.
+    pub fn crashed_processes(&self, n: usize) -> usize {
+        self.to_fault_plan(n).crash_count()
+    }
+}
+
+/// Schedule-perturbation genome, realized as a
+/// [`ScheduleAdversary`](crate::sched::ScheduleAdversary).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedSpec {
+    /// Seed of the adversary's own RNG (never the engine's).
+    pub seed: u64,
+    /// Per-round probability (‰) of shuffling the arrival order.
+    pub shuffle_permille: u32,
+    /// Per-frame probability (‰) of a targeted drop.
+    pub drop_permille: u32,
+    /// Hard cap on total drops (keeps the run in-model: a bounded number
+    /// of extra omissions, not a permanent link failure).
+    pub max_drops: u32,
+}
+
+impl SchedSpec {
+    /// The identity perturbation.
+    pub fn none() -> SchedSpec {
+        SchedSpec {
+            seed: 0,
+            shuffle_permille: 0,
+            drop_permille: 0,
+            max_drops: 0,
+        }
+    }
+
+    /// Whether this genome perturbs anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.shuffle_permille == 0 && (self.drop_permille == 0 || self.max_drops == 0)
+    }
+}
+
+/// Everything needed to replay one adversarial run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckSpec {
+    /// Engine/workload seed (drives the fault RNG and per-node workload
+    /// RNGs exactly as in every other harness run).
+    pub seed: u64,
+    /// Group cardinality.
+    pub n: usize,
+    /// Per-process message budget.
+    pub msgs: u64,
+    /// Runs the deliberately-broken purge-before-stability protocol
+    /// variant (oracle self-test; see
+    /// `ProtocolConfig::with_broken_purge_before_stability`).
+    pub broken_purge: bool,
+    /// Fault-plan genome.
+    pub plan: PlanSpec,
+    /// Schedule-perturbation genome.
+    pub sched: SchedSpec,
+}
+
+impl CheckSpec {
+    /// Samples a spec from `seed`. All draws come from one ChaCha8 stream,
+    /// so the spec is a pure function of `(seed, n, max_msgs,
+    /// broken_purge)`.
+    pub fn generate(seed: u64, n: usize, max_msgs: u64, broken_purge: bool) -> CheckSpec {
+        assert!(n >= 2, "checker needs a group of at least 2");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0DE_C0DE_C0DE_C0DE);
+        let msgs = rng.gen_range(2..max_msgs.max(3));
+        let horizon = msgs * 2 + 24; // rounds within which faults land
+
+        let resilience = (n - 1) / 2;
+        let mut plan = PlanSpec::none();
+        // Either a coordinator-crash burst or individual crashes — mixing
+        // the two could exceed the resilience bound when a burst coincides
+        // with an individually-crashed process.
+        if resilience > 0 && rng.gen_bool(0.25) {
+            let f = rng.gen_range(1..resilience.min(2) as u32 + 1);
+            plan.coordinator_crashes = Some((rng.gen_range(0..6), f));
+        } else if resilience > 0 {
+            let count = rng.gen_range(0..resilience + 1);
+            let mut victims: Vec<u16> = (0..n as u16).collect();
+            for _ in 0..count {
+                let at = rng.gen_range(0..victims.len());
+                let victim = victims.swap_remove(at);
+                plan.crashes.push((victim, rng.gen_range(2..horizon)));
+            }
+        }
+        if rng.gen_bool(0.5) {
+            plan.send_omission = rng.gen_range(0.0..0.02);
+        }
+        if rng.gen_bool(0.5) {
+            plan.recv_omission = rng.gen_range(0.0..0.02);
+        }
+        if rng.gen_bool(1.0 / 3.0) {
+            plan.slow_sender = Some((rng.gen_range(0..n as u16), rng.gen_range(1..3)));
+        }
+        for _ in 0..rng.gen_range(0..3usize) {
+            let from = rng.gen_range(0..n as u16);
+            let to = rng.gen_range(0..n as u16);
+            if from == to {
+                continue;
+            }
+            let start = rng.gen_range(0..horizon);
+            plan.cuts
+                .push((from, to, start, start + rng.gen_range(1..8)));
+        }
+        for _ in 0..rng.gen_range(0..3usize) {
+            plan.handoff_cuts
+                .push((rng.gen_range(0..8), rng.gen_range(0..n as u16)));
+        }
+
+        let sched = SchedSpec {
+            seed: rng.gen(),
+            shuffle_permille: rng.gen_range(0..1001),
+            drop_permille: if rng.gen_bool(0.5) {
+                rng.gen_range(1..40)
+            } else {
+                0
+            },
+            max_drops: rng.gen_range(0..7),
+        };
+
+        CheckSpec {
+            seed,
+            n,
+            msgs,
+            broken_purge,
+            plan,
+            sched,
+        }
+    }
+
+    /// The protocol configuration this spec runs under: paper defaults
+    /// with the `f` allowance sized to the sampled coordinator-crash
+    /// burst (so `R > 2K + f` holds for the scenario by construction).
+    pub fn config(&self) -> ProtocolConfig {
+        let f = self
+            .plan
+            .coordinator_crashes
+            .map(|(_, f)| f)
+            .unwrap_or(1)
+            .max(1);
+        let cfg = ProtocolConfig::new(self.n).with_f_allowance(f);
+        if self.broken_purge {
+            cfg.with_broken_purge_before_stability()
+        } else {
+            cfg
+        }
+    }
+
+    /// Round budget: generous enough that the stall oracle only fires on
+    /// genuine non-termination, not a slow-but-progressing run.
+    pub fn max_rounds(&self) -> u64 {
+        self.msgs * 40 + 4_000
+    }
+
+    /// Serializes the spec (the `spec` member of a `urcgc-repro/1`
+    /// document). Seeds render as decimal strings — u64 does not round
+    /// through f64.
+    pub fn to_json(&self) -> Json {
+        let crashes: Vec<Json> = self
+            .plan
+            .crashes
+            .iter()
+            .map(|&(p, r)| Json::obj().with("process", u64::from(p)).with("round", r))
+            .collect();
+        let cuts: Vec<Json> = self
+            .plan
+            .cuts
+            .iter()
+            .map(|&(from, to, a, b)| {
+                Json::obj()
+                    .with("from", u64::from(from))
+                    .with("to", u64::from(to))
+                    .with("from_round", a)
+                    .with("to_round", b)
+            })
+            .collect();
+        let handoffs: Vec<Json> = self
+            .plan
+            .handoff_cuts
+            .iter()
+            .map(|&(s, m)| Json::obj().with("subrun", s).with("member", u64::from(m)))
+            .collect();
+        let mut plan = Json::obj()
+            .with("crashes", Json::Arr(crashes))
+            .with("send_omission", self.plan.send_omission)
+            .with("recv_omission", self.plan.recv_omission)
+            .with("cuts", Json::Arr(cuts))
+            .with("handoff_cuts", Json::Arr(handoffs));
+        match self.plan.coordinator_crashes {
+            Some((s, f)) => plan.set(
+                "coordinator_crashes",
+                Json::obj().with("first_subrun", s).with("f", f),
+            ),
+            None => plan.set("coordinator_crashes", Json::Null),
+        }
+        match self.plan.slow_sender {
+            Some((p, extra)) => plan.set(
+                "slow_sender",
+                Json::obj()
+                    .with("process", u64::from(p))
+                    .with("extra_rounds", extra),
+            ),
+            None => plan.set("slow_sender", Json::Null),
+        }
+        Json::obj()
+            .with("seed", self.seed.to_string())
+            .with("n", self.n)
+            .with("msgs", self.msgs)
+            .with("broken_purge", self.broken_purge)
+            .with("plan", plan)
+            .with(
+                "sched",
+                Json::obj()
+                    .with("seed", self.sched.seed.to_string())
+                    .with("shuffle_permille", self.sched.shuffle_permille)
+                    .with("drop_permille", self.sched.drop_permille)
+                    .with("max_drops", self.sched.max_drops),
+            )
+    }
+
+    /// Parses a spec previously produced by [`CheckSpec::to_json`].
+    pub fn from_json(doc: &Json) -> Result<CheckSpec, String> {
+        let plan_doc = doc.get("plan").ok_or("spec missing \"plan\"")?;
+        let sched_doc = doc.get("sched").ok_or("spec missing \"sched\"")?;
+        let mut plan = PlanSpec::none();
+        for c in req_items(plan_doc, "crashes")? {
+            plan.crashes
+                .push((num(c, "process")? as u16, num(c, "round")? as u64));
+        }
+        plan.send_omission = num(plan_doc, "send_omission")?;
+        plan.recv_omission = num(plan_doc, "recv_omission")?;
+        for c in req_items(plan_doc, "cuts")? {
+            plan.cuts.push((
+                num(c, "from")? as u16,
+                num(c, "to")? as u16,
+                num(c, "from_round")? as u64,
+                num(c, "to_round")? as u64,
+            ));
+        }
+        for c in req_items(plan_doc, "handoff_cuts")? {
+            plan.handoff_cuts
+                .push((num(c, "subrun")? as u64, num(c, "member")? as u16));
+        }
+        if let Some(cc) = plan_doc.get("coordinator_crashes") {
+            if *cc != Json::Null {
+                plan.coordinator_crashes =
+                    Some((num(cc, "first_subrun")? as u64, num(cc, "f")? as u32));
+            }
+        }
+        if let Some(ss) = plan_doc.get("slow_sender") {
+            if *ss != Json::Null {
+                plan.slow_sender =
+                    Some((num(ss, "process")? as u16, num(ss, "extra_rounds")? as u64));
+            }
+        }
+        Ok(CheckSpec {
+            seed: seed_str(doc, "seed")?,
+            n: num(doc, "n")? as usize,
+            msgs: num(doc, "msgs")? as u64,
+            broken_purge: matches!(doc.get("broken_purge"), Some(Json::Bool(true))),
+            plan,
+            sched: SchedSpec {
+                seed: seed_str(sched_doc, "seed")?,
+                shuffle_permille: num(sched_doc, "shuffle_permille")? as u32,
+                drop_permille: num(sched_doc, "drop_permille")? as u32,
+                max_drops: num(sched_doc, "max_drops")? as u32,
+            },
+        })
+    }
+}
+
+fn num(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn seed_str(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing seed string {key:?}"))?
+        .parse()
+        .map_err(|e| format!("bad seed {key:?}: {e}"))
+}
+
+fn req_items<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    doc.get(key)
+        .and_then(Json::items)
+        .ok_or_else(|| format!("missing array field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_in_model() {
+        for seed in 0..200u64 {
+            for n in [3usize, 5] {
+                let a = CheckSpec::generate(seed, n, 12, false);
+                let b = CheckSpec::generate(seed, n, 12, false);
+                assert_eq!(a, b, "seed {seed} n {n}");
+                a.config().validate().expect("generated config is valid");
+                assert!(
+                    a.plan.crashed_processes(n) <= (n - 1) / 2,
+                    "seed {seed} n {n}: crashes exceed the resilience bound"
+                );
+                assert!((2..12).contains(&a.msgs));
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        for seed in [0u64, 7, 42, u64::MAX - 3] {
+            let spec = CheckSpec::generate(seed, 5, 10, seed % 2 == 0);
+            let doc = spec.to_json();
+            let parsed = urcgc_metrics::json::parse(&doc.render_pretty()).expect("parses");
+            assert_eq!(CheckSpec::from_json(&parsed).expect("decodes"), spec);
+        }
+    }
+
+    #[test]
+    fn handoff_cuts_target_the_coordinator() {
+        let mut spec = CheckSpec::generate(3, 5, 8, false);
+        spec.plan = PlanSpec::none();
+        spec.plan.handoff_cuts = vec![(2, 0)];
+        // Subrun 2's coordinator in n=5 is p2; the member side is p0.
+        let plan = spec.plan.to_fault_plan(5);
+        assert!(plan.link_cut_at(ProcessId(0), ProcessId(2), Round(4)));
+        assert!(plan.link_cut_at(ProcessId(2), ProcessId(0), Round(5)));
+        assert!(!plan.link_cut_at(ProcessId(0), ProcessId(2), Round(5)));
+        // A handoff cut naming the coordinator itself is skipped.
+        spec.plan.handoff_cuts = vec![(2, 2)];
+        let plan = spec.plan.to_fault_plan(5);
+        assert!(!plan.link_cut_at(ProcessId(2), ProcessId(2), Round(4)));
+    }
+}

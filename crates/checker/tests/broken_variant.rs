@@ -1,0 +1,64 @@
+//! End-to-end self-test of the whole checker pipeline on the
+//! deliberately-broken purge variant: explore finds the bug, shrinks it,
+//! the repro document round-trips through JSON, and the parsed spec still
+//! reproduces the violation — the exact path CI's `checker-smoke` job
+//! relies on to prove the oracles have teeth.
+
+use urcgc_check::explore::{explore, summary_doc, ExploreOpts};
+use urcgc_check::oracle::OracleKind;
+use urcgc_check::repro::{parse_repro, repro_doc};
+use urcgc_check::run::run_spec;
+
+#[test]
+fn broken_purge_is_found_shrunk_and_replayable() {
+    let opts = ExploreOpts {
+        runs: 60,
+        msgs: 10,
+        jobs: 2,
+        differential: false,
+        broken_purge: true,
+        ..ExploreOpts::default()
+    };
+    let outcome = explore(&opts);
+    assert!(
+        outcome.violating_runs > 0,
+        "60 adversarial runs never caught the purge-before-stability bug"
+    );
+    let cx = outcome
+        .counterexample
+        .clone()
+        .expect("violating exploration must produce a counterexample");
+    assert!(
+        cx.violations
+            .iter()
+            .any(|v| v.kind == OracleKind::StabilitySafety),
+        "expected a stability-safety violation, got {:?}",
+        cx.violations
+    );
+
+    // The shrunk spec is no more complex than the generated one.
+    assert!(cx.shrunk.msgs <= cx.original.msgs);
+    assert!(cx.shrunk.plan.crashes.len() <= cx.original.plan.crashes.len());
+
+    // Repro document round-trips and still reproduces.
+    let rendered = repro_doc(&cx.shrunk, &cx.violations).render_pretty();
+    let parsed = parse_repro(&rendered).expect("repro parses back");
+    assert_eq!(parsed, cx.shrunk);
+    let replay = run_spec(&parsed, false);
+    assert!(
+        replay.violated(),
+        "parsed repro no longer reproduces: {:?}",
+        replay
+    );
+
+    // The urcgc-check/1 summary carries the counterexample.
+    let summary = summary_doc(&opts, &outcome, Some("cx.json")).render_pretty();
+    let doc = urcgc_metrics::json::parse(&summary).expect("summary parses");
+    assert_eq!(
+        doc.get("schema").and_then(urcgc_metrics::Json::as_str),
+        Some("urcgc-check/1")
+    );
+    assert!(doc
+        .get("counterexample")
+        .is_some_and(|c| c.get("seed").is_some()));
+}

@@ -174,6 +174,14 @@ impl Engine {
         self.tracker.is_processed(mid)
     }
 
+    /// Highest sequence purged from origin `q`'s local history (0 if
+    /// nothing has been purged). Oracle-facing: the checker's
+    /// stability-safety invariant compares this against every alive peer's
+    /// processed frontier.
+    pub fn history_purged_to(&self, q: ProcessId) -> u64 {
+        self.history.purged_to(q)
+    }
+
     /// A point-in-time view of the whole entity — the operations/debugging
     /// surface (exported by the UDP runtime's stats channel).
     pub fn snapshot(&self) -> crate::output::EngineSnapshot {
@@ -644,7 +652,17 @@ impl Engine {
         }
 
         if d.full_group {
-            self.history.purge_stable(&d.stable);
+            if self.cfg.broken_purge_before_stability {
+                // Checker-only deliberate bug (see the config field docs):
+                // purge to the group *maximum* instead of the stable
+                // minimum, so any lagging process loses its recovery source.
+                for q in 0..self.cfg.n {
+                    let q = ProcessId::from_index(q);
+                    self.history.purge_up_to(q, d.max_processed[q.index()].seq);
+                }
+            } else {
+                self.history.purge_stable(&d.stable);
+            }
             // Orphan-sequence destruction: only acted upon on full_group
             // decisions, when min_waiting/max_processed reflect the whole
             // (alive) group.

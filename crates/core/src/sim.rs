@@ -15,7 +15,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use urcgc_simnet::{FaultPlan, NetCtx, Node, RunOutcome, SimNet, SimOptions, SimStats};
+use urcgc_simnet::{Adversary, FaultPlan, NetCtx, Node, RunOutcome, SimNet, SimOptions, SimStats};
 use urcgc_types::{encode_pdu, Mid, ProcessId, ProtocolConfig, Round};
 
 use crate::engine::Engine;
@@ -290,6 +290,7 @@ pub struct GroupHarnessBuilder {
     faults: FaultPlan,
     seed: u64,
     max_rounds: u64,
+    adversary: Option<Box<dyn Adversary>>,
 }
 
 impl GroupHarnessBuilder {
@@ -317,6 +318,14 @@ impl GroupHarnessBuilder {
         self
     }
 
+    /// Installs a delivery-schedule adversary (see
+    /// [`urcgc_simnet::Adversary`]); the default is none, which leaves the
+    /// engine schedule untouched.
+    pub fn adversary(mut self, adv: Box<dyn Adversary>) -> Self {
+        self.adversary = Some(adv);
+        self
+    }
+
     /// Builds the harness.
     pub fn build(self) -> GroupHarness {
         let n = self.cfg.n;
@@ -330,7 +339,7 @@ impl GroupHarnessBuilder {
                 )
             })
             .collect();
-        let net = SimNet::new(
+        let mut net = SimNet::new(
             nodes,
             self.faults,
             SimOptions {
@@ -339,6 +348,9 @@ impl GroupHarnessBuilder {
                 ..SimOptions::default()
             },
         );
+        if let Some(adv) = self.adversary {
+            net.set_adversary(adv);
+        }
         GroupHarness { net }
     }
 }
@@ -357,6 +369,7 @@ impl GroupHarness {
             faults: FaultPlan::none(),
             seed: 1,
             max_rounds: 100_000,
+            adversary: None,
         }
     }
 
@@ -456,6 +469,7 @@ impl GroupHarness {
 
         GroupReport {
             rounds,
+            quiesced: self.net.all_done(),
             alive,
             generated_total: generated.len() as u64,
             fully_processed,
@@ -494,6 +508,10 @@ impl GroupHarness {
 pub struct GroupReport {
     /// Rounds executed.
     pub rounds: u64,
+    /// Whether the run ended because every surviving node quiesced
+    /// (`false` means it hit the round limit with work still outstanding —
+    /// the checker's stall oracle keys off this).
+    pub quiesced: bool,
     /// Which processes survived (not crashed, not left/suicided).
     pub alive: Vec<bool>,
     /// Messages generated group-wide.
@@ -716,6 +734,94 @@ mod tests {
         // Processing was NOT suspended: delays stay flat (the urcgc
         // headline property, Figure 4 under crash conditions).
         assert!(report.delays.mean().unwrap() < 3.0);
+    }
+
+    #[test]
+    fn report_distinguishes_quiescence_from_round_limit() {
+        let cfg = ProtocolConfig::new(4);
+        let mut h = GroupHarness::builder(cfg.clone())
+            .workload(Workload::fixed_count(5, 8))
+            .seed(23)
+            .build();
+        let done = h.run_to_completion(1_000);
+        assert!(done.quiesced);
+        // Same run cut off after 3 rounds: the budget cannot be finished.
+        let mut h = GroupHarness::builder(cfg)
+            .workload(Workload::fixed_count(5, 8))
+            .seed(23)
+            .build();
+        let cut = h.run_to_completion(3);
+        assert!(!cut.quiesced);
+        assert_eq!(cut.rounds, 3);
+    }
+
+    #[test]
+    fn schedule_adversary_reaches_the_engines() {
+        struct Reverser;
+        impl Adversary for Reverser {
+            fn reorder(
+                &mut self,
+                _round: Round,
+                frames: &[urcgc_simnet::FrameView],
+            ) -> Option<Vec<usize>> {
+                Some((0..frames.len()).rev().collect())
+            }
+        }
+        let cfg = ProtocolConfig::new(4);
+        let mut h = GroupHarness::builder(cfg)
+            .workload(Workload::fixed_count(8, 8))
+            .seed(29)
+            .adversary(Box::new(Reverser))
+            .build();
+        let report = h.run_to_completion(2_000);
+        // Reordering within a round is a legal asynchrony: the protocol
+        // must still reach atomic agreement.
+        assert!(report.quiesced);
+        assert!(report.all_processed_everything());
+        assert!(report.frontiers_agree());
+    }
+
+    #[test]
+    fn broken_purge_knob_discards_unstable_history() {
+        // With the deliberate purge-before-stability bug and a slow
+        // receiver, some node must at some point have purged past another
+        // node's processed frontier — exactly what the checker's stability
+        // oracle looks for. Sample the invariant every round.
+        let cfg = ProtocolConfig::new(5).with_broken_purge_before_stability();
+        let faults = FaultPlan::none().slow_sender(ProcessId(1), 2);
+        let mut h = GroupHarness::builder(cfg)
+            .workload(Workload::fixed_count(20, 8))
+            .faults(faults)
+            .seed(31)
+            .build();
+        let mut violated = false;
+        for _ in 0..2_000 {
+            h.step();
+            let nodes = h.net().nodes();
+            'scan: for holder in nodes {
+                if !holder.engine().status().is_active() {
+                    continue;
+                }
+                for peer in nodes {
+                    if !peer.engine().status().is_active()
+                        || !holder.engine().view().is_alive(peer.engine().me())
+                    {
+                        continue;
+                    }
+                    for q in 0..5 {
+                        let q = ProcessId::from_index(q);
+                        if holder.engine().history_purged_to(q) > peer.engine().last_processed(q) {
+                            violated = true;
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            if violated {
+                break;
+            }
+        }
+        assert!(violated, "broken purge never outran a peer's frontier");
     }
 
     #[test]

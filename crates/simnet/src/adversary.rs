@@ -1,0 +1,207 @@
+//! Schedule adversaries: a hook for perturbing the delivery schedule.
+//!
+//! The round-synchronous engines deliver each round's arrivals in a fixed
+//! deterministic order (send round, then within-round enqueue order). That
+//! is exactly one point in the space of schedules the paper's asynchronous
+//! bound quantifies over — an [`Adversary`] lets a checker explore the
+//! rest: it may *reorder* the frames arriving in a round (PCT-style
+//! priority perturbation) and *drop* individual arrivals (targeted
+//! omissions, e.g. around coordinator handoffs).
+//!
+//! Contract:
+//!
+//! * With no adversary installed the engines behave bit-for-bit as before —
+//!   the hook costs nothing and draws nothing from the fault RNG.
+//! * An installed adversary must be deterministic given its own seed; it
+//!   must **not** share the engine's fault RNG (the engine never exposes
+//!   it), so the same `(seed, FaultPlan, adversary)` triple replays the
+//!   same run on both [`crate::SimNet`] and [`crate::FlatWireSimNet`] —
+//!   the checker's differential oracle depends on this.
+//! * Reordering happens first, on the whole arrival set of the round;
+//!   drops are then asked per frame in the perturbed order. Dropped frames
+//!   are counted in [`crate::SimStats::adversary_dropped`].
+
+use urcgc_types::{ProcessId, Round};
+
+use crate::net::InFlight;
+
+/// What an adversary may observe about one arriving frame. Payload bytes
+/// are deliberately opaque: schedule adversaries perturb *when*, not
+/// *what*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameView {
+    /// The sending process.
+    pub from: ProcessId,
+    /// The receiving process.
+    pub to: ProcessId,
+    /// Encoded frame length in bytes.
+    pub len: usize,
+}
+
+/// A delivery-schedule adversary (see the module docs for the contract).
+pub trait Adversary: Send {
+    /// Optionally perturbs the delivery order of this round's arrivals:
+    /// return a permutation of `0..frames.len()` (`result[k]` is the index
+    /// of the frame delivered `k`-th), or `None` to keep the engine order.
+    /// A malformed permutation panics — it is a bug in the adversary, not
+    /// a schedule.
+    fn reorder(&mut self, round: Round, frames: &[FrameView]) -> Option<Vec<usize>>;
+
+    /// Targeted omission: return `true` to drop this arriving frame.
+    /// Called once per frame, after [`Adversary::reorder`], in the
+    /// perturbed order.
+    fn drop_arrival(&mut self, _round: Round, _frame: &FrameView) -> bool {
+        false
+    }
+}
+
+fn view(m: &InFlight) -> FrameView {
+    FrameView {
+        from: m.from,
+        to: m.to,
+        len: m.frame.len(),
+    }
+}
+
+/// Applies `adv` to one round's arrival set (shared by both engines so
+/// they perturb identically).
+pub(crate) fn perturb(
+    adv: &mut dyn Adversary,
+    round: Round,
+    arriving: &mut Vec<InFlight>,
+    dropped: &mut u64,
+) {
+    if arriving.is_empty() {
+        return;
+    }
+    let views: Vec<FrameView> = arriving.iter().map(view).collect();
+    if let Some(perm) = adv.reorder(round, &views) {
+        assert_eq!(
+            perm.len(),
+            arriving.len(),
+            "adversary permutation length {} != {} arrivals",
+            perm.len(),
+            arriving.len()
+        );
+        let mut slots: Vec<Option<InFlight>> =
+            std::mem::take(arriving).into_iter().map(Some).collect();
+        *arriving = perm
+            .iter()
+            .map(|&i| {
+                slots
+                    .get_mut(i)
+                    .and_then(Option::take)
+                    .expect("adversary permutation is not a bijection")
+            })
+            .collect();
+    }
+    arriving.retain(|m| {
+        let drop = adv.drop_arrival(round, &view(m));
+        if drop {
+            *dropped += 1;
+        }
+        !drop
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::net::{SimNet, SimOptions};
+    use crate::node::{NetCtx, Node};
+    use bytes::Bytes;
+
+    /// Broadcasts one tagged frame in round 0 and logs arrival order.
+    struct Tagged {
+        tag: u8,
+        log: Vec<u8>,
+    }
+
+    impl Node for Tagged {
+        fn on_round(&mut self, round: Round, net: &mut NetCtx<'_>) {
+            if round == Round(0) {
+                net.broadcast("data", Bytes::from(vec![self.tag]));
+            }
+        }
+        fn on_frame(&mut self, _from: ProcessId, frame: Bytes, _net: &mut NetCtx<'_>) {
+            self.log.push(frame[0]);
+        }
+    }
+
+    fn group(n: u8) -> Vec<Tagged> {
+        (0..n)
+            .map(|tag| Tagged {
+                tag,
+                log: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Reverses every round's arrival order.
+    struct Reverser;
+    impl Adversary for Reverser {
+        fn reorder(&mut self, _round: Round, frames: &[FrameView]) -> Option<Vec<usize>> {
+            Some((0..frames.len()).rev().collect())
+        }
+    }
+
+    /// Keeps the order but drops every frame from a given sender.
+    struct Censor(ProcessId);
+    impl Adversary for Censor {
+        fn reorder(&mut self, _round: Round, _frames: &[FrameView]) -> Option<Vec<usize>> {
+            None
+        }
+        fn drop_arrival(&mut self, _round: Round, frame: &FrameView) -> bool {
+            frame.from == self.0
+        }
+    }
+
+    #[test]
+    fn reverser_flips_delivery_order() {
+        let mut plain = SimNet::new(group(4), FaultPlan::none(), SimOptions::default());
+        let mut adv = SimNet::new(group(4), FaultPlan::none(), SimOptions::default());
+        adv.set_adversary(Box::new(Reverser));
+        plain.run_rounds(2);
+        adv.run_rounds(2);
+        for i in 0..4 {
+            let p = ProcessId(i);
+            let mut expect = plain.node(p).log.clone();
+            expect.reverse();
+            assert_eq!(adv.node(p).log, expect, "p{i}");
+        }
+        assert_eq!(adv.stats().delivered, plain.stats().delivered);
+        assert_eq!(adv.stats().adversary_dropped, 0);
+    }
+
+    #[test]
+    fn censor_drops_and_counts_targeted_arrivals() {
+        let mut net = SimNet::new(group(3), FaultPlan::none(), SimOptions::default());
+        net.set_adversary(Box::new(Censor(ProcessId(0))));
+        net.run_rounds(2);
+        // p0's two frames were dropped at the receivers; the other four
+        // frames arrived.
+        assert_eq!(net.stats().adversary_dropped, 2);
+        assert_eq!(net.stats().delivered, 4);
+        for i in 1..3u16 {
+            assert!(
+                !net.node(ProcessId(i)).log.contains(&0),
+                "p{i} still heard the censored sender"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bijection")]
+    fn malformed_permutation_panics() {
+        struct Broken;
+        impl Adversary for Broken {
+            fn reorder(&mut self, _round: Round, frames: &[FrameView]) -> Option<Vec<usize>> {
+                Some(vec![0; frames.len()])
+            }
+        }
+        let mut net = SimNet::new(group(3), FaultPlan::none(), SimOptions::default());
+        net.set_adversary(Box::new(Broken));
+        net.run_rounds(2);
+    }
+}

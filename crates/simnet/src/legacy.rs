@@ -19,6 +19,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use urcgc_types::{ProcessId, Round};
 
+use crate::adversary::Adversary;
 use crate::fault::FaultPlan;
 use crate::net::{InFlight, RunOutcome, SimOptions, SimStats};
 use crate::node::{NetCtx, Node, Outgoing};
@@ -37,6 +38,10 @@ pub struct FlatWireSimNet<N: Node> {
     wire: Vec<InFlight>,
     /// Bytes offered during the round currently executing.
     round_bytes: u64,
+    /// Optional schedule adversary, applied to each round's arrival set
+    /// exactly as [`crate::SimNet`] applies it (the checker's differential
+    /// oracle runs the same adversary on both engines).
+    adversary: Option<Box<dyn Adversary>>,
 }
 
 impl<N: Node> FlatWireSimNet<N> {
@@ -56,7 +61,13 @@ impl<N: Node> FlatWireSimNet<N> {
             round: Round(0),
             wire: Vec::new(),
             round_bytes: 0,
+            adversary: None,
         }
+    }
+
+    /// Installs a schedule adversary (mirrors [`crate::SimNet::set_adversary`]).
+    pub fn set_adversary(&mut self, adv: Box<dyn Adversary>) {
+        self.adversary = Some(adv);
     }
 
     /// Group cardinality.
@@ -92,14 +103,23 @@ impl<N: Node> FlatWireSimNet<N> {
         let mut sent_this_round: Vec<InFlight> = Vec::new();
 
         // Phase 1: deliveries; every in-flight frame is examined whether or
-        // not it arrives this round.
+        // not it arrives this round. The partition draws no randomness and
+        // preserves wire order, so splitting it from the delivery loop (for
+        // the adversary hook) changes nothing without an adversary.
         let wire = std::mem::take(&mut self.wire);
         let mut still_in_flight = Vec::new();
+        let mut arriving = Vec::new();
         for msg in wire {
             if msg.arrives > round {
                 still_in_flight.push(msg);
-                continue;
+            } else {
+                arriving.push(msg);
             }
+        }
+        if let Some(adv) = self.adversary.as_deref_mut() {
+            crate::adversary::perturb(adv, round, &mut arriving, &mut self.stats.adversary_dropped);
+        }
+        for msg in arriving {
             if self.faults.is_crashed(msg.to, round) {
                 self.stats.to_crashed += 1;
                 continue;
@@ -325,6 +345,86 @@ mod differential_tests {
                 );
             }
             assert_eq!(fast.all_done(), spec.all_done());
+        }
+    }
+
+    /// A deterministic schedule adversary for the differential test:
+    /// shuffles each round's arrivals and drops a bounded number of frames,
+    /// all from its own ChaCha stream.
+    struct TestAdversary {
+        rng: ChaCha8Rng,
+        drops_left: u32,
+    }
+
+    impl TestAdversary {
+        fn new(seed: u64) -> Self {
+            TestAdversary {
+                rng: ChaCha8Rng::seed_from_u64(seed),
+                drops_left: 9,
+            }
+        }
+    }
+
+    impl crate::Adversary for TestAdversary {
+        fn reorder(&mut self, _round: Round, frames: &[crate::FrameView]) -> Option<Vec<usize>> {
+            let mut perm: Vec<usize> = (0..frames.len()).collect();
+            // Fisher–Yates off the adversary's own stream.
+            for i in (1..perm.len()).rev() {
+                perm.swap(i, self.rng.gen_range(0..i + 1));
+            }
+            Some(perm)
+        }
+
+        fn drop_arrival(&mut self, _round: Round, _frame: &crate::FrameView) -> bool {
+            if self.drops_left > 0 && self.rng.gen_bool(0.02) {
+                self.drops_left -= 1;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// The same `(seed, FaultPlan, adversary)` triple must replay the same
+    /// run on both engines — the checker's differential oracle depends on
+    /// this equivalence.
+    #[test]
+    fn adversarial_schedules_match_across_engines() {
+        for seed in [3u64, 0xBEEF] {
+            let opts = SimOptions {
+                max_rounds: 200,
+                seed,
+                ..Default::default()
+            };
+            let n = 5;
+            let mut fast = SimNet::new(vec![Tracer::default(); n], mixed_faults(), opts.clone());
+            let mut spec = FlatWireSimNet::new(vec![Tracer::default(); n], mixed_faults(), opts);
+            fast.set_adversary(Box::new(TestAdversary::new(seed ^ 0xAD)));
+            spec.set_adversary(Box::new(TestAdversary::new(seed ^ 0xAD)));
+            fast.run_rounds(120);
+            spec.run_rounds(120);
+            assert_eq!(
+                counters(fast.stats()),
+                counters(spec.stats()),
+                "fault counters diverged under adversary (seed {seed})"
+            );
+            assert_eq!(
+                fast.stats().adversary_dropped,
+                spec.stats().adversary_dropped,
+                "adversary drop counts diverged (seed {seed})"
+            );
+            assert!(
+                fast.stats().adversary_dropped > 0,
+                "adversary never bit (seed {seed})"
+            );
+            for i in 0..n {
+                let p = ProcessId::from_index(i);
+                assert_eq!(
+                    fast.node(p).log,
+                    spec.node(p).log,
+                    "adversarial delivery trace diverged at p{i} (seed {seed})"
+                );
+            }
         }
     }
 }

@@ -46,12 +46,14 @@
 //! assert_eq!(net.stats().traffic.get("ping").count, 6); // 3 nodes × 2 dests
 //! ```
 
+pub mod adversary;
 pub mod fault;
 pub mod legacy;
 pub mod net;
 pub mod node;
 pub mod timeline;
 
+pub use adversary::{Adversary, FrameView};
 pub use fault::FaultPlan;
 pub use legacy::FlatWireSimNet;
 pub use net::{RunOutcome, SimNet, SimOptions, SimStats};

@@ -26,6 +26,7 @@ use rand_chacha::ChaCha8Rng;
 use urcgc_metrics::TrafficMeter;
 use urcgc_types::{ProcessId, Round};
 
+use crate::adversary::Adversary;
 use crate::fault::FaultPlan;
 use crate::node::{NetCtx, Node, Outgoing};
 use crate::timeline::ByteTimeline;
@@ -89,6 +90,9 @@ pub struct SimStats {
     pub corrupted: u64,
     /// Frames addressed outside the group (dropped at the edge).
     pub misaddressed: u64,
+    /// Arriving frames dropped by an installed [`Adversary`] (targeted
+    /// omissions; always 0 without an adversary).
+    pub adversary_dropped: u64,
     /// Offered wire bytes over time (per round by default, or aggregated
     /// into fixed windows via [`SimOptions::bytes_window`]) — the network
     /// load timeline the paper's Section 6 characterizes.
@@ -144,6 +148,9 @@ pub struct SimNet<N: Node> {
     /// as the clock passes each event.
     crash_events: Vec<(Round, usize)>,
     crash_cursor: usize,
+    /// Optional schedule adversary (see [`crate::adversary`]); `None` keeps
+    /// the engine's deterministic order untouched.
+    adversary: Option<Box<dyn Adversary>>,
 }
 
 impl<N: Node> SimNet<N> {
@@ -176,6 +183,7 @@ impl<N: Node> SimNet<N> {
             undone,
             crash_events,
             crash_cursor: 0,
+            adversary: None,
         };
         net.apply_crashes_up_to(Round(0));
         net
@@ -209,6 +217,12 @@ impl<N: Node> SimNet<N> {
     /// Whether `p` is crashed as of the current round.
     pub fn is_crashed(&self, p: ProcessId) -> bool {
         self.faults.is_crashed(p, self.round)
+    }
+
+    /// Installs a schedule adversary. Without one the delivery order is the
+    /// engine's deterministic default.
+    pub fn set_adversary(&mut self, adv: Box<dyn Adversary>) {
+        self.adversary = Some(adv);
     }
 
     /// Advances the crash-event cursor through every event at or before
@@ -252,6 +266,9 @@ impl<N: Node> SimNet<N> {
         // in deterministic (send round, send order) order — exactly one
         // calendar bucket.
         let mut arriving = self.buckets.pop_front().unwrap_or_default();
+        if let Some(adv) = self.adversary.as_deref_mut() {
+            crate::adversary::perturb(adv, round, &mut arriving, &mut self.stats.adversary_dropped);
+        }
         for msg in arriving.drain(..) {
             debug_assert_eq!(msg.arrives, round, "bucket indexing drifted");
             if self.faults.is_crashed(msg.to, round) {

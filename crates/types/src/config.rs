@@ -63,6 +63,14 @@ pub struct ProtocolConfig {
     pub history_threshold: Option<usize>,
     /// Causality interpretation in force.
     pub causality: CausalityMode,
+    /// **Fault-injection knob for the checker — never set in production.**
+    /// When true, full-group decisions purge each origin's history up to the
+    /// group *maximum* processed sequence instead of the stable minimum,
+    /// discarding entries some alive process may still need to recover.
+    /// Exists so `urcgc-check` can prove its stability oracle catches a
+    /// purge-before-stable bug.
+    #[doc(hidden)]
+    pub broken_purge_before_stability: bool,
 }
 
 impl ProtocolConfig {
@@ -80,7 +88,16 @@ impl ProtocolConfig {
             max_coordinator_crashes: f,
             history_threshold: None,
             causality: CausalityMode::default(),
+            broken_purge_before_stability: false,
         }
+    }
+
+    /// Enables the deliberate purge-before-stability bug (checker-only; see
+    /// the field docs).
+    #[doc(hidden)]
+    pub fn with_broken_purge_before_stability(mut self) -> Self {
+        self.broken_purge_before_stability = true;
+        self
     }
 
     /// Sets `K` and re-derives the minimal valid `R` for the current `f`
