@@ -19,16 +19,23 @@
 //! and the `total_vs_causal` bench measure it.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use urcgc_history::History;
 use urcgc_simnet::{FaultPlan, NetCtx, Node, SimNet, SimOptions};
-use urcgc_types::{ProcessId, Round, Subrun};
+use urcgc_types::{DataMsg, Mid, ProcessId, Round, Subrun};
 
 use crate::cbcast::Load;
 
 /// A message identifier in the total-order service: (sender, sender-local
 /// sequence).
 pub type TotalId = (ProcessId, u64);
+
+/// The history key for a total-order id (same keyspace as urcgc's table).
+fn mid_of(id: TotalId) -> Mid {
+    Mid::new(id.0, id.1)
+}
 
 /// Frames of the urgc wire protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -234,7 +241,9 @@ pub struct UrgcTotalNode {
     next_seq: u64,
     seed_counter: u64,
     /// Messages received (or own) but possibly not yet ordered/processed.
-    held: HashMap<TotalId, (Round, Bytes)>,
+    /// Backed by the same sharded, segmented table urcgc uses — the two
+    /// services share buffer infrastructure, differing only in ordering.
+    held: History,
     /// Ids already placed in the global order, in order; the prefix
     /// `processed_upto` of it has been processed.
     order: Vec<TotalId>,
@@ -263,7 +272,7 @@ impl UrgcTotalNode {
             submitted: 0,
             next_seq: 1,
             seed_counter: 0,
-            held: HashMap::new(),
+            held: History::new(n),
             order: Vec::new(),
             ordered_set: HashSet::new(),
             processed_upto: 0,
@@ -304,7 +313,7 @@ impl UrgcTotalNode {
     fn try_process(&mut self, now: Round) {
         while self.processed_upto < self.order.len() {
             let id = self.order[self.processed_upto];
-            if self.held.contains_key(&id) {
+            if self.held.contains(mid_of(id)) {
                 self.deliveries.insert(id, now);
                 self.processed_upto += 1;
             } else {
@@ -371,7 +380,12 @@ impl Node for UrgcTotalNode {
                 let id = (self.me, seq);
                 let payload = Bytes::from(vec![0u8; self.load.payload_size]);
                 self.generated.insert(id, round);
-                self.held.insert(id, (round, payload.clone()));
+                self.held.save(Arc::new(DataMsg {
+                    mid: mid_of(id),
+                    deps: vec![],
+                    round,
+                    payload: payload.clone(),
+                }));
                 self.note_seen(id);
                 net.broadcast(
                     "urgc-data",
@@ -445,7 +459,7 @@ impl Node for UrgcTotalNode {
         // from whoever sent it (origin always holds its own messages).
         if self.processed_upto < self.order.len() && !round.is_request_phase() {
             let id = self.order[self.processed_upto];
-            if !self.held.contains_key(&id) && id.0 != self.me {
+            if !self.held.contains(mid_of(id)) && id.0 != self.me {
                 net.send(
                     id.0,
                     "urgc-fetch",
@@ -469,7 +483,12 @@ impl Node for UrgcTotalNode {
                 payload,
             }) => {
                 let id = (sender, seq);
-                self.held.entry(id).or_insert((round, payload));
+                self.held.save(Arc::new(DataMsg {
+                    mid: mid_of(id),
+                    deps: vec![],
+                    round,
+                    payload,
+                }));
                 self.note_seen(id);
                 self.try_process(now);
             }
@@ -492,15 +511,15 @@ impl Node for UrgcTotalNode {
                 }
             }
             Some(UFrame::Fetch { requester, id }) => {
-                if let Some((round, payload)) = self.held.get(&id) {
+                if let Some(msg) = self.held.get(mid_of(id)) {
                     net.send(
                         requester,
                         "urgc-data",
                         UFrame::Data {
                             sender: id.0,
                             seq: id.1,
-                            round: *round,
-                            payload: payload.clone(),
+                            round: msg.round,
+                            payload: msg.payload.clone(),
                         }
                         .encode(),
                     );

@@ -16,9 +16,9 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use urcgc_bench::hotpath::{
-    chain, chatter_group, drain_indexed, drain_rescan, fanout_deep, fanout_shared, history_filled,
-    history_purge, history_range, park_indexed, park_rescan, run_calendar, run_flatwire,
-    sample_msg,
+    chain, chatter_group, drain_indexed, drain_rescan, fanout_deep, fanout_shared, flat_filled,
+    history_filled, history_purge, history_range, park_indexed, park_rescan, purge_in_steps,
+    purge_in_steps_flat, recovery_storm, run_calendar, run_flatwire, sample_msg,
 };
 use urcgc_simnet::FaultPlan;
 use urcgc_types::{Pdu, ProcessId};
@@ -85,6 +85,46 @@ fn bench_history(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_recovery_storm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery-storm");
+    g.sample_size(10);
+    // A rejoining process missing 20 messages from each of 98 origins, all
+    // held by one peer: per-origin framing ships 196 recovery PDUs, the
+    // batched path two. Frame counts are asserted inside the scenario.
+    for batched in [false, true] {
+        let name = if batched {
+            "batched_n100"
+        } else {
+            "per_origin_n100"
+        };
+        g.bench_function(name, |b| b.iter(|| recovery_storm(100, 20, batched)));
+    }
+    g.finish();
+}
+
+fn bench_purge_soak(c: &mut Criterion) {
+    let mut g = c.benchmark_group("purge-soak");
+    // Stability creeps forward in 32 steps over a 40×512 table: the
+    // sharded table drops whole segments per step (O(segments freed)),
+    // the flat spec re-walks every surviving key per step.
+    let (origins, per, steps) = (40usize, 512u64, 32u64);
+    g.bench_function("sharded_stepped_40x512", |b| {
+        b.iter_batched(
+            || history_filled(origins, per),
+            |h| purge_in_steps(h, origins, per, steps),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("flat_stepped_40x512", |b| {
+        b.iter_batched(
+            || flat_filled(origins, per),
+            |h| purge_in_steps_flat(h, origins, per, steps),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_scheduler(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduler");
     g.sample_size(10);
@@ -133,6 +173,8 @@ criterion_group!(
     bench_waiting_drain,
     bench_broadcast_fanout,
     bench_history,
+    bench_recovery_storm,
+    bench_purge_soak,
     bench_scheduler
 );
 criterion_main!(benches);

@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use urcgc::sim::{GroupHarness, Workload};
 use urcgc::ProtocolConfig;
 use urcgc_causal::{CausalGraph, DeliveryTracker, Labeler, WaitingList};
-use urcgc_history::{History, StabilityMatrix};
+use urcgc_history::{History, StabilityMatrix, StableVector};
 use urcgc_simnet::FaultPlan;
 use urcgc_types::CausalityMode;
 use urcgc_types::{
@@ -136,7 +136,7 @@ fn bench_history(c: &mut Criterion) {
                         }));
                     }
                 }
-                h.purge_stable(&vec![20u64; 40]);
+                h.advance_stability(&StableVector::new(&vec![20u64; 40]));
                 h
             },
             BatchSize::SmallInput,

@@ -19,8 +19,9 @@ use std::sync::Arc;
 
 use urcgc_bench::hotpath::{
     allocs_avoided, chain, chatter_group, deep_clone_bytes, drain_indexed, drain_rescan,
-    fanout_deep, fanout_shared, history_filled, history_purge, history_range, park_indexed,
-    park_rescan, run_calendar, run_flatwire, sample_msg, shared_clone_bytes, time_nanos,
+    fanout_deep, fanout_shared, flat_filled, history_filled, history_purge, history_range,
+    park_indexed, park_rescan, purge_in_steps, purge_in_steps_flat, recovery_storm, run_calendar,
+    run_flatwire, sample_msg, shared_clone_bytes, time_nanos,
 };
 use urcgc_metrics::Json;
 use urcgc_simnet::FaultPlan;
@@ -60,6 +61,10 @@ struct Profile {
     history: (usize, u64),
     fanout_iters: usize,
     history_iters: usize,
+    /// (group size, messages missed per origin, timed iterations).
+    storm: (usize, u64, usize),
+    /// (origins, messages per origin, stability steps, timed iterations).
+    purge_soak: (usize, u64, u64, usize),
     sched: &'static [SchedShape],
 }
 
@@ -71,6 +76,8 @@ const HOTPATH: Profile = Profile {
     history: (40, 250),
     fanout_iters: 25,
     history_iters: 25,
+    storm: (100, 20, 9),
+    purge_soak: (40, 512, 32, 15),
     sched: &[
         SchedShape {
             name: "sched_dense_fanin",
@@ -112,6 +119,8 @@ const SMOKE: Profile = Profile {
     history: (8, 50),
     fanout_iters: 3,
     history_iters: 3,
+    storm: (16, 4, 3),
+    purge_soak: (8, 128, 8, 3),
     sched: &[
         SchedShape {
             name: "sched_dense_fanin",
@@ -277,7 +286,99 @@ fn main() {
             ),
     );
 
-    // 4. Scheduler: calendar-queue engine vs the retired flat-wire rescan,
+    // 4. Recovery storm: a rejoining process missing messages from every
+    //    other origin, all held by one peer — per-origin recovery framing
+    //    vs the batched (one frame per (peer, origin-run)) path. Frame
+    //    counts are exact; the scenario asserts the lagger fully heals.
+    let (storm_n, storm_per, storm_iters) = profile.storm;
+    let per_origin_run = recovery_storm(storm_n, storm_per, false);
+    let batched_run = recovery_storm(storm_n, storm_per, true);
+    let frame_reduction = per_origin_run.frames as f64 / batched_run.frames.max(1) as f64;
+    let per_origin_nanos = time_nanos(
+        storm_iters,
+        || (),
+        |()| recovery_storm(storm_n, storm_per, false),
+    );
+    let batched_nanos = time_nanos(
+        storm_iters,
+        || (),
+        |()| recovery_storm(storm_n, storm_per, true),
+    );
+    println!(
+        "recovery_storm   n={storm_n:<4} per-origin {} frames ({} B)   batched {} frames ({} B)   reduction {frame_reduction:.0}x",
+        per_origin_run.frames, per_origin_run.frame_bytes, batched_run.frames, batched_run.frame_bytes
+    );
+    benches.push(
+        Json::obj()
+            .with("name", "recovery_storm")
+            .with(
+                "params",
+                Json::obj().with("n", storm_n).with("per_origin", storm_per),
+            )
+            .with(
+                "metrics",
+                Json::obj()
+                    .with("per_origin_frames", per_origin_run.frames)
+                    .with("batched_frames", batched_run.frames)
+                    .with("per_origin_frame_bytes", per_origin_run.frame_bytes)
+                    .with("batched_frame_bytes", batched_run.frame_bytes)
+                    .with("frame_reduction", frame_reduction)
+                    .with("recovered", batched_run.recovered)
+                    .with("per_origin_nanos", per_origin_nanos)
+                    .with("batched_nanos", batched_nanos),
+            ),
+    );
+
+    // 5. Purge under soak: stability creeps forward in steps over a filled
+    //    table — the sharded layout drops whole segments per step, the
+    //    flat executable spec re-walks every surviving key.
+    let (soak_origins, soak_per, soak_steps, soak_iters) = profile.purge_soak;
+    let expected_drop = soak_origins * soak_per as usize;
+    let sharded_nanos = time_nanos(
+        soak_iters,
+        || history_filled(soak_origins, soak_per),
+        |h| {
+            assert_eq!(
+                purge_in_steps(h, soak_origins, soak_per, soak_steps),
+                expected_drop
+            )
+        },
+    );
+    let flat_nanos = time_nanos(
+        soak_iters,
+        || flat_filled(soak_origins, soak_per),
+        |h| {
+            assert_eq!(
+                purge_in_steps_flat(h, soak_origins, soak_per, soak_steps),
+                expected_drop
+            )
+        },
+    );
+    let soak_speedup = flat_nanos as f64 / sharded_nanos.max(1) as f64;
+    println!(
+        "purge_soak       {soak_origins}x{soak_per:<5} steps={soak_steps:<3} sharded {sharded_nanos:>10} ns   flat {flat_nanos:>12} ns   speedup {soak_speedup:.1}x"
+    );
+    benches.push(
+        Json::obj()
+            .with("name", "purge_soak")
+            .with(
+                "params",
+                Json::obj()
+                    .with("origins", soak_origins)
+                    .with("per_origin", soak_per)
+                    .with("steps", soak_steps),
+            )
+            .with(
+                "metrics",
+                Json::obj()
+                    .with("sharded_nanos", sharded_nanos)
+                    .with("flat_nanos", flat_nanos)
+                    .with("speedup", soak_speedup)
+                    .with("messages_purged", expected_drop),
+            ),
+    );
+
+    // 6. Scheduler: calendar-queue engine vs the retired flat-wire rescan,
     //    same chat workload, identical delivery population (asserted).
     for shape in profile.sched {
         let talkers: Vec<usize> = if shape.all_talk {

@@ -28,7 +28,7 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use urcgc_causal::{DeliveryTracker, RescanWaitingList, WaitingList};
-use urcgc_history::History;
+use urcgc_history::{FlatHistory, History, StableVector};
 use urcgc_simnet::{FaultPlan, FlatWireSimNet, NetCtx, Node as SimNode, SimNet, SimOptions};
 use urcgc_types::{encode_pdu, DataMsg, Mid, Pdu, ProcessId, Round, WireEncode};
 
@@ -191,7 +191,152 @@ pub fn history_range(h: &History, per_origin: u64) -> usize {
 /// Applies a full stability purge (everything stable). Returns messages
 /// dropped.
 pub fn history_purge(mut h: History, origins: usize, per_origin: u64) -> usize {
-    h.purge_stable(&vec![per_origin; origins])
+    h.advance_stability(&StableVector::new(&vec![per_origin; origins]))
+        .messages
+}
+
+/// A [`FlatHistory`] pre-filled identically to [`history_filled`] — the
+/// executable-specification baseline for the purge benchmarks.
+pub fn flat_filled(origins: usize, per_origin: u64) -> FlatHistory {
+    let mut h = FlatHistory::new(origins);
+    for p in 0..origins as u16 {
+        for s in 1..=per_origin {
+            h.save(Arc::new(DataMsg {
+                mid: Mid::new(ProcessId(p), s),
+                deps: vec![],
+                round: Round(0),
+                payload: Bytes::from_static(b"hotpath"),
+            }));
+        }
+    }
+    h
+}
+
+/// Purges a filled table in `steps` equal stability advances (the
+/// under-soak shape: stability creeps forward, each purge frees a slice).
+/// Returns total messages dropped (must equal the fill).
+pub fn purge_in_steps(mut h: History, origins: usize, per_origin: u64, steps: u64) -> usize {
+    let mut dropped = 0;
+    for i in 1..=steps {
+        let upto = per_origin * i / steps;
+        dropped += h
+            .advance_stability(&StableVector::new(&vec![upto; origins]))
+            .messages;
+    }
+    dropped
+}
+
+/// The same stepped purge on the flat reference layout.
+pub fn purge_in_steps_flat(
+    mut h: FlatHistory,
+    origins: usize,
+    per_origin: u64,
+    steps: u64,
+) -> usize {
+    let mut dropped = 0;
+    for i in 1..=steps {
+        let upto = per_origin * i / steps;
+        dropped += h
+            .advance_stability(&StableVector::new(&vec![upto; origins]))
+            .messages;
+    }
+    dropped
+}
+
+/// Outcome of one [`recovery_storm`] run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StormOutcome {
+    /// Recovery frames put on the wire (requests + replies).
+    pub frames: u64,
+    /// Total encoded bytes of those frames.
+    pub frame_bytes: u64,
+    /// Messages the lagging process recovered.
+    pub recovered: u64,
+}
+
+/// The recovery-storm scenario: a group of `n` where one process rejoins
+/// having missed `per_origin` messages from *every* other origin, and the
+/// most-updated holder for all of them is one peer. Per-origin framing
+/// ships `2(n−1)` recovery PDUs (one request and one reply per origin);
+/// batched framing coalesces them into one request and one reply frame.
+/// Counts every recovery frame both ways and asserts the lagger fully
+/// heals.
+pub fn recovery_storm(n: usize, per_origin: u64, batched: bool) -> StormOutcome {
+    use urcgc_types::pdu::PduKind;
+    use urcgc_types::{Decision, MaxProcessed, ProtocolConfig, Subrun};
+
+    let cfg = if batched {
+        ProtocolConfig::new(n).with_batched_recovery()
+    } else {
+        ProtocolConfig::new(n)
+    };
+    // The holder has processed every lagged origin's chain (origins
+    // 1..n-1; its own and the lagger's origins stay out of the storm).
+    let mut holder = urcgc::Engine::new(ProcessId(0), cfg.clone());
+    for q in 1..n as u16 - 1 {
+        for s in 1..=per_origin {
+            holder.on_pdu(
+                ProcessId(q),
+                Pdu::data(DataMsg {
+                    mid: Mid::new(ProcessId(q), s),
+                    deps: vec![],
+                    round: Round(0),
+                    payload: Bytes::from_static(b"storm"),
+                }),
+            );
+        }
+    }
+    while holder.poll_output().is_some() {}
+
+    // The lagger learns (via a decision) how far behind it is.
+    let lagger_id = ProcessId(n as u16 - 1);
+    let mut lagger = urcgc::Engine::new(lagger_id, cfg);
+    let mut d = Decision::genesis(n);
+    d.subrun = Subrun(1);
+    for q in 1..n - 1 {
+        d.max_processed[q] = MaxProcessed {
+            holder: ProcessId(0),
+            seq: per_origin,
+        };
+    }
+    lagger.on_pdu(ProcessId(0), Pdu::Decision(d));
+    lagger.begin_round(Round(3)); // decision round → attempt_recovery
+
+    let mut outcome = StormOutcome {
+        frames: 0,
+        frame_bytes: 0,
+        recovered: 0,
+    };
+    let recovery_kind =
+        |pdu: &Pdu| matches!(pdu.kind(), PduKind::RecoveryRq | PduKind::RecoveryReply);
+    while let Some(out) = lagger.poll_output() {
+        if let urcgc::Output::Send { to, pdu } = out {
+            if recovery_kind(&pdu) {
+                assert_eq!(to, ProcessId(0));
+                outcome.frames += 1;
+                outcome.frame_bytes += encode_pdu(&pdu).len() as u64;
+                holder.on_pdu(lagger_id, *pdu);
+            }
+        }
+    }
+    while let Some(out) = holder.poll_output() {
+        if let urcgc::Output::Send { to, pdu } = out {
+            if recovery_kind(&pdu) {
+                assert_eq!(to, lagger_id);
+                outcome.frames += 1;
+                outcome.frame_bytes += encode_pdu(&pdu).len() as u64;
+                lagger.on_pdu(ProcessId(0), *pdu);
+            }
+        }
+    }
+    while lagger.poll_output().is_some() {}
+    outcome.recovered = lagger.stats().recovered;
+    assert_eq!(
+        outcome.recovered,
+        (n as u64 - 2) * per_origin,
+        "storm must fully heal"
+    );
+    outcome
 }
 
 /// A minimal chat node for scheduler benchmarks: talkers broadcast one
@@ -369,5 +514,27 @@ mod tests {
         assert_eq!(h.len(), 8 * 50);
         assert_eq!(history_range(&h, 50), 40);
         assert_eq!(history_purge(h, 8, 50), 8 * 50);
+    }
+
+    #[test]
+    fn stepped_purges_drain_both_layouts_fully() {
+        assert_eq!(purge_in_steps(history_filled(6, 40), 6, 40, 8), 6 * 40);
+        assert_eq!(purge_in_steps_flat(flat_filled(6, 40), 6, 40, 8), 6 * 40);
+    }
+
+    #[test]
+    fn recovery_storm_batching_cuts_frames_at_least_5x() {
+        // Small n here keeps the unit test quick; the bench runs n=100.
+        let unbatched = recovery_storm(12, 3, false);
+        let batched = recovery_storm(12, 3, true);
+        assert_eq!(unbatched.recovered, batched.recovered);
+        assert_eq!(
+            unbatched.frames,
+            2 * (12 - 2),
+            "one rq + one reply per origin"
+        );
+        assert_eq!(batched.frames, 2, "one rq + one reply per holder");
+        assert!(unbatched.frames >= 5 * batched.frames);
+        assert!(batched.frame_bytes < unbatched.frame_bytes);
     }
 }

@@ -83,6 +83,16 @@ impl SoakUrcgcNode {
         self.peak_history
     }
 
+    /// Current history residency: (live segments, payload bytes, purge
+    /// lag in messages). Sampled by the soak loop at window boundaries.
+    pub fn residency(&self) -> (usize, usize, u64) {
+        (
+            self.engine.history_segments(),
+            self.engine.history_bytes(),
+            self.engine.purge_lag(),
+        )
+    }
+
     /// Peak waiting-list length observed.
     pub fn peak_waiting(&self) -> usize {
         self.peak_waiting
@@ -187,6 +197,14 @@ pub struct WindowSample {
     pub app_delivered: u64,
     /// Wire bytes offered during the window.
     pub wire_bytes: u64,
+    /// Max live history segments across nodes at the window boundary
+    /// (gauge; 0 for baselines, which keep no segmented table).
+    pub history_segments: usize,
+    /// Max resident history payload bytes across nodes at the boundary.
+    pub history_bytes: usize,
+    /// Max purge lag (messages processed beyond the stable frontier)
+    /// across nodes at the boundary.
+    pub purge_lag: u64,
 }
 
 /// Outcome of one soak scenario.
@@ -219,6 +237,12 @@ pub struct SoakReport {
     pub peak_history: usize,
     /// Peak waiting length across nodes (urcgc only; 0 for baselines).
     pub peak_waiting: usize,
+    /// Peak live-segment gauge over all window boundaries (urcgc only).
+    pub peak_segments: usize,
+    /// Peak resident history payload bytes over all window boundaries.
+    pub peak_history_bytes: usize,
+    /// Worst purge lag over all window boundaries, in messages.
+    pub max_purge_lag: u64,
     /// Windowed throughput trace (one sample per window).
     pub windows: Vec<WindowSample>,
 }
@@ -248,6 +272,9 @@ impl SoakReport {
                     .with("frames", w.frames)
                     .with("app_delivered", w.app_delivered)
                     .with("wire_bytes", w.wire_bytes)
+                    .with("history_segments", w.history_segments)
+                    .with("history_bytes", w.history_bytes)
+                    .with("purge_lag", w.purge_lag)
             })
             .collect();
         Json::obj()
@@ -274,6 +301,9 @@ impl SoakReport {
                     .with("frames_per_sec", self.frames_per_sec())
                     .with("peak_history", self.peak_history)
                     .with("peak_waiting", self.peak_waiting)
+                    .with("peak_segments", self.peak_segments)
+                    .with("peak_history_bytes", self.peak_history_bytes)
+                    .with("max_purge_lag", self.max_purge_lag)
                     .with("windows", Json::Arr(trace)),
             )
     }
@@ -322,13 +352,16 @@ pub struct SoakSpec {
 /// Drives `nodes` until every alive node reports done (or the spec's
 /// round budget), in window-round chunks, streaming one progress line per
 /// chunk. `app_delivered` extracts the per-node application delivery
-/// counter; `peaks` the per-node (history, waiting) gauges.
+/// counter; `peaks` the per-node (history, waiting) gauges; `residency`
+/// the current (live segments, payload bytes, purge lag) triple, sampled
+/// across nodes at every window boundary (baselines return zeros).
 pub fn run_soak<N: Node>(
     spec: SoakSpec,
     nodes: Vec<N>,
     faults: FaultPlan,
     app_delivered: impl Fn(&N) -> u64,
     peaks: impl Fn(&N) -> (usize, usize),
+    residency: impl Fn(&N) -> (usize, usize, u64),
 ) -> SoakReport {
     let SoakSpec {
         protocol,
@@ -367,11 +400,21 @@ pub fn run_soak<N: Node>(
         let frames = net.stats().delivered;
         let app: u64 = net.nodes().iter().map(&app_delivered).sum();
         let bytes = net.stats().bytes_per_round.total();
+        let (segs, res_bytes, lag) = net
+            .nodes()
+            .iter()
+            .map(&residency)
+            .fold((0, 0, 0), |(s, b, l), (ns, nb, nl)| {
+                (s.max(ns), b.max(nb), l.max(nl))
+            });
         let sample = WindowSample {
             end_round: net.round().0,
             frames: frames - prev_frames,
             app_delivered: app - prev_app,
             wire_bytes: bytes - prev_bytes,
+            history_segments: segs,
+            history_bytes: res_bytes,
+            purge_lag: lag,
         };
         (prev_frames, prev_app, prev_bytes) = (frames, app, bytes);
         idle_windows = if sample.app_delivered == 0 {
@@ -398,6 +441,14 @@ pub fn run_soak<N: Node>(
         .iter()
         .map(&peaks)
         .fold((0, 0), |(h, w), (nh, nw)| (h.max(nh), w.max(nw)));
+    let (peak_segments, peak_history_bytes, max_purge_lag) =
+        windows.iter().fold((0, 0, 0), |(s, b, l), w| {
+            (
+                s.max(w.history_segments),
+                b.max(w.history_bytes),
+                l.max(w.purge_lag),
+            )
+        });
     SoakReport {
         protocol,
         n,
@@ -412,6 +463,9 @@ pub fn run_soak<N: Node>(
         wall_secs,
         peak_history,
         peak_waiting,
+        peak_segments,
+        peak_history_bytes,
+        max_purge_lag,
         windows,
     }
 }
@@ -477,6 +531,7 @@ pub fn soak_cell(
                 soak_faults(n, msgs_per_proc),
                 |nd| nd.delivered(),
                 |nd| (nd.peak_history(), nd.peak_waiting()),
+                |nd| nd.residency(),
             )
         }
         SoakProtocol::Cbcast => {
@@ -498,6 +553,7 @@ pub fn soak_cell(
                 baseline_soak_faults(),
                 |nd| nd.delivered_count(),
                 |_| (0, 0),
+                |_| (0, 0, 0),
             )
         }
         SoakProtocol::Psync => {
@@ -519,6 +575,7 @@ pub fn soak_cell(
                 baseline_soak_faults(),
                 |nd| nd.delivered_count(),
                 |_| (0, 0),
+                |_| (0, 0, 0),
             )
         }
     }
@@ -561,6 +618,18 @@ mod tests {
         assert!(!r.windows.is_empty());
         let win_frames: u64 = r.windows.iter().map(|w| w.frames).sum();
         assert_eq!(win_frames, r.frames, "windowed trace must tile the run");
+        // Residency gauges: a live run holds at least one segment mid-run,
+        // payload bytes track it, and the report peaks tile the trace.
+        assert!(r.peak_segments > 0, "no live segments observed");
+        assert!(r.peak_history_bytes > 0);
+        assert_eq!(
+            r.peak_segments,
+            r.windows.iter().map(|w| w.history_segments).max().unwrap()
+        );
+        assert_eq!(
+            r.max_purge_lag,
+            r.windows.iter().map(|w| w.purge_lag).max().unwrap()
+        );
     }
 
     #[test]

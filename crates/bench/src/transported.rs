@@ -53,6 +53,7 @@ impl TransportedNode {
                     // has to carry them — the §5 trade-off under test.
                     retx_interval: 4,
                     max_retries: 3,
+                    batch_retransmissions: false,
                 },
             ),
             h: h.clamp(1, n.saturating_sub(1).max(1)),

@@ -24,10 +24,11 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use urcgc_causal::{DeliveryTracker, Labeler, WaitingList};
-use urcgc_history::{FlowControl, History, StabilityMatrix};
+use urcgc_history::{FlowControl, History, StabilityDelta, StabilityMatrix, StableVector};
 use urcgc_types::{
-    decode_pdu, DataMsg, Decision, GroupView, Mid, Pdu, ProcessId, ProtocolConfig, RecoveryReply,
-    RecoveryRq, RequestMsg, Round, Subrun, WireError,
+    decode_pdu, DataMsg, Decision, GroupView, Mid, Pdu, ProcessId, ProtocolConfig, RecoveryBatch,
+    RecoveryBatchRq, RecoveryReply, RecoveryRq, RecoveryRun, RecoveryWant, RequestMsg, Round,
+    Subrun, WireError,
 };
 
 use crate::output::{EngineStats, Output, ProcessStatus, StatusReason, SubmitError};
@@ -55,8 +56,9 @@ pub struct Engine {
     /// Subrun of the most recently applied decision, used for the
     /// missed-K-decisions exit rule. `None` until the first decision.
     last_decision_subrun: Option<Subrun>,
-    /// Coordinator-side request accumulator for the subrun we coordinate.
-    matrix: Option<(Subrun, StabilityMatrix)>,
+    /// Coordinator-side request accumulator for the subrun we coordinate,
+    /// with the accumulated [`StabilityDelta`] its `record` calls emitted.
+    matrix: Option<(Subrun, StabilityMatrix, StabilityDelta)>,
     /// Requests that arrived while no matrix was open (stragglers,
     /// forwarded requests racing the round boundary); folded into the next
     /// matrix if still within the staleness window. At most one per sender.
@@ -131,6 +133,20 @@ impl Engine {
         &self.cfg
     }
 
+    /// Whether the checker-only broken-purge knob is on (always false
+    /// without the `checker-knobs` feature, where the field does not exist).
+    #[inline]
+    fn broken_purge_enabled(&self) -> bool {
+        #[cfg(feature = "checker-knobs")]
+        {
+            self.cfg.broken_purge_before_stability
+        }
+        #[cfg(not(feature = "checker-knobs"))]
+        {
+            false
+        }
+    }
+
     /// The local group view.
     pub fn view(&self) -> &GroupView {
         &self.view
@@ -179,7 +195,33 @@ impl Engine {
     /// stability-safety invariant compares this against every alive peer's
     /// processed frontier.
     pub fn history_purged_to(&self, q: ProcessId) -> u64 {
-        self.history.purged_to(q)
+        self.history.stable_frontier(q)
+    }
+
+    /// Number of live history segments (capacity actually allocated; the
+    /// soak harness tracks this as "history residency").
+    pub fn history_segments(&self) -> usize {
+        self.history.segments_live()
+    }
+
+    /// Payload bytes resident in the history table.
+    pub fn history_bytes(&self) -> usize {
+        self.history.payload_bytes()
+    }
+
+    /// How far processing runs ahead of group stability, in messages: the
+    /// sum over origins of `last_processed − stable_frontier`. This is the
+    /// population the next full-group purge could free — the soak harness's
+    /// "purge lag" gauge.
+    pub fn purge_lag(&self) -> u64 {
+        (0..self.cfg.n)
+            .map(|q| {
+                let q = ProcessId::from_index(q);
+                self.tracker
+                    .last_processed(q)
+                    .saturating_sub(self.history.stable_frontier(q))
+            })
+            .sum()
     }
 
     /// A point-in-time view of the whole entity — the operations/debugging
@@ -196,6 +238,8 @@ impl Engine {
             alive: self.view.flags().to_vec(),
             history_len: self.history.len(),
             history_bytes: self.history.payload_bytes(),
+            history_segments: self.history.segments_live(),
+            purge_lag: self.purge_lag(),
             waiting_len: self.waiting.len(),
             pending: self.pending.len(),
             missed_decisions: self.missed_decisions,
@@ -309,6 +353,8 @@ impl Engine {
             }
             Pdu::RecoveryRq(rq) => self.handle_recovery_rq(from, rq),
             Pdu::RecoveryReply(rep) => self.handle_recovery_reply(rep),
+            Pdu::RecoveryBatchRq(rq) => self.handle_recovery_batch_rq(from, rq),
+            Pdu::RecoveryBatch(batch) => self.handle_recovery_batch(batch),
         }
     }
 
@@ -355,6 +401,21 @@ impl Engine {
                 rep.responder.index() < n
                     && rep.origin.index() < n
                     && rep.messages.iter().all(|m| data_ok(m.as_ref()))
+            }
+            Pdu::RecoveryBatchRq(rq) => {
+                rq.requester.index() < n
+                    && rq.wants.len() <= n
+                    && rq
+                        .wants
+                        .iter()
+                        .all(|w| w.origin.index() < n && w.after_seq <= w.upto_seq)
+            }
+            Pdu::RecoveryBatch(batch) => {
+                batch.responder.index() < n
+                    && batch.runs.len() <= n
+                    && batch.runs.iter().all(|r| {
+                        r.origin.index() < n && r.messages.iter().all(|m| data_ok(m.as_ref()))
+                    })
             }
         }
     }
@@ -433,20 +494,20 @@ impl Engine {
             // Self-contribution: no request message is materialized, and the
             // previous decision is only cloned if the matrix keeps it.
             let mut matrix = StabilityMatrix::new(self.cfg.n);
-            matrix.record(self.me, last_processed, waiting, &self.last_decision);
+            let mut delta = matrix.record(self.me, last_processed, waiting, &self.last_decision);
             // Fold in stashed straggler/forwarded requests that are still
             // within the staleness window.
             for stashed in std::mem::take(&mut self.request_stash) {
                 if stashed.subrun.0 + REQUEST_STALENESS_SUBRUNS >= subrun.0 {
-                    matrix.record(
+                    delta.merge(matrix.record(
                         stashed.sender,
                         stashed.last_processed,
                         stashed.waiting,
                         &stashed.prev_decision,
-                    );
+                    ));
                 }
             }
-            self.matrix = Some((subrun, matrix));
+            self.matrix = Some((subrun, matrix, delta));
         } else {
             self.matrix = None;
             self.outbox.push_back(Output::Send {
@@ -466,13 +527,24 @@ impl Engine {
     /// As coordinator: fold received requests into this subrun's decision
     /// and broadcast it.
     fn coordinator_decide(&mut self, subrun: Subrun) {
-        let Some((s, matrix)) = self.matrix.take() else {
+        let Some((s, matrix, delta)) = self.matrix.take() else {
             return;
         };
         if s != subrun {
             return;
         }
         let decision = matrix.compute(subrun, self.me, self.cfg.k, &self.last_decision);
+        // The accumulated delta can drive this decision's purge directly —
+        // but only when it provably describes the same purge the stable
+        // vector would: the delta claims exactness, its baseline is the
+        // full-group decision we last applied (so our history frontier sits
+        // exactly at the baseline's stable vector), and the new decision is
+        // itself full-group. Anything else falls back to the vector sweep.
+        let hint_ok = decision.full_group
+            && matrix.delta_exact()
+            && matrix
+                .freshest_prev()
+                .is_some_and(|p| p.full_group && self.last_decision_subrun == Some(p.subrun));
         self.stats.decisions_made += 1;
         let pdu = Arc::new(Pdu::Decision(decision));
         self.outbox.push_back(Output::Broadcast {
@@ -481,7 +553,7 @@ impl Engine {
         let Pdu::Decision(decision) = &*pdu else {
             unreachable!("just built")
         };
-        self.apply_decision(decision);
+        self.apply_decision_inner(decision, if hint_ok { Some(&delta) } else { None });
     }
 
     // ------------------------------------------------------------------
@@ -588,14 +660,14 @@ impl Engine {
         if !fresh {
             return;
         }
-        if let Some((subrun, matrix)) = &mut self.matrix {
+        if let Some((subrun, matrix, delta)) = &mut self.matrix {
             if req.subrun <= *subrun {
-                matrix.record(
+                delta.merge(matrix.record(
                     req.sender,
                     req.last_processed,
                     req.waiting,
                     &req.prev_decision,
-                );
+                ));
                 return;
             }
         }
@@ -627,6 +699,13 @@ impl Engine {
     /// whether it was adopted. Takes a reference and clones only on
     /// adoption, so the common stale/duplicate case copies nothing.
     fn apply_decision(&mut self, d: &Decision) -> bool {
+        self.apply_decision_inner(d, None)
+    }
+
+    /// [`Engine::apply_decision`] with an optional purge hint: the
+    /// coordinator's accumulated [`StabilityDelta`], passed only when
+    /// `coordinator_decide` has proven it equivalent to `d.stable`.
+    fn apply_decision_inner(&mut self, d: &Decision, hint: Option<&StabilityDelta>) -> bool {
         // "Newer" is judged against the last *applied* decision; before any
         // decision has been applied, even a subrun-0 decision supersedes
         // the synthetic genesis value the engine boots with. Carried
@@ -652,17 +731,21 @@ impl Engine {
         }
 
         if d.full_group {
-            if self.cfg.broken_purge_before_stability {
+            let report = if self.broken_purge_enabled() {
                 // Checker-only deliberate bug (see the config field docs):
                 // purge to the group *maximum* instead of the stable
                 // minimum, so any lagging process loses its recovery source.
-                for q in 0..self.cfg.n {
-                    let q = ProcessId::from_index(q);
-                    self.history.purge_up_to(q, d.max_processed[q.index()].seq);
-                }
+                let maxed: Vec<u64> = d.max_processed.iter().map(|m| m.seq).collect();
+                self.history.advance_stability(&StableVector::new(&maxed))
+            } else if let Some(delta) = hint {
+                self.history
+                    .advance_stability_hinted(&StableVector::new(&d.stable), delta)
             } else {
-                self.history.purge_stable(&d.stable);
-            }
+                self.history
+                    .advance_stability(&StableVector::new(&d.stable))
+            };
+            self.stats.purged_messages += report.messages as u64;
+            self.stats.purged_segments += report.segments_freed as u64;
             // Orphan-sequence destruction: only acted upon on full_group
             // decisions, when min_waiting/max_processed reflect the whole
             // (alive) group.
@@ -715,6 +798,42 @@ impl Engine {
         }
     }
 
+    /// Serves a batched recovery request: every requested origin's range is
+    /// sliced from history and the non-empty runs are coalesced into a
+    /// single [`RecoveryBatch`] frame back to the requester.
+    fn handle_recovery_batch_rq(&mut self, from: ProcessId, rq: RecoveryBatchRq) {
+        let runs: Vec<RecoveryRun> = rq
+            .wants
+            .iter()
+            .filter(|w| w.origin.index() < self.cfg.n)
+            .map(|w| RecoveryRun {
+                origin: w.origin,
+                messages: self.history.range(w.origin, w.after_seq, w.upto_seq),
+            })
+            .filter(|r| !r.messages.is_empty())
+            .collect();
+        if runs.is_empty() {
+            return;
+        }
+        self.outbox.push_back(Output::Send {
+            to: from,
+            pdu: Box::new(Pdu::RecoveryBatch(RecoveryBatch {
+                responder: self.me,
+                runs,
+            })),
+        });
+    }
+
+    /// Unpacks a batched recovery answer; each run feeds the ordinary data
+    /// path, exactly as the equivalent per-origin replies would.
+    fn handle_recovery_batch(&mut self, batch: RecoveryBatch) {
+        for run in batch.runs {
+            for msg in run.messages {
+                self.handle_data(msg, true);
+            }
+        }
+    }
+
     /// Once per subrun (decision round): if the latest decision shows some
     /// process has processed further than we have on any sequence
     /// (`max_processed[q] > last_processed[q]` — how Lemma 4.1 says a
@@ -731,6 +850,11 @@ impl Engine {
         self.processed_at_last_recovery = processed;
 
         let mut sent_any = false;
+        // Batched framing groups the per-origin asks by holder: one
+        // RecoveryBatchRq per distinct most-updated peer instead of one
+        // RecoveryRq per origin. Holders are visited in origin order, so
+        // the per-holder want lists stay origin-sorted deterministically.
+        let mut batches: Vec<(ProcessId, Vec<RecoveryWant>)> = Vec::new();
         for q in 0..self.cfg.n {
             let q = ProcessId::from_index(q);
             let maxp = self.last_decision.max_processed[q.index()];
@@ -738,17 +862,38 @@ impl Engine {
             if maxp.seq <= lp || maxp.holder == self.me || !self.view.is_alive(maxp.holder) {
                 continue;
             }
-            self.outbox.push_back(Output::Send {
-                to: maxp.holder,
-                pdu: Box::new(Pdu::RecoveryRq(RecoveryRq {
-                    requester: self.me,
+            self.stats.recovery_requests += 1;
+            sent_any = true;
+            if self.cfg.batched_recovery {
+                let want = RecoveryWant {
                     origin: q,
                     after_seq: lp,
                     upto_seq: maxp.seq,
+                };
+                match batches.iter_mut().find(|(h, _)| *h == maxp.holder) {
+                    Some((_, wants)) => wants.push(want),
+                    None => batches.push((maxp.holder, vec![want])),
+                }
+            } else {
+                self.outbox.push_back(Output::Send {
+                    to: maxp.holder,
+                    pdu: Box::new(Pdu::RecoveryRq(RecoveryRq {
+                        requester: self.me,
+                        origin: q,
+                        after_seq: lp,
+                        upto_seq: maxp.seq,
+                    })),
+                });
+            }
+        }
+        for (holder, wants) in batches {
+            self.outbox.push_back(Output::Send {
+                to: holder,
+                pdu: Box::new(Pdu::RecoveryBatchRq(RecoveryBatchRq {
+                    requester: self.me,
+                    wants,
                 })),
             });
-            self.stats.recovery_requests += 1;
-            sent_any = true;
         }
         if sent_any {
             self.recovery_attempts += 1;
@@ -1090,6 +1235,126 @@ mod tests {
         e2.on_pdu(ProcessId(0), Pdu::RecoveryReply(reply));
         assert_eq!(e2.last_processed(ProcessId(0)), 2);
         assert_eq!(e2.stats().recovered, 2);
+    }
+
+    #[test]
+    fn batched_recovery_coalesces_asks_and_heals() {
+        // p2 lags on two origins whose most-updated holder is p0: batched
+        // framing must emit ONE RecoveryBatchRq (instead of two
+        // RecoveryRqs), and the served RecoveryBatch must heal both gaps.
+        let cfg = ProtocolConfig::new(N).with_batched_recovery();
+        let mut holder = Engine::new(ProcessId(0), cfg.clone());
+        holder.submit(Bytes::from_static(b"a1"), &[]).unwrap();
+        holder.begin_round(Round(0));
+        while holder.poll_output().is_some() {}
+        // Hand-feed p1's message so p0's history also holds origin 1.
+        holder.on_pdu(
+            ProcessId(1),
+            Pdu::data(DataMsg {
+                mid: Mid::new(ProcessId(1), 1),
+                deps: vec![],
+                round: Round(0),
+                payload: Bytes::from_static(b"b1"),
+            }),
+        );
+        while holder.poll_output().is_some() {}
+
+        let mut lagger = Engine::new(ProcessId(2), cfg);
+        let mut d = Decision::genesis(N);
+        d.subrun = Subrun(1);
+        d.max_processed[0] = MaxProcessed {
+            holder: ProcessId(0),
+            seq: 1,
+        };
+        d.max_processed[1] = MaxProcessed {
+            holder: ProcessId(0),
+            seq: 1,
+        };
+        lagger.on_pdu(ProcessId(0), Pdu::Decision(d));
+        lagger.begin_round(Round(3));
+        let mut batch_rqs = Vec::new();
+        while let Some(o) = lagger.poll_output() {
+            if let Output::Send { to, pdu } = o {
+                match *pdu {
+                    Pdu::RecoveryBatchRq(rq) => batch_rqs.push((to, rq)),
+                    Pdu::RecoveryRq(_) => panic!("batched config must not emit per-origin asks"),
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(batch_rqs.len(), 1, "one frame per holder");
+        let (to, rq) = batch_rqs.pop().unwrap();
+        assert_eq!(to, ProcessId(0));
+        assert_eq!(rq.wants.len(), 2);
+        assert_eq!(lagger.stats().recovery_requests, 2, "stats count origins");
+
+        holder.on_pdu(ProcessId(2), Pdu::RecoveryBatchRq(rq));
+        let mut batch = None;
+        while let Some(o) = holder.poll_output() {
+            if let Output::Send { to, pdu } = o {
+                if let Pdu::RecoveryBatch(b) = *pdu {
+                    assert_eq!(to, ProcessId(2));
+                    batch = Some(b);
+                }
+            }
+        }
+        let batch = batch.expect("batched recovery served");
+        assert_eq!(batch.runs.len(), 2, "both origins in one frame");
+        lagger.on_pdu(ProcessId(0), Pdu::RecoveryBatch(batch));
+        assert_eq!(lagger.last_processed(ProcessId(0)), 1);
+        assert_eq!(lagger.last_processed(ProcessId(1)), 1);
+        assert_eq!(lagger.stats().recovered, 2);
+    }
+
+    #[test]
+    fn unbatched_config_never_emits_batch_pdus() {
+        let mut e = Engine::new(ProcessId(2), cfg());
+        let mut d = Decision::genesis(N);
+        d.subrun = Subrun(1);
+        d.max_processed[0] = MaxProcessed {
+            holder: ProcessId(0),
+            seq: 1,
+        };
+        d.max_processed[1] = MaxProcessed {
+            holder: ProcessId(0),
+            seq: 1,
+        };
+        e.on_pdu(ProcessId(0), Pdu::Decision(d));
+        e.begin_round(Round(3));
+        let mut rqs = 0;
+        while let Some(o) = e.poll_output() {
+            if let Output::Send { pdu, .. } = o {
+                match *pdu {
+                    Pdu::RecoveryRq(_) => rqs += 1,
+                    Pdu::RecoveryBatchRq(_) => panic!("default config emits per-origin frames"),
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(rqs, 2);
+    }
+
+    #[test]
+    fn purge_stats_track_stability_cleaning() {
+        let mut es = engines();
+        es[0].submit(Bytes::from_static(b"a"), &[]).unwrap();
+        run_round(&mut es, 0);
+        run_round(&mut es, 1);
+        run_round(&mut es, 2);
+        run_round(&mut es, 3); // decision of subrun 1: stable[0] = 1 → purge
+        for e in &es {
+            assert_eq!(e.stats().purged_messages, 1, "{}", e.me());
+            assert_eq!(
+                e.stats().purged_segments,
+                1,
+                "drained boundary segment freed"
+            );
+            assert_eq!(
+                e.purge_lag(),
+                0,
+                "processing and stability agree at quiescence"
+            );
+        }
     }
 
     #[test]

@@ -137,6 +137,11 @@ pub struct EngineStats {
     pub decisions_applied: u64,
     /// Decisions computed as coordinator.
     pub decisions_made: u64,
+    /// Messages freed from history by stability purges.
+    pub purged_messages: u64,
+    /// Whole history segments freed by stability purges (each drop is O(1);
+    /// purge cost scales with this counter, not with message population).
+    pub purged_segments: u64,
 }
 
 /// A serializable point-in-time view of an [`Engine`](crate::Engine) — see
@@ -163,6 +168,10 @@ pub struct EngineSnapshot {
     pub history_len: usize,
     /// History population (payload bytes).
     pub history_bytes: usize,
+    /// Live history segments (allocated residency).
+    pub history_segments: usize,
+    /// Messages processed but not yet group-stable (purgeable backlog).
+    pub purge_lag: u64,
     /// Waiting-list population.
     pub waiting_len: usize,
     /// Submissions not yet broadcast.

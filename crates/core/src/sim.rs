@@ -782,6 +782,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "checker-knobs")]
     fn broken_purge_knob_discards_unstable_history() {
         // With the deliberate purge-before-stability bug and a slow
         // receiver, some node must at some point have purged past another

@@ -1,0 +1,180 @@
+//! The retired flat history layout, kept as an executable specification.
+//!
+//! [`FlatHistory`] is the pre-segmentation table — one `BTreeMap` per
+//! origin — exposed through the same API as the sharded
+//! [`History`](crate::History). It exists for two jobs (the same pattern
+//! as `RescanWaitingList` and `FlatWireSimNet` before it):
+//!
+//! * the differential proptest replays random insert/purge interleavings
+//!   on both tables and requires observable equivalence;
+//! * the purge benchmarks use it as the O(messages) baseline the
+//!   O(segments-freed) claim is measured against.
+//!
+//! It is not exported for production use.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use urcgc_types::{DataMsg, Mid, ProcessId, NO_SEQ};
+
+use crate::table::{PurgeReport, StableVector};
+
+#[derive(Clone, Debug, Default)]
+struct Entry {
+    purged_to: u64,
+    messages: BTreeMap<u64, Arc<DataMsg>>,
+}
+
+/// The flat (scan-based) history table — specification twin of
+/// [`History`](crate::History).
+#[derive(Clone, Debug)]
+pub struct FlatHistory {
+    entries: Vec<Entry>,
+}
+
+impl FlatHistory {
+    /// An empty history for a group of `n`.
+    pub fn new(n: usize) -> Self {
+        FlatHistory {
+            entries: (0..n).map(|_| Entry::default()).collect(),
+        }
+    }
+
+    /// Group cardinality.
+    pub fn n(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Saves a processed message (see [`History::save`](crate::History::save)).
+    pub fn save(&mut self, msg: Arc<DataMsg>) -> bool {
+        let i = msg.mid.origin.index();
+        assert!(i < self.n(), "origin {} outside group", msg.mid.origin);
+        assert_ne!(msg.mid.seq, NO_SEQ, "NO_SEQ is not a message");
+        let entry = &mut self.entries[i];
+        if msg.mid.seq <= entry.purged_to || entry.messages.contains_key(&msg.mid.seq) {
+            return false;
+        }
+        entry.messages.insert(msg.mid.seq, msg);
+        true
+    }
+
+    /// Whether `mid` is currently held.
+    pub fn contains(&self, mid: Mid) -> bool {
+        self.entries
+            .get(mid.origin.index())
+            .is_some_and(|e| e.messages.contains_key(&mid.seq))
+    }
+
+    /// Retrieves a held message.
+    pub fn get(&self, mid: Mid) -> Option<&Arc<DataMsg>> {
+        self.entries.get(mid.origin.index())?.messages.get(&mid.seq)
+    }
+
+    /// Messages of `origin` with `after_seq < seq <= upto_seq`, in order.
+    pub fn range(&self, origin: ProcessId, after_seq: u64, upto_seq: u64) -> Vec<Arc<DataMsg>> {
+        let Some(entry) = self.entries.get(origin.index()) else {
+            return Vec::new();
+        };
+        if after_seq >= upto_seq {
+            return Vec::new();
+        }
+        entry
+            .messages
+            .range(after_seq + 1..=upto_seq)
+            .map(|(_, m)| Arc::clone(m))
+            .collect()
+    }
+
+    /// Advances every origin's purge frontier to the stability vector —
+    /// the flat rendition of
+    /// [`History::advance_stability`](crate::History::advance_stability).
+    /// `segments_freed` is reported as 0: the flat layout has no segments,
+    /// which is exactly why its purge cost is O(messages).
+    pub fn advance_stability(&mut self, stable: &StableVector<'_>) -> PurgeReport {
+        let mut report = PurgeReport::default();
+        for q in 0..self.n() {
+            let upto = stable.get(q);
+            let entry = &mut self.entries[q];
+            if upto <= entry.purged_to {
+                continue;
+            }
+            report.origins_advanced += 1;
+            let keep = entry.messages.split_off(&(upto + 1));
+            let dropped = std::mem::replace(&mut entry.messages, keep);
+            report.messages += dropped.len();
+            report.bytes += dropped.values().map(|m| m.payload.len()).sum::<usize>();
+            entry.purged_to = upto;
+        }
+        report
+    }
+
+    /// The stable (purge) frontier for origin `q`.
+    pub fn stable_frontier(&self, q: ProcessId) -> u64 {
+        self.entries.get(q.index()).map_or(NO_SEQ, |e| e.purged_to)
+    }
+
+    /// Total number of messages currently held. O(n + messages).
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(|e| e.messages.len()).sum()
+    }
+
+    /// Whether the history holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of messages held for one origin.
+    pub fn len_for(&self, q: ProcessId) -> usize {
+        self.entries.get(q.index()).map_or(0, |e| e.messages.len())
+    }
+
+    /// Highest held sequence number for origin `q` ([`NO_SEQ`] if none).
+    pub fn highest_seq(&self, q: ProcessId) -> u64 {
+        self.entries
+            .get(q.index())
+            .and_then(|e| e.messages.keys().next_back().copied())
+            .unwrap_or(NO_SEQ)
+    }
+
+    /// Total payload bytes currently held. O(messages).
+    pub fn payload_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .flat_map(|e| e.messages.values())
+            .map(|m| m.payload.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use urcgc_types::Round;
+
+    fn msg(p: u16, s: u64) -> Arc<DataMsg> {
+        Arc::new(DataMsg {
+            mid: Mid::new(ProcessId(p), s),
+            deps: vec![],
+            round: Round(0),
+            payload: Bytes::from(format!("m{p}-{s}")),
+        })
+    }
+
+    #[test]
+    fn flat_purge_matches_documented_semantics() {
+        let mut h = FlatHistory::new(2);
+        for s in 1..=4 {
+            h.save(msg(0, s));
+        }
+        h.save(msg(1, 1));
+        let report = h.advance_stability(&StableVector::new(&[2, 0]));
+        assert_eq!(report.messages, 2);
+        assert_eq!(report.origins_advanced, 1);
+        assert_eq!(report.segments_freed, 0, "flat layout has no segments");
+        assert_eq!(h.stable_frontier(ProcessId(0)), 2);
+        assert!(!h.save(msg(0, 1)), "purged seqs stay purged");
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.highest_seq(ProcessId(0)), 4);
+    }
+}

@@ -28,6 +28,66 @@ struct Contribution {
     waiting: Vec<u64>,
 }
 
+/// A half-open sequence range `(after_seq, upto_seq]` of one origin that
+/// just became group-stable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StableRange {
+    /// Origin whose messages became stable.
+    pub origin: ProcessId,
+    /// Stability held through this sequence already.
+    pub after_seq: u64,
+    /// … and now holds through this one.
+    pub upto_seq: u64,
+}
+
+/// The typed result of [`StabilityMatrix::record`]: the (origin, seq)
+/// ranges that became group-stable with this contribution, so the purge
+/// path consumes ranges directly instead of re-diffing whole stable
+/// vectors. Empty until every process alive in the baseline decision has
+/// contributed — stability is only actionable at full coverage, exactly
+/// when [`StabilityMatrix::compute`] would emit a `full_group` decision.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StabilityDelta {
+    ranges: Vec<StableRange>,
+}
+
+impl StabilityDelta {
+    /// Whether no new ranges became stable.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The newly stable ranges, at most one per origin.
+    pub fn ranges(&self) -> &[StableRange] {
+        &self.ranges
+    }
+
+    /// Folds another delta in (later calls extend earlier ones).
+    pub fn merge(&mut self, other: StabilityDelta) {
+        self.ranges.extend(other.ranges);
+    }
+}
+
+/// Incremental mirror of the stability part of
+/// [`StabilityMatrix::compute`], maintained by `record` so deltas can be
+/// emitted without recomputing the whole matrix.
+#[derive(Clone, Debug)]
+struct DeltaAcc {
+    /// The baseline decision's stable vector and alive view.
+    baseline_stable: Vec<u64>,
+    baseline_alive: Vec<bool>,
+    /// Accumulated coverage/min, exactly as `compute` would build them on
+    /// top of the baseline.
+    covered: Vec<bool>,
+    stable: Vec<u64>,
+    /// Highest stable value already emitted as a delta, per origin.
+    reported: Vec<u64>,
+    /// A later contribution pulled a min below an emitted value (a
+    /// declared-dead straggler can do this); emitted ranges can no longer
+    /// be trusted as a purge hint.
+    overclaimed: bool,
+}
+
 /// Accumulates member requests for one subrun and computes the decision.
 #[derive(Clone, Debug)]
 pub struct StabilityMatrix {
@@ -37,6 +97,7 @@ pub struct StabilityMatrix {
     /// circulation: with resilience `t = (n−1)/2` at least one copy of the
     /// previous decision reaches the current coordinator).
     freshest_prev: Option<Decision>,
+    delta: Option<DeltaAcc>,
 }
 
 impl StabilityMatrix {
@@ -46,6 +107,7 @@ impl StabilityMatrix {
             n,
             contributions: vec![None; n],
             freshest_prev: None,
+            delta: None,
         }
     }
 
@@ -59,15 +121,20 @@ impl StabilityMatrix {
     /// copy is the most informative. The carried previous decision is cloned
     /// only when it is the freshest seen so far; stale copies (the common
     /// case — every member carries the same previous decision) cost nothing.
+    ///
+    /// Returns the [`StabilityDelta`] this contribution unlocked: empty
+    /// while coverage of the baseline's alive set is incomplete, then the
+    /// per-origin ranges by which the group-stable frontier advanced.
     pub fn record(
         &mut self,
         sender: ProcessId,
         last_processed: Vec<u64>,
         waiting: Vec<u64>,
         prev_decision: &Decision,
-    ) {
+    ) -> StabilityDelta {
         assert_eq!(last_processed.len(), self.n, "last_processed width");
         assert_eq!(waiting.len(), self.n, "waiting width");
+        let overwrite = self.contributions[sender.index()].is_some();
         self.contributions[sender.index()] = Some(Contribution {
             last_processed,
             waiting,
@@ -79,6 +146,114 @@ impl StabilityMatrix {
         if fresher {
             self.freshest_prev = Some(prev_decision.clone());
         }
+        match self.delta.as_mut() {
+            Some(acc) if !fresher && !overwrite => {
+                let c = self.contributions[sender.index()].as_ref().expect("set");
+                acc.covered[sender.index()] = true;
+                for (s, lp) in acc.stable.iter_mut().zip(&c.last_processed) {
+                    *s = (*s).min(*lp);
+                }
+            }
+            // The baseline changed, or an overwrite may have raised a min
+            // the running accumulation can't retract: rebuild from the
+            // stored contributions (rare; O(n²) with small constants).
+            _ => self.rebuild_delta(),
+        }
+        self.drain_delta()
+    }
+
+    /// Rebuilds the incremental stability accumulation from scratch against
+    /// the current `freshest_prev` baseline, preserving what was already
+    /// reported (emitted ranges cannot be retracted).
+    fn rebuild_delta(&mut self) {
+        let p = self.freshest_prev.as_ref().expect("record sets it first");
+        let n = self.n;
+        let continuing = !p.full_group;
+        let mut covered = if continuing {
+            p.covered.clone()
+        } else {
+            vec![false; n]
+        };
+        let mut stable = if continuing {
+            p.stable.clone()
+        } else {
+            vec![u64::MAX; n]
+        };
+        for (i, c) in self.contributions.iter().enumerate() {
+            let Some(c) = c else { continue };
+            covered[i] = true;
+            for (s, lp) in stable.iter_mut().zip(&c.last_processed) {
+                *s = (*s).min(*lp);
+            }
+        }
+        let old = self.delta.take();
+        let mut reported = p.stable.clone();
+        let overclaimed = old.as_ref().is_some_and(|d| d.overclaimed);
+        if let Some(old) = &old {
+            for (r, o) in reported.iter_mut().zip(&old.reported) {
+                *r = (*r).max(*o);
+            }
+        }
+        self.delta = Some(DeltaAcc {
+            baseline_stable: p.stable.clone(),
+            baseline_alive: p.process_state.clone(),
+            covered,
+            stable,
+            reported,
+            overclaimed,
+        });
+    }
+
+    /// Emits the ranges that became stable since the last emission, if the
+    /// accumulation has full coverage of the baseline's alive set.
+    fn drain_delta(&mut self) -> StabilityDelta {
+        let n = self.n;
+        let Some(acc) = self.delta.as_mut() else {
+            return StabilityDelta::default();
+        };
+        for q in 0..n {
+            let s = if acc.stable[q] == u64::MAX {
+                NO_SEQ
+            } else {
+                acc.stable[q]
+            };
+            if acc.reported[q] > acc.baseline_stable[q] && s < acc.reported[q] {
+                acc.overclaimed = true;
+            }
+        }
+        let complete = (0..n).all(|i| !acc.baseline_alive[i] || acc.covered[i]);
+        if !complete || acc.overclaimed {
+            return StabilityDelta::default();
+        }
+        let mut ranges = Vec::new();
+        for q in 0..n {
+            let s = if acc.stable[q] == u64::MAX {
+                NO_SEQ
+            } else {
+                acc.stable[q]
+            };
+            if s > acc.reported[q] {
+                ranges.push(StableRange {
+                    origin: ProcessId::from_index(q),
+                    after_seq: acc.reported[q],
+                    upto_seq: s,
+                });
+                acc.reported[q] = s;
+            }
+        }
+        StabilityDelta { ranges }
+    }
+
+    /// Whether the emitted deltas exactly describe the stable vector
+    /// [`compute`](Self::compute) would produce right now (full coverage of
+    /// the baseline's alive set, nothing over-claimed). When this holds —
+    /// and the caller's own latest decision is not fresher than
+    /// [`freshest_prev`](Self::freshest_prev) — the deltas can drive the
+    /// purge directly; otherwise callers must fall back to the vector.
+    pub fn delta_exact(&self) -> bool {
+        self.delta.as_ref().is_some_and(|acc| {
+            !acc.overclaimed && (0..self.n).all(|i| !acc.baseline_alive[i] || acc.covered[i])
+        })
     }
 
     /// Whether `p` has contributed this subrun.
@@ -159,8 +334,8 @@ impl StabilityMatrix {
         for (i, c) in self.contributions.iter().enumerate() {
             let Some(c) = c else { continue };
             covered[i] = true;
-            for q in 0..n {
-                stable[q] = stable[q].min(c.last_processed[q]);
+            for (s, lp) in stable.iter_mut().zip(&c.last_processed) {
+                *s = (*s).min(*lp);
             }
         }
         // Origins nobody has reported on yet.
@@ -428,5 +603,142 @@ mod tests {
         assert_eq!(m.contributor_count(), 1);
         let d = m.compute(Subrun(1), pid(0), 3, &genesis);
         assert_eq!(d.stable, vec![2]);
+    }
+
+    #[test]
+    fn delta_empty_until_full_coverage_then_matches_compute() {
+        let prev = Decision::genesis(3);
+        let mut m = StabilityMatrix::new(3);
+        let d1 = m.record(pid(0), vec![5, 2, 1], vec![NO_SEQ; 3], &prev);
+        assert!(d1.is_empty(), "one contributor cannot stabilize anything");
+        assert!(!m.delta_exact());
+        let d2 = m.record(pid(1), vec![4, 3, 1], vec![NO_SEQ; 3], &prev);
+        assert!(d2.is_empty());
+        let d3 = m.record(pid(2), vec![5, 3, 2], vec![NO_SEQ; 3], &prev);
+        assert!(m.delta_exact());
+        let decision = m.compute(Subrun(1), pid(0), 3, &prev);
+        assert!(decision.full_group);
+        // The emitted ranges reconstruct exactly compute's stable vector.
+        let mut from_delta = prev.stable.clone();
+        for r in d3.ranges() {
+            assert_eq!(r.after_seq, from_delta[r.origin.index()]);
+            from_delta[r.origin.index()] = r.upto_seq;
+        }
+        assert_eq!(from_delta, decision.stable);
+    }
+
+    #[test]
+    fn delta_increments_after_coverage() {
+        let prev = Decision::genesis(2);
+        let mut m = StabilityMatrix::new(2);
+        let _ = m.record(pid(0), vec![5, 5], vec![NO_SEQ; 2], &prev);
+        let d = m.record(pid(1), vec![3, 9], vec![NO_SEQ; 2], &prev);
+        assert_eq!(
+            d.ranges(),
+            &[
+                StableRange {
+                    origin: pid(0),
+                    after_seq: 0,
+                    upto_seq: 3
+                },
+                StableRange {
+                    origin: pid(1),
+                    after_seq: 0,
+                    upto_seq: 5
+                }
+            ]
+        );
+        // An overwrite with a fresher (higher) vector extends the ranges.
+        let d = m.record(pid(1), vec![4, 9], vec![NO_SEQ; 2], &prev);
+        assert_eq!(
+            d.ranges(),
+            &[StableRange {
+                origin: pid(0),
+                after_seq: 3,
+                upto_seq: 4
+            }]
+        );
+        assert!(m.delta_exact());
+        assert_eq!(
+            m.compute(Subrun(1), pid(0), 3, &prev).stable,
+            vec![4, 5],
+            "delta and compute stay in lockstep"
+        );
+    }
+
+    #[test]
+    fn delta_never_emits_during_a_continuing_accumulation() {
+        // A partial (non-full-group) baseline continues accumulating: mins
+        // can only stay or fall, so nothing new becomes purgeable.
+        let genesis = Decision::genesis(3);
+        let mut m1 = StabilityMatrix::new(3);
+        record_simple(&mut m1, 0, vec![5, 2, 1], &genesis);
+        let d1 = m1.compute(Subrun(1), pid(1), 3, &genesis);
+        assert!(!d1.full_group);
+        let mut m2 = StabilityMatrix::new(3);
+        let delta = m2.record(pid(1), vec![9, 9, 9], vec![NO_SEQ; 3], &d1);
+        assert!(delta.is_empty());
+        let delta = m2.record(pid(2), vec![9, 9, 9], vec![NO_SEQ; 3], &d1);
+        assert!(delta.is_empty());
+        let delta = m2.record(pid(0), vec![9, 9, 9], vec![NO_SEQ; 3], &d1);
+        // Coverage completes here (continuation covered p0 already), and
+        // the full-coverage emission matches compute.
+        let d2 = m2.compute(Subrun(2), pid(2), 3, &d1);
+        assert!(d2.full_group);
+        let mut from_delta = d1.stable.clone();
+        for r in delta.ranges() {
+            from_delta[r.origin.index()] = r.upto_seq;
+        }
+        assert_eq!(from_delta, d2.stable);
+    }
+
+    #[test]
+    fn dead_straggler_below_emitted_value_poisons_the_delta() {
+        // p1 is declared crashed in the baseline; coverage completes
+        // without it and ranges are emitted. Its late, lower contribution
+        // pulls the min below the emitted value — the delta must stop
+        // claiming exactness (compute's stable would now be lower).
+        let mut prev = Decision::genesis(2);
+        prev.process_state[1] = false;
+        let mut m = StabilityMatrix::new(2);
+        let d = m.record(pid(0), vec![9, 9], vec![NO_SEQ; 2], &prev);
+        assert!(!d.is_empty(), "p0 alone covers the alive set");
+        assert!(m.delta_exact());
+        let d = m.record(pid(1), vec![2, 2], vec![NO_SEQ; 2], &prev);
+        assert!(d.is_empty());
+        assert!(!m.delta_exact(), "over-claimed deltas are poisoned");
+        // compute still gives the true (lower) answer.
+        assert_eq!(m.compute(Subrun(1), pid(0), 3, &prev).stable, vec![2, 2]);
+    }
+
+    #[test]
+    fn fresher_baseline_rebuilds_the_accumulation() {
+        let genesis = Decision::genesis(2);
+        let mut full = genesis.clone();
+        full.subrun = Subrun(3);
+        full.full_group = true;
+        full.stable = vec![4, 4];
+        let mut m = StabilityMatrix::new(2);
+        let _ = m.record(pid(0), vec![9, 9], vec![NO_SEQ; 2], &genesis);
+        // p1 carries a fresher full-group baseline: accumulation restarts
+        // on top of it, and emitted ranges start from its stable vector.
+        let d = m.record(pid(1), vec![8, 8], vec![NO_SEQ; 2], &full);
+        assert!(m.delta_exact());
+        assert_eq!(
+            d.ranges(),
+            &[
+                StableRange {
+                    origin: pid(0),
+                    after_seq: 4,
+                    upto_seq: 8
+                },
+                StableRange {
+                    origin: pid(1),
+                    after_seq: 4,
+                    upto_seq: 8
+                }
+            ]
+        );
+        assert_eq!(m.compute(Subrun(4), pid(0), 3, &genesis).stable, vec![8, 8]);
     }
 }

@@ -3,8 +3,15 @@
 
 use bytes::Bytes;
 use proptest::prelude::*;
-use urcgc_history::{History, StabilityMatrix};
+use urcgc_history::{History, StabilityMatrix, StableVector};
 use urcgc_types::{DataMsg, Decision, Mid, ProcessId, Round, Subrun, NO_SEQ};
+
+/// `advance_stability` for a single origin of a width-3 table.
+fn purge_one(h: &mut History, p: u16, upto: u64) -> usize {
+    let mut stable = [NO_SEQ; 3];
+    stable[p as usize] = upto;
+    h.advance_stability(&StableVector::new(&stable)).messages
+}
 
 fn msg(p: u16, s: u64) -> std::sync::Arc<DataMsg> {
     std::sync::Arc::new(DataMsg {
@@ -36,7 +43,7 @@ proptest! {
         let mut frontier = [NO_SEQ; 3];
         for (is_purge, p, s) in ops {
             if is_purge {
-                let dropped = h.purge_up_to(ProcessId(p), s);
+                let dropped = purge_one(&mut h, p, s);
                 let expect: Vec<Mid> = live
                     .iter()
                     .filter(|m| m.origin == ProcessId(p) && m.seq <= s)
@@ -58,7 +65,7 @@ proptest! {
             }
             prop_assert_eq!(h.len(), live.len());
             for q in 0..3u16 {
-                prop_assert_eq!(h.purged_to(ProcessId(q)), frontier[q as usize]);
+                prop_assert_eq!(h.stable_frontier(ProcessId(q)), frontier[q as usize]);
             }
         }
         // Ranges only ever return live messages in order.

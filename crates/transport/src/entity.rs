@@ -20,6 +20,11 @@ pub struct TransportConfig {
     /// Retry budget per transfer; when exhausted the transfer confirms
     /// regardless (the primitive never fails).
     pub max_retries: u32,
+    /// Coalesce a tick's retransmissions to one wire frame per
+    /// destination ([`TFrame::Batch`]). Off by default: batching changes
+    /// the frame population the simulator sees, so existing sweeps keep
+    /// per-fragment framing unless a scenario opts in.
+    pub batch_retransmissions: bool,
 }
 
 impl Default for TransportConfig {
@@ -28,6 +33,7 @@ impl Default for TransportConfig {
             mtu: 512,
             retx_interval: 2,
             max_retries: 4,
+            batch_retransmissions: false,
         }
     }
 }
@@ -171,6 +177,12 @@ impl TransportEntity {
             return;
         };
         match frame {
+            TFrame::Batch { frames } => {
+                // Decode rejects nested batches, so this recurses once.
+                for inner in frames {
+                    self.on_frame(from, inner);
+                }
+            }
             TFrame::Ack { xfer, src } => {
                 if let Some(x) = self.outgoing.get_mut(&xfer) {
                     if x.dests.contains(&src) {
@@ -273,8 +285,34 @@ impl TransportEntity {
         for xfer in finished {
             self.outgoing.remove(&xfer);
         }
-        for (to, frame) in resends {
-            self.outbox.push(TOutput::Send { to, frame });
+        if self.cfg.batch_retransmissions {
+            // One wire frame per destination: group this tick's resends by
+            // destination, preserving first-appearance order (which is
+            // creation order, keeping traces deterministic).
+            let mut order: Vec<ProcessId> = Vec::new();
+            let mut per_dest: HashMap<ProcessId, Vec<Bytes>> = HashMap::new();
+            for (to, frame) in resends {
+                per_dest
+                    .entry(to)
+                    .or_insert_with(|| {
+                        order.push(to);
+                        Vec::new()
+                    })
+                    .push(frame);
+            }
+            for to in order {
+                let frames = per_dest.remove(&to).expect("grouped above");
+                let frame = if frames.len() == 1 {
+                    frames.into_iter().next().expect("len checked")
+                } else {
+                    TFrame::Batch { frames }.encode()
+                };
+                self.outbox.push(TOutput::Send { to, frame });
+            }
+        } else {
+            for (to, frame) in resends {
+                self.outbox.push(TOutput::Send { to, frame });
+            }
         }
     }
 
@@ -394,6 +432,7 @@ mod tests {
             mtu: 512,
             retx_interval: 1,
             max_retries: 5,
+            ..Default::default()
         };
         let mut a = TransportEntity::new(ProcessId(0), cfg);
         let mut b = TransportEntity::new(ProcessId(1), cfg);
@@ -423,6 +462,68 @@ mod tests {
             .filter(|o| matches!(o, TOutput::Confirm { .. }))
             .collect();
         assert_eq!(confirms.len(), 1);
+    }
+
+    #[test]
+    fn batched_retransmission_coalesces_per_destination_and_heals() {
+        let cfg = TransportConfig {
+            mtu: 16,
+            retx_interval: 1,
+            max_retries: 5,
+            batch_retransmissions: true,
+        };
+        let mut a = TransportEntity::new(ProcessId(0), cfg);
+        let mut b = TransportEntity::new(ProcessId(1), cfg);
+        let data: Vec<u8> = (0..100u8).collect();
+        a.t_data_rq(&[ProcessId(1), ProcessId(2)], 2, Bytes::from(data.clone()));
+        while a.poll_output().is_some() {} // first transmission lost
+        a.on_tick();
+        let resends: Vec<(ProcessId, Bytes)> = std::iter::from_fn(|| a.poll_output())
+            .filter_map(|o| match o {
+                TOutput::Send { to, frame } => Some((to, frame)),
+                _ => None,
+            })
+            .collect();
+        // 7 fragments × 2 unacked destinations coalesce to 2 wire frames.
+        assert_eq!(resends.len(), 2, "one frame per destination");
+        assert_eq!(resends[0].0, ProcessId(1));
+        assert_eq!(resends[1].0, ProcessId(2));
+        // The batch reassembles into the original SDU on the receiver.
+        b.on_frame(ProcessId(0), resends[0].1.clone());
+        let ind = b
+            .drain_inds()
+            .into_iter()
+            .find_map(|o| match o {
+                TOutput::Ind { data, .. } => Some(data),
+                _ => None,
+            })
+            .expect("batched resend delivers");
+        assert_eq!(ind, Bytes::from(data));
+    }
+
+    #[test]
+    fn single_frame_resends_stay_unbatched() {
+        let cfg = TransportConfig {
+            mtu: 512,
+            retx_interval: 1,
+            max_retries: 5,
+            batch_retransmissions: true,
+        };
+        let mut a = TransportEntity::new(ProcessId(0), cfg);
+        a.t_data_rq(&[ProcessId(1)], 1, Bytes::from_static(b"solo"));
+        while a.poll_output().is_some() {}
+        a.on_tick();
+        let frames: Vec<Bytes> = std::iter::from_fn(|| a.poll_output())
+            .filter_map(|o| match o {
+                TOutput::Send { frame, .. } => Some(frame),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(frames.len(), 1);
+        assert!(
+            matches!(TFrame::decode(frames[0].clone()), Some(TFrame::Data { .. })),
+            "a lone fragment needs no batch envelope"
+        );
     }
 
     #[test]
@@ -494,6 +595,7 @@ mod tests {
             mtu: 512,
             retx_interval: 1,
             max_retries: 2,
+            ..Default::default()
         };
         let mut a = TransportEntity::new(ProcessId(0), cfg);
         let xfer = a.t_data_rq(&[ProcessId(1)], 1, Bytes::from_static(b"void"));

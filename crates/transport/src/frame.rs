@@ -26,10 +26,18 @@ pub enum TFrame {
         /// The acknowledging process.
         src: ProcessId,
     },
+    /// Several frames for one destination coalesced into a single wire
+    /// frame (batched retransmission). Members are encoded [`TFrame`]s and
+    /// may not themselves be batches.
+    Batch {
+        /// Encoded member frames, in send order.
+        frames: Vec<Bytes>,
+    },
 }
 
 const TAG_DATA: u8 = 0xD1;
 const TAG_ACK: u8 = 0xA1;
+const TAG_BATCH: u8 = 0xB7;
 
 impl TFrame {
     /// Encodes the frame.
@@ -57,6 +65,21 @@ impl TFrame {
                 b.put_u8(TAG_ACK);
                 b.put_u64_le(*xfer);
                 b.put_u16_le(src.0);
+                b.freeze()
+            }
+            TFrame::Batch { frames } => {
+                debug_assert!(
+                    frames.iter().all(|f| f.first() != Some(&TAG_BATCH)),
+                    "batches must not nest"
+                );
+                let body: usize = frames.iter().map(|f| 4 + f.len()).sum();
+                let mut b = BytesMut::with_capacity(1 + 2 + body);
+                b.put_u8(TAG_BATCH);
+                b.put_u16_le(frames.len() as u16);
+                for f in frames {
+                    b.put_u32_le(f.len() as u32);
+                    b.put_slice(f);
+                }
                 b.freeze()
             }
         }
@@ -96,6 +119,29 @@ impl TFrame {
                 let xfer = frame.get_u64_le();
                 let src = ProcessId(frame.get_u16_le());
                 Some(TFrame::Ack { xfer, src })
+            }
+            TAG_BATCH => {
+                if frame.remaining() < 2 {
+                    return None;
+                }
+                let count = frame.get_u16_le() as usize;
+                let mut frames = Vec::with_capacity(count.min(64));
+                for _ in 0..count {
+                    if frame.remaining() < 4 {
+                        return None;
+                    }
+                    let len = frame.get_u32_le() as usize;
+                    if frame.remaining() < len {
+                        return None;
+                    }
+                    let inner = frame.split_to(len);
+                    // One level only: a nested batch is malformed.
+                    if inner.first() == Some(&TAG_BATCH) {
+                        return None;
+                    }
+                    frames.push(inner);
+                }
+                Some(TFrame::Batch { frames })
             }
             _ => None,
         }
@@ -142,6 +188,74 @@ mod tests {
         let mut raw = bad.encode().to_vec();
         raw[11] = 5; // frag_index = 5 > frag_count = 1
         assert_eq!(TFrame::decode(Bytes::from(raw)), None);
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let members = vec![
+            TFrame::Data {
+                xfer: 1,
+                src: ProcessId(0),
+                frag_index: 0,
+                frag_count: 2,
+                payload: Bytes::from_static(b"aa"),
+            }
+            .encode(),
+            TFrame::Data {
+                xfer: 1,
+                src: ProcessId(0),
+                frag_index: 1,
+                frag_count: 2,
+                payload: Bytes::from_static(b"bb"),
+            }
+            .encode(),
+        ];
+        let f = TFrame::Batch {
+            frames: members.clone(),
+        };
+        assert_eq!(
+            TFrame::decode(f.encode()),
+            Some(TFrame::Batch { frames: members })
+        );
+        assert_eq!(
+            TFrame::decode(TFrame::Batch { frames: vec![] }.encode()),
+            Some(TFrame::Batch { frames: vec![] })
+        );
+    }
+
+    #[test]
+    fn nested_batches_rejected() {
+        let inner = TFrame::Batch { frames: vec![] }.encode();
+        let outer = TFrame::Batch {
+            frames: vec![inner],
+        };
+        // Encode via raw bytes (the debug_assert guards release encode).
+        let mut raw = BytesMut::new();
+        raw.put_u8(0xB7);
+        raw.put_u16_le(1);
+        let TFrame::Batch { frames } = &outer else {
+            unreachable!()
+        };
+        raw.put_u32_le(frames[0].len() as u32);
+        raw.put_slice(&frames[0]);
+        assert_eq!(TFrame::decode(raw.freeze()), None);
+    }
+
+    #[test]
+    fn batch_truncations_rejected() {
+        let f = TFrame::Batch {
+            frames: vec![TFrame::Ack {
+                xfer: 3,
+                src: ProcessId(1),
+            }
+            .encode()],
+        };
+        let enc = f.encode();
+        for cut in 0..enc.len() {
+            let mut part = enc.clone();
+            part.truncate(cut);
+            assert_eq!(TFrame::decode(part), None, "cut {cut}");
+        }
     }
 
     #[test]

@@ -32,10 +32,13 @@ pub mod pdu;
 pub mod view;
 pub mod wire;
 
-pub use config::{CausalityMode, ProtocolConfig};
+pub use config::{CausalityMode, ConfigError, ProtocolConfig, ProtocolConfigBuilder};
 pub use decision::{Decision, MaxProcessed};
 pub use error::WireError;
 pub use id::{Mid, ProcessId, Round, Subrun, NO_SEQ};
-pub use pdu::{DataMsg, Pdu, RecoveryReply, RecoveryRq, RequestMsg};
+pub use pdu::{
+    DataMsg, Pdu, RecoveryBatch, RecoveryBatchRq, RecoveryReply, RecoveryRq, RecoveryRun,
+    RecoveryWant, RequestMsg,
+};
 pub use view::GroupView;
 pub use wire::{decode_pdu, encode_pdu, WireDecode, WireEncode};

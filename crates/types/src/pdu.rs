@@ -80,6 +80,51 @@ pub struct RecoveryReply {
     pub messages: Vec<Arc<DataMsg>>,
 }
 
+/// One origin's worth of a batched recovery ask: the `(after, upto]` window
+/// a [`RecoveryBatchRq`] wants for that origin.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecoveryWant {
+    /// Sequence origin to recover.
+    pub origin: ProcessId,
+    /// Recover messages with `seq > after_seq` …
+    pub after_seq: u64,
+    /// … up to and including `upto_seq`.
+    pub upto_seq: u64,
+}
+
+/// Batched recovery request: every per-origin window a lagging process wants
+/// from one holder, coalesced into a single PDU
+/// (`ProtocolConfig::batched_recovery`). Semantically equivalent to one
+/// [`RecoveryRq`] per element of `wants`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RecoveryBatchRq {
+    /// The lagging process asking for messages.
+    pub requester: ProcessId,
+    /// Per-origin recovery windows, in increasing origin order.
+    pub wants: Vec<RecoveryWant>,
+}
+
+/// One origin's worth of a batched recovery answer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RecoveryRun {
+    /// Origin the messages belong to.
+    pub origin: ProcessId,
+    /// Recovered messages in increasing `seq` order, shared with the
+    /// responder's history buffer (never deep-copied).
+    pub messages: Vec<Arc<DataMsg>>,
+}
+
+/// Reply to a [`RecoveryBatchRq`]: one run of recovered messages per
+/// requested origin, all in a single frame. Semantically equivalent to one
+/// [`RecoveryReply`] per element of `runs`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RecoveryBatch {
+    /// The process serving the recovery.
+    pub responder: ProcessId,
+    /// Per-origin recovered runs, in increasing origin order.
+    pub runs: Vec<RecoveryRun>,
+}
+
 /// Every PDU the urcgc protocol puts on the wire.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Pdu {
@@ -95,6 +140,12 @@ pub enum Pdu {
     RecoveryRq(RecoveryRq),
     /// Recovery answer served from history.
     RecoveryReply(RecoveryReply),
+    /// Coalesced recovery ask (batched framing; counts as
+    /// [`PduKind::RecoveryRq`] traffic).
+    RecoveryBatchRq(RecoveryBatchRq),
+    /// Coalesced recovery answer (batched framing; counts as
+    /// [`PduKind::RecoveryReply`] traffic).
+    RecoveryBatch(RecoveryBatch),
 }
 
 impl Pdu {
@@ -110,8 +161,8 @@ impl Pdu {
             Pdu::Data(_) => PduKind::Data,
             Pdu::Request(_) => PduKind::Request,
             Pdu::Decision(_) => PduKind::Decision,
-            Pdu::RecoveryRq(_) => PduKind::RecoveryRq,
-            Pdu::RecoveryReply(_) => PduKind::RecoveryReply,
+            Pdu::RecoveryRq(_) | Pdu::RecoveryBatchRq(_) => PduKind::RecoveryRq,
+            Pdu::RecoveryReply(_) | Pdu::RecoveryBatch(_) => PduKind::RecoveryReply,
         }
     }
 
@@ -195,5 +246,28 @@ mod tests {
     fn all_kinds_have_unique_labels() {
         let labels: std::collections::HashSet<_> = PduKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), PduKind::ALL.len());
+    }
+
+    #[test]
+    fn batched_recovery_pdus_account_as_their_unbatched_kinds() {
+        let rq = Pdu::RecoveryBatchRq(RecoveryBatchRq {
+            requester: ProcessId(0),
+            wants: vec![RecoveryWant {
+                origin: ProcessId(1),
+                after_seq: NO_SEQ,
+                upto_seq: 3,
+            }],
+        });
+        assert_eq!(rq.kind(), PduKind::RecoveryRq);
+        assert!(rq.is_control());
+        let reply = Pdu::RecoveryBatch(RecoveryBatch {
+            responder: ProcessId(1),
+            runs: vec![RecoveryRun {
+                origin: ProcessId(1),
+                messages: vec![Arc::new(sample_data())],
+            }],
+        });
+        assert_eq!(reply.kind(), PduKind::RecoveryReply);
+        assert!(reply.is_control());
     }
 }

@@ -16,7 +16,10 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crate::decision::{Decision, MaxProcessed};
 use crate::error::WireError;
 use crate::id::{Mid, ProcessId, Round, Subrun};
-use crate::pdu::{DataMsg, Pdu, RecoveryReply, RecoveryRq, RequestMsg};
+use crate::pdu::{
+    DataMsg, Pdu, RecoveryBatch, RecoveryBatchRq, RecoveryReply, RecoveryRq, RecoveryRun,
+    RecoveryWant, RequestMsg,
+};
 
 /// Sanity bound on decoded vector lengths (group-sized vectors and
 /// dependency lists are tiny; recovery replies are bounded by history size).
@@ -445,11 +448,91 @@ impl WireDecode for RecoveryReply {
     }
 }
 
+impl WireEncode for RecoveryWant {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.origin.encode(buf);
+        self.after_seq.encode(buf);
+        self.upto_seq.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        2 + 8 + 8
+    }
+}
+
+impl WireDecode for RecoveryWant {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(RecoveryWant {
+            origin: ProcessId::decode(buf)?,
+            after_seq: u64::decode(buf)?,
+            upto_seq: u64::decode(buf)?,
+        })
+    }
+}
+
+impl WireEncode for RecoveryBatchRq {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.requester.encode(buf);
+        self.wants.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        2 + self.wants.encoded_len()
+    }
+}
+
+impl WireDecode for RecoveryBatchRq {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(RecoveryBatchRq {
+            requester: ProcessId::decode(buf)?,
+            wants: Vec::decode(buf)?,
+        })
+    }
+}
+
+impl WireEncode for RecoveryRun {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.origin.encode(buf);
+        self.messages.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        2 + self.messages.encoded_len()
+    }
+}
+
+impl WireDecode for RecoveryRun {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(RecoveryRun {
+            origin: ProcessId::decode(buf)?,
+            messages: Vec::decode(buf)?,
+        })
+    }
+}
+
+impl WireEncode for RecoveryBatch {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.responder.encode(buf);
+        self.runs.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        2 + self.runs.encoded_len()
+    }
+}
+
+impl WireDecode for RecoveryBatch {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(RecoveryBatch {
+            responder: ProcessId::decode(buf)?,
+            runs: Vec::decode(buf)?,
+        })
+    }
+}
+
 const TAG_DATA: u8 = 1;
 const TAG_REQUEST: u8 = 2;
 const TAG_DECISION: u8 = 3;
 const TAG_RECOVERY_RQ: u8 = 4;
 const TAG_RECOVERY_REPLY: u8 = 5;
+const TAG_RECOVERY_BATCH_RQ: u8 = 6;
+const TAG_RECOVERY_BATCH: u8 = 7;
 
 impl WireEncode for Pdu {
     fn encode(&self, buf: &mut BytesMut) {
@@ -474,6 +557,14 @@ impl WireEncode for Pdu {
                 buf.put_u8(TAG_RECOVERY_REPLY);
                 m.encode(buf);
             }
+            Pdu::RecoveryBatchRq(m) => {
+                buf.put_u8(TAG_RECOVERY_BATCH_RQ);
+                m.encode(buf);
+            }
+            Pdu::RecoveryBatch(m) => {
+                buf.put_u8(TAG_RECOVERY_BATCH);
+                m.encode(buf);
+            }
         }
     }
     fn encoded_len(&self) -> usize {
@@ -483,6 +574,8 @@ impl WireEncode for Pdu {
             Pdu::Decision(m) => m.encoded_len(),
             Pdu::RecoveryRq(m) => m.encoded_len(),
             Pdu::RecoveryReply(m) => m.encoded_len(),
+            Pdu::RecoveryBatchRq(m) => m.encoded_len(),
+            Pdu::RecoveryBatch(m) => m.encoded_len(),
         }
     }
 }
@@ -495,6 +588,8 @@ impl WireDecode for Pdu {
             TAG_DECISION => Ok(Pdu::Decision(Decision::decode(buf)?)),
             TAG_RECOVERY_RQ => Ok(Pdu::RecoveryRq(RecoveryRq::decode(buf)?)),
             TAG_RECOVERY_REPLY => Ok(Pdu::RecoveryReply(RecoveryReply::decode(buf)?)),
+            TAG_RECOVERY_BATCH_RQ => Ok(Pdu::RecoveryBatchRq(RecoveryBatchRq::decode(buf)?)),
+            TAG_RECOVERY_BATCH => Ok(Pdu::RecoveryBatch(RecoveryBatch::decode(buf)?)),
             tag => Err(WireError::BadTag {
                 context: "Pdu",
                 tag,
@@ -595,6 +690,85 @@ mod tests {
                 payload: Bytes::from_static(b"x"),
             })],
         }));
+    }
+
+    #[test]
+    fn batched_recovery_roundtrip() {
+        roundtrip(&Pdu::RecoveryBatchRq(RecoveryBatchRq {
+            requester: ProcessId(4),
+            wants: vec![
+                RecoveryWant {
+                    origin: ProcessId(0),
+                    after_seq: 2,
+                    upto_seq: 9,
+                },
+                RecoveryWant {
+                    origin: ProcessId(2),
+                    after_seq: NO_SEQ,
+                    upto_seq: 3,
+                },
+            ],
+        }));
+        roundtrip(&Pdu::RecoveryBatch(RecoveryBatch {
+            responder: ProcessId(1),
+            runs: vec![
+                RecoveryRun {
+                    origin: ProcessId(0),
+                    messages: vec![Arc::new(DataMsg {
+                        mid: Mid::new(ProcessId(0), 3),
+                        deps: vec![Mid::new(ProcessId(0), 2)],
+                        round: Round(6),
+                        payload: Bytes::from_static(b"x"),
+                    })],
+                },
+                RecoveryRun {
+                    origin: ProcessId(2),
+                    messages: vec![],
+                },
+            ],
+        }));
+        // Degenerate but legal: empty batches.
+        roundtrip(&Pdu::RecoveryBatchRq(RecoveryBatchRq {
+            requester: ProcessId(0),
+            wants: vec![],
+        }));
+        roundtrip(&Pdu::RecoveryBatch(RecoveryBatch {
+            responder: ProcessId(0),
+            runs: vec![],
+        }));
+    }
+
+    #[test]
+    fn batched_frame_is_smaller_than_the_per_origin_frames_it_replaces() {
+        // The point of batching: one tag + requester amortized over every
+        // origin, instead of a full RecoveryRq frame per origin.
+        let wants: Vec<RecoveryWant> = (0..40)
+            .map(|q| RecoveryWant {
+                origin: ProcessId(q),
+                after_seq: 1,
+                upto_seq: 5,
+            })
+            .collect();
+        let batched = Pdu::RecoveryBatchRq(RecoveryBatchRq {
+            requester: ProcessId(0),
+            wants: wants.clone(),
+        })
+        .encoded_len()
+            + FRAME_TRAILER_LEN;
+        let unbatched: usize = wants
+            .iter()
+            .map(|w| {
+                Pdu::RecoveryRq(RecoveryRq {
+                    requester: ProcessId(0),
+                    origin: w.origin,
+                    after_seq: w.after_seq,
+                    upto_seq: w.upto_seq,
+                })
+                .encoded_len()
+                    + FRAME_TRAILER_LEN
+            })
+            .sum();
+        assert!(batched < unbatched, "{batched} vs {unbatched}");
     }
 
     #[test]

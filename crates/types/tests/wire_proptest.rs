@@ -5,7 +5,8 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use urcgc_types::{
     decode_pdu, encode_pdu, wire::FRAME_TRAILER_LEN, DataMsg, Decision, MaxProcessed, Mid, Pdu,
-    ProcessId, RecoveryReply, RecoveryRq, RequestMsg, Round, Subrun, WireEncode,
+    ProcessId, RecoveryBatch, RecoveryBatchRq, RecoveryReply, RecoveryRq, RecoveryRun,
+    RecoveryWant, RequestMsg, Round, Subrun, WireEncode,
 };
 
 fn arb_pid() -> impl Strategy<Value = ProcessId> {
@@ -108,6 +109,35 @@ fn arb_pdu() -> impl Strategy<Value = Pdu> {
                     messages: messages.into_iter().map(std::sync::Arc::new).collect(),
                 })
             ),
+        (
+            arb_pid(),
+            prop::collection::vec((arb_pid(), 0u64..100, 0u64..100), 0..8)
+        )
+            .prop_map(|(requester, wants)| Pdu::RecoveryBatchRq(RecoveryBatchRq {
+                requester,
+                wants: wants
+                    .into_iter()
+                    .map(|(origin, after_seq, delta)| RecoveryWant {
+                        origin,
+                        after_seq,
+                        upto_seq: after_seq + delta,
+                    })
+                    .collect(),
+            })),
+        (
+            arb_pid(),
+            prop::collection::vec((arb_pid(), prop::collection::vec(arb_data(), 0..4)), 0..6)
+        )
+            .prop_map(|(responder, runs)| Pdu::RecoveryBatch(RecoveryBatch {
+                responder,
+                runs: runs
+                    .into_iter()
+                    .map(|(origin, messages)| RecoveryRun {
+                        origin,
+                        messages: messages.into_iter().map(std::sync::Arc::new).collect(),
+                    })
+                    .collect(),
+            })),
     ]
 }
 

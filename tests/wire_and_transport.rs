@@ -132,6 +132,7 @@ fn recovery_reply_fragments_across_small_mtu() {
         mtu: 512,
         retx_interval: 1,
         max_retries: 8,
+        ..Default::default()
     };
     let mut a = TransportEntity::new(ProcessId(1), cfg);
     let mut b = TransportEntity::new(ProcessId(2), cfg);
