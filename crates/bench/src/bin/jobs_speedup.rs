@@ -1,0 +1,182 @@
+//! Multi-core speedup measurement for the sweep job pool (`urcgc-bench/1`).
+//!
+//! Runs a fixed pool of identical-shape soak cells twice — serially
+//! (`--jobs 1`) and on `--jobs N` worker threads — and reports the
+//! wall-clock ratio. The cells are seeded independently
+//! (`derive_seed`-style, fixed per cell index), so both passes do exactly
+//! the same simulation work; only the scheduling differs. Per-cell reports
+//! are asserted identical across the two passes, re-checking the pool's
+//! determinism contract on real multi-core hardware.
+//!
+//! This is an **informational** benchmark: the speedup depends on the
+//! runner's core count and load, so it never fails the build (exit 0
+//! unless the run itself breaks). CI uploads the JSON as an artifact to
+//! track the trend.
+//!
+//! Run: `cargo run --release -p urcgc-bench --bin jobs_speedup -- --json out.json`
+
+use std::time::Instant;
+
+use urcgc_bench::soak::{soak_cell, SoakProtocol, SoakReport};
+use urcgc_bench::sweep::{derive_seed, run_pool};
+use urcgc_metrics::Json;
+
+const HELP: &str = "\
+jobs_speedup — wall-clock speedup of the sweep job pool across cores
+
+USAGE:
+  jobs_speedup [OPTIONS]
+
+OPTIONS:
+  --cells C     number of independent soak cells in the pool (default 8)
+  --msgs M      messages per process per cell (default 400)
+  --n N         group size per cell (default 10)
+  --jobs J      parallel worker count (default: available cores)
+  --json PATH   write the urcgc-bench/1 document to PATH
+  --help        print this help
+";
+
+struct Opts {
+    cells: usize,
+    msgs: u64,
+    n: usize,
+    jobs: usize,
+    json: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        cells: 8,
+        msgs: 400,
+        n: 10,
+        jobs: std::thread::available_parallelism().map_or(2, usize::from),
+        json: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--cells" => opts.cells = value()?.parse().map_err(|e| format!("--cells: {e}"))?,
+            "--msgs" => opts.msgs = value()?.parse().map_err(|e| format!("--msgs: {e}"))?,
+            "--n" => opts.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--jobs" => opts.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--json" => opts.json = Some(value()?.to_string()),
+            "--help" | "-h" => return Err(HELP.to_string()),
+            other => return Err(format!("unknown flag {other}\n\n{HELP}")),
+        }
+    }
+    if opts.cells == 0 || opts.jobs == 0 {
+        return Err("--cells and --jobs must be positive".into());
+    }
+    Ok(opts)
+}
+
+/// Everything a soak cell computes except wall-clock timings.
+fn det_key(r: &SoakReport) -> String {
+    format!(
+        "{:?}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{:?}",
+        r.protocol,
+        r.n,
+        r.msgs_per_proc,
+        r.rounds,
+        r.submitted,
+        r.app_delivered,
+        r.frames,
+        r.wire_bytes,
+        r.completed,
+        r.stalled,
+        r.peak_history,
+        r.peak_waiting,
+        r.peak_segments,
+        r.max_purge_lag,
+        r.windows
+    )
+}
+
+fn run_pass(opts: &Opts, jobs: usize) -> (f64, Vec<SoakReport>) {
+    let started = Instant::now();
+    let reports = run_pool(opts.cells, jobs, |i| {
+        soak_cell(
+            SoakProtocol::Urcgc,
+            opts.n,
+            opts.msgs,
+            derive_seed(0xC0FFEE, i),
+            u64::MAX, // no per-window progress stream
+            false,
+        )
+    });
+    (started.elapsed().as_secs_f64(), reports)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg == HELP { 0 } else { 2 });
+        }
+    };
+
+    println!(
+        "jobs_speedup: {} cells of urcgc n={} × {} msgs/process, serial then --jobs {}",
+        opts.cells, opts.n, opts.msgs, opts.jobs
+    );
+    let (serial_secs, serial_reports) = run_pass(&opts, 1);
+    println!("serial   (jobs=1):  {serial_secs:.2}s");
+    let (parallel_secs, parallel_reports) = run_pass(&opts, opts.jobs);
+    println!("parallel (jobs={}): {parallel_secs:.2}s", opts.jobs);
+
+    // Determinism contract: same seeds, same work, same reports — whatever
+    // the job count. (Compared modulo wall-clock, the one legitimately
+    // run-dependent field.)
+    for (i, (s, p)) in serial_reports.iter().zip(&parallel_reports).enumerate() {
+        assert_eq!(
+            det_key(s),
+            det_key(p),
+            "cell {i} diverged between serial and parallel passes"
+        );
+    }
+
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    println!(
+        "speedup: {speedup:.2}x on {} requested jobs ({} cells, determinism verified)",
+        opts.jobs, opts.cells
+    );
+
+    let doc = Json::obj()
+        .with("schema", "urcgc-bench/1")
+        .with("profile", "jobs-speedup")
+        .with(
+            "jobs_speedup",
+            Json::obj()
+                .with("cells", opts.cells)
+                .with("msgs_per_proc", opts.msgs)
+                .with("n", opts.n)
+                .with("jobs", opts.jobs)
+                .with("serial_secs", serial_secs)
+                .with("parallel_secs", parallel_secs)
+                .with("speedup", speedup),
+        )
+        .with(
+            "benches",
+            serial_reports
+                .iter()
+                .map(SoakReport::to_json)
+                .collect::<Vec<_>>(),
+        );
+
+    if let Some(path) = opts.json {
+        match std::fs::write(&path, doc.render_pretty()) {
+            Ok(()) => println!("speedup document written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Oracle reuse on **real-network** cluster reports.
+//!
+//! The in-model oracles ([`crate::oracle`]) inspect live
+//! [`GroupHarness`](urcgc::sim::GroupHarness) state — engines, delivery
+//! logs, views. A loopback/LAN cluster run (the `loopback-cluster` binary
+//! in `urcgc-runtime`) has no such luxury: each member is a separate OS
+//! process that can only *report* what it observed. This module states the
+//! same end-of-run properties over those reports:
+//!
+//! * **Termination / quiescence** (the paper's bounded-time claim): every
+//!   member reached workload quiescence inside the wall-clock budget —
+//!   the report-level analogue of [`OracleKind::Stall`];
+//! * **Uniform Atomicity + frontier agreement**: all members that ended
+//!   `Active` processed *identical* per-origin message streams, compared
+//!   via processed-frontier vectors ([`OracleKind::Divergence`]) and
+//!   order-sensitive per-origin digests ([`OracleKind::Atomicity`]);
+//! * **Uniform Ordering**: each member checks its own delivery log
+//!   in-process (it has the full log; the report carries only the
+//!   verdict) — a `false` here surfaces as [`OracleKind::Ordering`].
+//!
+//! The digest is order-sensitive FNV-1a over each origin's delivered
+//! sequence numbers in local delivery order ([`fnv1a_stream`]), so two
+//! members agree iff they processed the same set of an origin's messages
+//! in the same relative order — equality of frontiers alone would miss a
+//! gap that a later recovery happened to paper over.
+
+use crate::oracle::{OracleKind, Violation};
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Order-sensitive FNV-1a digest over a stream of sequence numbers
+/// (little-endian bytes). Used by cluster members to summarize each
+/// origin's delivered-sequence stream for cross-member comparison.
+pub fn fnv1a_stream(seqs: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for seq in seqs {
+        for byte in seq.to_le_bytes() {
+            h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// What one cluster member reported at the end of its run — the minimum
+/// the end-of-run oracles need, all computable inside the member process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeObservation {
+    /// The member's process id.
+    pub me: u16,
+    /// Final life-cycle status (`Active` | `Suicided` | `Left`, the
+    /// `Debug` rendering of `ProcessStatus`).
+    pub status: String,
+    /// Whether the member reached workload quiescence (budget generated,
+    /// no backlog, frontier covering the last decision's recovery hints).
+    pub quiesced: bool,
+    /// Messages the member submitted.
+    pub submitted: u64,
+    /// Messages the member processed (own + foreign).
+    pub delivered: u64,
+    /// Per-origin contiguous processed frontier (`last_processed`).
+    pub frontier: Vec<u64>,
+    /// Per-origin [`fnv1a_stream`] digest of delivered sequence numbers,
+    /// in local delivery order.
+    pub order_digest: Vec<u64>,
+    /// The member's own check of its delivery log: every declared cause
+    /// processed first, every origin's sequence strictly ascending.
+    pub ordering_ok: bool,
+    /// Specifics when `ordering_ok` is false.
+    pub ordering_detail: Option<String>,
+}
+
+impl NodeObservation {
+    fn is_active(&self) -> bool {
+        self.status == "Active"
+    }
+}
+
+/// End-of-run oracles over a cluster's member reports. Returns every
+/// violation found (empty = clean run). Mirrors
+/// [`check_final`](crate::oracle::check_final): stall first (agreement is
+/// only claimed *at quiescence*), then per-member ordering verdicts, then
+/// pairwise uniform agreement over the members that ended `Active`.
+pub fn check_cluster(obs: &[NodeObservation]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let laggards: Vec<u16> = obs.iter().filter(|o| !o.quiesced).map(|o| o.me).collect();
+    if !laggards.is_empty() {
+        violations.push(Violation {
+            kind: OracleKind::Stall,
+            round: None,
+            detail: format!(
+                "{} of {} members did not quiesce inside the budget: {:?}",
+                laggards.len(),
+                obs.len(),
+                laggards
+            ),
+        });
+        return violations;
+    }
+    for o in obs {
+        if !o.ordering_ok {
+            violations.push(Violation {
+                kind: OracleKind::Ordering,
+                round: None,
+                detail: format!(
+                    "p{} reports an inconsistent delivery log: {}",
+                    o.me,
+                    o.ordering_detail.as_deref().unwrap_or("no detail")
+                ),
+            });
+        }
+    }
+    let active: Vec<&NodeObservation> = obs.iter().filter(|o| o.is_active()).collect();
+    if let Some(first) = active.first() {
+        for other in &active[1..] {
+            if other.frontier != first.frontier {
+                violations.push(Violation {
+                    kind: OracleKind::Divergence,
+                    round: None,
+                    detail: format!(
+                        "p{} and p{} ended with different processed frontiers: {:?} vs {:?}",
+                        first.me, other.me, first.frontier, other.frontier
+                    ),
+                });
+            } else if other.order_digest != first.order_digest {
+                let origin = first
+                    .order_digest
+                    .iter()
+                    .zip(&other.order_digest)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                violations.push(Violation {
+                    kind: OracleKind::Atomicity,
+                    round: None,
+                    detail: format!(
+                        "p{} and p{} agree on frontiers but processed different \
+                         streams for origin p{origin} (order digests differ)",
+                        first.me, other.me
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean(me: u16) -> NodeObservation {
+        NodeObservation {
+            me,
+            status: "Active".to_string(),
+            quiesced: true,
+            submitted: 10,
+            delivered: 30,
+            frontier: vec![10, 10, 10],
+            order_digest: vec![1111, 2222, 3333],
+            ordering_ok: true,
+            ordering_detail: None,
+        }
+    }
+
+    #[test]
+    fn clean_cluster_has_no_violations() {
+        let obs: Vec<_> = (0..3).map(clean).collect();
+        assert!(check_cluster(&obs).is_empty());
+    }
+
+    #[test]
+    fn stall_short_circuits_agreement() {
+        let mut obs: Vec<_> = (0..3).map(clean).collect();
+        obs[1].quiesced = false;
+        obs[2].frontier = vec![9, 9, 9]; // would be divergence…
+        let v = check_cluster(&obs);
+        assert_eq!(v.len(), 1, "agreement only claimed at quiescence");
+        assert_eq!(v[0].kind, OracleKind::Stall);
+        assert!(v[0].detail.contains("[1]"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn frontier_mismatch_is_divergence() {
+        let mut obs: Vec<_> = (0..3).map(clean).collect();
+        obs[2].frontier = vec![10, 9, 10];
+        let v = check_cluster(&obs);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, OracleKind::Divergence);
+        assert!(v[0].detail.contains("p0") && v[0].detail.contains("p2"));
+    }
+
+    #[test]
+    fn digest_mismatch_with_equal_frontiers_is_atomicity() {
+        let mut obs: Vec<_> = (0..3).map(clean).collect();
+        obs[1].order_digest = vec![1111, 9999, 3333];
+        let v = check_cluster(&obs);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, OracleKind::Atomicity);
+        assert!(v[0].detail.contains("origin p1"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn non_active_members_are_exempt_from_agreement() {
+        let mut obs: Vec<_> = (0..3).map(clean).collect();
+        obs[2].status = "Left".to_string();
+        obs[2].frontier = vec![3, 3, 3]; // a departed member's valid prefix
+        assert!(check_cluster(&obs).is_empty());
+    }
+
+    #[test]
+    fn local_ordering_verdict_surfaces() {
+        let mut obs: Vec<_> = (0..2).map(clean).collect();
+        obs[0].ordering_ok = false;
+        obs[0].ordering_detail = Some("p0 processed p1#4 before p1#3".to_string());
+        let v = check_cluster(&obs);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, OracleKind::Ordering);
+        assert!(v[0].detail.contains("p1#4"));
+    }
+
+    #[test]
+    fn fnv_digest_is_order_sensitive_and_stable() {
+        assert_eq!(fnv1a_stream([]), FNV_OFFSET);
+        let a = fnv1a_stream([1, 2, 3]);
+        let b = fnv1a_stream([1, 3, 2]);
+        assert_ne!(a, b, "digest must be order-sensitive");
+        assert_eq!(a, fnv1a_stream([1, 2, 3]), "digest must be stable");
+    }
+}

@@ -25,7 +25,13 @@
 //! The `checker` binary drives [`explore`] with a run budget, an optional
 //! wall-clock budget, and `--jobs` fan-out over the sweep job pool, and
 //! emits a `urcgc-check/1` summary document.
+//!
+//! The [`cluster`] module restates the end-of-run oracles (quiescence,
+//! uniform agreement, ordering) over *real-network* member reports, so the
+//! `loopback-cluster` harness in `urcgc-runtime` gates multi-process UDP
+//! runs on the same properties the explorer checks in-model.
 
+pub mod cluster;
 pub mod explore;
 pub mod oracle;
 pub mod repro;
@@ -34,6 +40,7 @@ pub mod sched;
 pub mod shrink;
 pub mod spec;
 
+pub use cluster::{check_cluster, fnv1a_stream, NodeObservation};
 pub use explore::{explore, ExploreOpts, ExploreOutcome};
 pub use oracle::{OracleKind, Violation};
 pub use run::{run_spec, RunResult};

@@ -51,12 +51,14 @@
 //! assert!(report.all_processed_everything());
 //! ```
 
+pub mod clock;
 pub mod engine;
 pub mod groups;
 pub mod output;
 pub mod sim;
 pub mod trace;
 
+pub use clock::{Clock, Deadlines, ManualClock, RoundPacer, WallClock};
 pub use engine::Engine;
 pub use output::{EngineSnapshot, EngineStats, Output, ProcessStatus, StatusReason, SubmitError};
 pub use trace::{TraceEvent, Tracer};

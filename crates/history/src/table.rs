@@ -400,32 +400,6 @@ impl History {
     }
 }
 
-// --- Deprecated shims (one PR of grace) ---------------------------------
-impl History {
-    /// Purges origin `q`'s messages with `seq <= upto`.
-    #[deprecated(note = "use `advance_stability(&StableVector)` instead")]
-    pub fn purge_up_to(&mut self, q: ProcessId, upto: u64) -> usize {
-        if q.index() >= self.n() {
-            return 0;
-        }
-        let mut stable = vec![NO_SEQ; self.n()];
-        stable[q.index()] = upto;
-        self.advance_stability(&StableVector::new(&stable)).messages
-    }
-
-    /// Applies a whole stability vector, returning the purged-message count.
-    #[deprecated(note = "use `advance_stability(&StableVector)` instead")]
-    pub fn purge_stable(&mut self, stable: &[u64]) -> usize {
-        self.advance_stability(&stable.into()).messages
-    }
-
-    /// The purge frontier for origin `q`.
-    #[deprecated(note = "use `stable_frontier` instead")]
-    pub fn purged_to(&self, q: ProcessId) -> u64 {
-        self.stable_frontier(q)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -647,23 +621,6 @@ mod tests {
         let report = purge_one(&mut h, 0, 2);
         assert_eq!(report.bytes, 20);
         assert_eq!(h.payload_bytes(), 10);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_advance_stability() {
-        let mut h = History::new(2);
-        for s in 1..=4 {
-            h.save(msg(0, s));
-        }
-        h.save(msg(1, 1));
-        assert_eq!(h.purge_up_to(ProcessId(0), 2), 2);
-        assert_eq!(h.purged_to(ProcessId(0)), 2);
-        assert_eq!(h.purge_up_to(ProcessId(0), 1), 0, "never regresses");
-        assert_eq!(h.purge_up_to(ProcessId(5), 9), 0, "outside group");
-        assert_eq!(h.purge_stable(&[4, 1]), 3);
-        assert_eq!(h.len(), 0);
-        assert_eq!(h.purged_to(ProcessId(1)), 1);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! A real urcgc group over UDP sockets (tokio) with injected packet loss —
-//! the paper's Section 7 prototype scenario.
+//! A real urcgc group over UDP sockets with injected packet loss — the
+//! paper's Section 7 prototype scenario.
 //!
 //! Four processes on localhost, 15% receive-side packet loss at every
 //! member, a burst of causally chained messages: the run demonstrates that
@@ -9,23 +9,21 @@
 //! Run: `cargo run --example udp_group`
 
 use std::collections::HashSet;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use urcgc_repro::runtime::{AppEvent, UdpGroup};
-use urcgc_repro::types::{Mid, ProtocolConfig};
+use urcgc_runtime::{AppEvent, UdpGroup};
+use urcgc_types::{Mid, ProtocolConfig};
 
-#[tokio::main(flavor = "multi_thread", worker_threads = 4)]
-async fn main() {
+fn main() {
     const N: usize = 4;
     const MSGS_PER_SENDER: usize = 5;
     const LOSS: f64 = 0.15;
 
     let cfg = ProtocolConfig::new(N);
-    println!("spawning {N}-process urcgc group on localhost UDP, {LOSS:.0e}… loss");
-    let mut group = UdpGroup::spawn(cfg, Duration::from_millis(5), LOSS, 0xBEEF)
-        .await
-        .expect("spawn group");
+    println!("spawning {N}-process urcgc group on localhost UDP, {LOSS} loss");
+    let mut group =
+        UdpGroup::spawn(cfg, Duration::from_millis(5), LOSS, 0xBEEF).expect("spawn group");
 
     // Two senders each publish a causal chain.
     let mut expected: HashSet<Mid> = HashSet::new();
@@ -35,7 +33,6 @@ async fn main() {
             let mid = group
                 .handle(sender)
                 .submit(payload, vec![])
-                .await
                 .expect("submit");
             expected.insert(mid);
         }
@@ -45,18 +42,20 @@ async fn main() {
     // Every member must deliver the full set, each sender's chain in order.
     for member in 0..N {
         let mut got: Vec<Mid> = Vec::new();
-        let deadline = tokio::time::Instant::now() + Duration::from_secs(30);
+        let deadline = Instant::now() + Duration::from_secs(30);
         while got.len() < expected.len() {
-            let ev = tokio::select! {
-                ev = group.handle(member).next_event() => ev,
-                _ = tokio::time::sleep_until(deadline) => {
-                    panic!("p{member} timed out with {}/{} messages", got.len(), expected.len())
-                }
-            };
-            match ev {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                panic!(
+                    "p{member} timed out with {}/{} messages",
+                    got.len(),
+                    expected.len()
+                );
+            }
+            match group.handle(member).next_event(left) {
                 Some(AppEvent::Delivered(msg)) => got.push(msg.mid),
                 Some(_) => {}
-                None => panic!("p{member} task ended early"),
+                None => {}
             }
         }
         let got_set: HashSet<Mid> = got.iter().copied().collect();
@@ -76,6 +75,6 @@ async fn main() {
         println!("p{member}: all {} messages, causally ordered ✓", got.len());
     }
 
-    group.shutdown().await;
+    group.shutdown();
     println!("\nOK: lossy UDP group converged — omissions healed from history.");
 }

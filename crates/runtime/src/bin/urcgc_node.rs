@@ -14,14 +14,15 @@
 //! urcgc_node --me 2 --peers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702
 //! ```
 
+use std::io::BufRead;
 use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::sync::mpsc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use tokio::io::{AsyncBufReadExt, BufReader};
 
-use urcgc_runtime::{spawn_member, AppEvent};
+use urcgc_runtime::{spawn_member, AppEvent, NodeOptions};
 use urcgc_types::{ProcessId, ProtocolConfig};
 
 const HELP: &str = "\
@@ -89,8 +90,7 @@ fn parse(args: &[String]) -> Result<Args, String> {
     })
 }
 
-#[tokio::main]
-async fn main() -> ExitCode {
+fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse(&raw) {
         Ok(a) => a,
@@ -106,15 +106,8 @@ async fn main() -> ExitCode {
         "urcgc_node: member {} of {n}, bound to {bind}, K = {}",
         args.me, args.k
     );
-    let (mut handle, shutdown) = match spawn_member(
-        args.me,
-        bind,
-        args.peers.clone(),
-        cfg,
-        Duration::from_millis(args.round_ms),
-    )
-    .await
-    {
+    let opts = NodeOptions::default().round_duration(Duration::from_millis(args.round_ms));
+    let (mut handle, shutdown) = match spawn_member(args.me, bind, args.peers, cfg, opts) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("failed to start: {e}");
@@ -122,43 +115,48 @@ async fn main() -> ExitCode {
         }
     };
 
-    let mut lines = BufReader::new(tokio::io::stdin()).lines();
-    let mut stdin_open = true;
+    // Stdin lines arrive through a thread so the main loop can multiplex
+    // them with protocol events. After EOF the member keeps participating
+    // in the group (serving recovery, processing foreign messages) until
+    // it leaves or is killed.
+    let (line_tx, line_rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line_tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
     loop {
-        tokio::select! {
-            line = lines.next_line(), if stdin_open => {
-                match line {
-                    Ok(Some(text)) if !text.is_empty() => {
-                        match handle.submit(Bytes::from(text), vec![]).await {
-                            Ok(mid) => eprintln!("(sent as {mid})"),
-                            Err(e) => eprintln!("(send failed: {e})"),
-                        }
-                    }
-                    Ok(Some(_)) => {}
-                    Ok(None) | Err(_) => {
-                        // EOF: stop reading, keep participating in the
-                        // group until killed.
-                        stdin_open = false;
-                    }
+        for text in line_rx.try_iter() {
+            if text.is_empty() {
+                continue;
+            }
+            match handle.submit(Bytes::from(text), vec![]) {
+                Ok(mid) => eprintln!("(sent as {mid})"),
+                Err(e) => eprintln!("(send failed: {e})"),
+            }
+        }
+        match handle.next_event(Duration::from_millis(50)) {
+            Some(AppEvent::Delivered(msg)) => {
+                println!("{}: {}", msg.mid, String::from_utf8_lossy(&msg.payload));
+            }
+            Some(AppEvent::StatusChanged(st)) => {
+                eprintln!("(status: {st:?})");
+                if !st.is_active() {
+                    break;
                 }
             }
-            ev = handle.next_event() => {
-                match ev {
-                    Some(AppEvent::Delivered(msg)) => {
-                        println!("{}: {}", msg.mid, String::from_utf8_lossy(&msg.payload));
-                    }
-                    Some(AppEvent::StatusChanged(st)) => {
-                        eprintln!("(status: {st:?})");
-                        if !st.is_active() {
-                            break;
-                        }
-                    }
-                    Some(_) => {}
-                    None => break,
-                }
+            Some(_) => {}
+            None => {
+                // Timeout: loop back to poll stdin. A dead driver surfaces
+                // as a failed submit or a StatusChanged event.
             }
         }
     }
-    shutdown.shutdown().await;
+    shutdown.shutdown();
     ExitCode::SUCCESS
 }

@@ -1,238 +1,70 @@
-//! UDP group runtime.
+//! In-process convenience: a whole group on localhost sockets.
+//!
+//! [`UdpGroup`] spawns `cfg.n` members, each on its own `127.0.0.1:0`
+//! socket with its own three threads ([`spawn_member_on`]) — one OS
+//! process, `n` real members talking real UDP. This is the test and
+//! example harness; real deployments run one member per OS process via
+//! [`spawn_member`](crate::spawn_member) (see the `loopback-cluster` and
+//! `urcgc_node` binaries).
 
-use std::collections::HashMap;
-use std::io;
-use std::net::SocketAddr;
-use std::sync::Arc;
+use std::net::UdpSocket;
 use std::time::Duration;
 
-use bytes::Bytes;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use tokio::net::UdpSocket;
-use tokio::sync::{mpsc, oneshot};
-use tokio::task::JoinHandle;
-
-use urcgc::{Engine, EngineSnapshot, EngineStats, Output, ProcessStatus};
-use urcgc_types::{DataMsg, Mid, ProcessId, ProtocolConfig, Round};
-
-/// Events surfaced to the application.
-#[derive(Clone, Debug)]
-pub enum AppEvent {
-    /// `urcgc.data.Ind`: a message was processed, in causal order. The
-    /// handle is shared with the engine's history buffer.
-    Delivered(Arc<DataMsg>),
-    /// `urcgc.data.Conf`: an own submission was broadcast and processed.
-    Confirmed(Mid),
-    /// Waiting messages were destroyed by orphan elimination.
-    Discarded(Vec<Mid>),
-    /// The entity's life-cycle status changed.
-    StatusChanged(ProcessStatus),
-}
-
-/// Failures when spawning or using the group.
-#[derive(Debug)]
-pub enum GroupError {
-    /// Socket setup failed.
-    Io(io::Error),
-    /// The target process task has terminated.
-    ProcessGone,
-    /// The submission was rejected by the engine.
-    Rejected(String),
-}
-
-impl std::fmt::Display for GroupError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            GroupError::Io(e) => write!(f, "socket error: {e}"),
-            GroupError::ProcessGone => write!(f, "process task has terminated"),
-            GroupError::Rejected(e) => write!(f, "submission rejected: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for GroupError {}
-
-impl From<io::Error> for GroupError {
-    fn from(e: io::Error) -> Self {
-        GroupError::Io(e)
-    }
-}
-
-enum Cmd {
-    Submit {
-        payload: Bytes,
-        deps: Vec<Mid>,
-        resp: oneshot::Sender<Result<Mid, String>>,
-    },
-    Status {
-        resp: oneshot::Sender<ProcessStatus>,
-    },
-    Stats {
-        resp: oneshot::Sender<EngineStats>,
-    },
-    Snapshot {
-        resp: oneshot::Sender<EngineSnapshot>,
-    },
-    /// Hard-kill the process (simulated crash: the task exits immediately,
-    /// mid-protocol, without telling anyone).
-    Kill,
-    Shutdown,
-}
-
-/// Client-side handle to one group member.
-pub struct ProcessHandle {
-    id: ProcessId,
-    cmd_tx: mpsc::Sender<Cmd>,
-    evt_rx: mpsc::Receiver<AppEvent>,
-}
-
-impl ProcessHandle {
-    /// The member this handle controls.
-    pub fn id(&self) -> ProcessId {
-        self.id
-    }
-
-    /// Submits a message with explicit causal dependencies; resolves to the
-    /// assigned mid.
-    pub async fn submit(&self, payload: Bytes, deps: Vec<Mid>) -> Result<Mid, GroupError> {
-        let (resp, rx) = oneshot::channel();
-        self.cmd_tx
-            .send(Cmd::Submit {
-                payload,
-                deps,
-                resp,
-            })
-            .await
-            .map_err(|_| GroupError::ProcessGone)?;
-        rx.await
-            .map_err(|_| GroupError::ProcessGone)?
-            .map_err(GroupError::Rejected)
-    }
-
-    /// Receives the next application event (None once the task exits).
-    pub async fn next_event(&mut self) -> Option<AppEvent> {
-        self.evt_rx.recv().await
-    }
-
-    /// Non-blocking event poll.
-    pub fn try_event(&mut self) -> Option<AppEvent> {
-        self.evt_rx.try_recv().ok()
-    }
-
-    /// Queries the entity's life-cycle status.
-    pub async fn status(&self) -> Result<ProcessStatus, GroupError> {
-        let (resp, rx) = oneshot::channel();
-        self.cmd_tx
-            .send(Cmd::Status { resp })
-            .await
-            .map_err(|_| GroupError::ProcessGone)?;
-        rx.await.map_err(|_| GroupError::ProcessGone)
-    }
-
-    /// Queries the entity's live counters.
-    pub async fn stats(&self) -> Result<EngineStats, GroupError> {
-        let (resp, rx) = oneshot::channel();
-        self.cmd_tx
-            .send(Cmd::Stats { resp })
-            .await
-            .map_err(|_| GroupError::ProcessGone)?;
-        rx.await.map_err(|_| GroupError::ProcessGone)
-    }
-
-    /// Takes a full serializable snapshot of the entity's state (frontiers,
-    /// view, backlog, counters) — the operations surface.
-    pub async fn snapshot(&self) -> Result<EngineSnapshot, GroupError> {
-        let (resp, rx) = oneshot::channel();
-        self.cmd_tx
-            .send(Cmd::Snapshot { resp })
-            .await
-            .map_err(|_| GroupError::ProcessGone)?;
-        rx.await.map_err(|_| GroupError::ProcessGone)
-    }
-
-    /// Simulates a fail-stop crash: the process task exits immediately,
-    /// mid-protocol, without notifying the group. The survivors are
-    /// expected to detect the crash through the protocol's `attempts`
-    /// counters within `K` subruns.
-    pub async fn kill(&self) -> Result<(), GroupError> {
-        self.cmd_tx
-            .send(Cmd::Kill)
-            .await
-            .map_err(|_| GroupError::ProcessGone)
-    }
-}
+use crate::node::{spawn_member_on, GroupError, GroupShutdown, NodeOptions, ProcessHandle};
+use urcgc_types::{ProcessId, ProtocolConfig};
 
 /// A running group of urcgc processes on localhost UDP sockets.
 pub struct UdpGroup {
     handles: Vec<ProcessHandle>,
-    tasks: Vec<JoinHandle<()>>,
-    cmd_txs: Vec<mpsc::Sender<Cmd>>,
+    shutdown: GroupShutdown,
 }
 
 impl UdpGroup {
-    /// Binds `cfg.n` UDP sockets on localhost, exchanges addresses, and
-    /// spawns one protocol task per member. `loss` is a Bernoulli drop
-    /// probability applied to every received datagram (fault injection on
-    /// real sockets); `seed` makes the injector deterministic.
-    #[allow(clippy::needless_range_loop)] // sockets/addrs/handles built in lockstep
-    pub async fn spawn(
+    /// Binds `cfg.n` UDP sockets on localhost and spawns one member per
+    /// socket. `loss` is a Bernoulli drop probability applied to every
+    /// received datagram (fault injection on real sockets); `seed` makes
+    /// the injector deterministic.
+    pub fn spawn(
         cfg: ProtocolConfig,
         round_duration: Duration,
         loss: f64,
         seed: u64,
     ) -> Result<UdpGroup, GroupError> {
-        assert!((0.0..=1.0).contains(&loss), "loss probability out of range");
-        cfg.validate().map_err(|e| {
-            GroupError::Rejected(e.to_string())
-        })?;
+        UdpGroup::spawn_with(
+            cfg,
+            NodeOptions::default()
+                .round_duration(round_duration)
+                .loss(loss, seed),
+        )
+    }
+
+    /// [`spawn`](UdpGroup::spawn) with full [`NodeOptions`] control. Each
+    /// member derives its own loss-injector seed from `opts.seed`.
+    pub fn spawn_with(cfg: ProtocolConfig, opts: NodeOptions) -> Result<UdpGroup, GroupError> {
+        cfg.validate()
+            .map_err(|e| GroupError::Rejected(e.to_string()))?;
         let n = cfg.n;
         let mut sockets = Vec::with_capacity(n);
-        let mut addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
         for _ in 0..n {
-            let sock = UdpSocket::bind("127.0.0.1:0").await?;
+            let sock = UdpSocket::bind("127.0.0.1:0")?;
             addrs.push(sock.local_addr()?);
-            sockets.push(Arc::new(sock));
+            sockets.push(sock);
         }
-        let addr_to_pid: HashMap<SocketAddr, ProcessId> = addrs
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| (a, ProcessId::from_index(i)))
-            .collect();
-
         let mut handles = Vec::with_capacity(n);
-        let mut tasks = Vec::with_capacity(n);
-        let mut cmd_txs = Vec::with_capacity(n);
-        for i in 0..n {
+        let mut shutdown = GroupShutdown::empty();
+        for (i, sock) in sockets.into_iter().enumerate() {
             let me = ProcessId::from_index(i);
-            let engine = Engine::new(me, cfg.clone());
-            let (cmd_tx, cmd_rx) = mpsc::channel(64);
-            let (evt_tx, evt_rx) = mpsc::channel(1024);
-            let task = tokio::spawn(run_process(
-                engine,
-                sockets[i].clone(),
-                addrs.clone(),
-                addr_to_pid.clone(),
-                round_duration,
-                cmd_rx,
-                evt_tx,
-                loss,
-                seed ^ (i as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F),
-            ));
-            handles.push(ProcessHandle {
-                id: me,
-                cmd_tx: cmd_tx.clone(),
-                evt_rx,
-            });
-            cmd_txs.push(cmd_tx);
-            tasks.push(task);
+            let member_opts = NodeOptions {
+                seed: opts.seed ^ (i as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F),
+                ..opts.clone()
+            };
+            let (handle, member_shutdown) =
+                spawn_member_on(sock, me, addrs.clone(), cfg.clone(), member_opts)?;
+            handles.push(handle);
+            shutdown.merge(member_shutdown);
         }
-        Ok(UdpGroup {
-            handles,
-            tasks,
-            cmd_txs,
-        })
+        Ok(UdpGroup { handles, shutdown })
     }
 
     /// Number of members.
@@ -245,541 +77,13 @@ impl UdpGroup {
         &mut self.handles[i]
     }
 
-    /// Splits the group into its handles (for moving into separate tasks).
+    /// Splits the group into its handles (for moving to worker threads).
     pub fn into_handles(self) -> (Vec<ProcessHandle>, GroupShutdown) {
-        (
-            self.handles,
-            GroupShutdown {
-                tasks: self.tasks,
-                cmd_txs: self.cmd_txs,
-            },
-        )
+        (self.handles, self.shutdown)
     }
 
-    /// Stops all members and awaits their tasks.
-    pub async fn shutdown(self) {
-        let (_, shutdown) = self.into_handles();
-        shutdown.shutdown().await;
-    }
-}
-
-/// Deferred shutdown token from [`UdpGroup::into_handles`].
-pub struct GroupShutdown {
-    tasks: Vec<JoinHandle<()>>,
-    cmd_txs: Vec<mpsc::Sender<Cmd>>,
-}
-
-impl GroupShutdown {
-    /// Stops all members and awaits their tasks.
-    pub async fn shutdown(self) {
-        for tx in &self.cmd_txs {
-            let _ = tx.send(Cmd::Shutdown).await;
-        }
-        for t in self.tasks {
-            let _ = t.await;
-        }
-    }
-}
-
-/// Magic first byte of the startup-barrier hello (never a valid PDU tag).
-const HELLO: u8 = 0xFF;
-
-/// Startup barrier: fixed-membership round protocols need all members
-/// present before attempt counters start ticking, or a late starter is
-/// declared crashed before it boots (the paper has no rejoin). Every
-/// member pings all peers with a hello datagram and waits until it has
-/// heard *something* from each of them (a hello or live protocol traffic),
-/// with a deadline so a genuinely dead peer cannot wedge startup forever.
-async fn startup_barrier(
-    me: ProcessId,
-    socket: &UdpSocket,
-    addrs: &[SocketAddr],
-    addr_to_pid: &HashMap<SocketAddr, ProcessId>,
-) {
-    let mut seen: std::collections::HashSet<ProcessId> = [me].into();
-    let deadline = tokio::time::Instant::now() + Duration::from_secs(15);
-    let mut buf = [0u8; 2048];
-    while seen.len() < addrs.len() && tokio::time::Instant::now() < deadline {
-        for (i, addr) in addrs.iter().enumerate() {
-            if i != me.index() {
-                let _ = socket.send_to(&[HELLO, me.0 as u8], addr).await;
-            }
-        }
-        let window = tokio::time::Instant::now() + Duration::from_millis(40);
-        loop {
-            let recv = tokio::select! {
-                r = socket.recv_from(&mut buf) => r,
-                _ = tokio::time::sleep_until(window) => break,
-            };
-            if let Ok((_, from_addr)) = recv {
-                if let Some(&from) = addr_to_pid.get(&from_addr) {
-                    seen.insert(from);
-                }
-            }
-            if seen.len() == addrs.len() {
-                break;
-            }
-        }
-    }
-    // One parting burst so peers still inside their barrier see us even if
-    // our earlier hellos raced their bind().
-    for (i, addr) in addrs.iter().enumerate() {
-        if i != me.index() {
-            let _ = socket.send_to(&[HELLO, me.0 as u8], addr).await;
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-async fn run_process(
-    mut engine: Engine,
-    socket: Arc<UdpSocket>,
-    addrs: Vec<SocketAddr>,
-    addr_to_pid: HashMap<SocketAddr, ProcessId>,
-    round_duration: Duration,
-    mut cmd_rx: mpsc::Receiver<Cmd>,
-    evt_tx: mpsc::Sender<AppEvent>,
-    loss: f64,
-    seed: u64,
-) {
-    let me = engine.me();
-    startup_barrier(me, &socket, &addrs, &addr_to_pid).await;
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut ticker = tokio::time::interval(round_duration);
-    ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Burst);
-    let mut round: u64 = 0;
-    let mut buf = vec![0u8; 64 * 1024];
-
-    loop {
-        tokio::select! {
-            _ = ticker.tick() => {
-                engine.begin_round(Round(round));
-                round += 1;
-                if !flush(&mut engine, &socket, &addrs, me, &evt_tx).await {
-                    return;
-                }
-                if !engine.status().is_active() {
-                    // Keep serving status queries briefly, then exit.
-                    let _ = evt_tx.send(AppEvent::StatusChanged(engine.status())).await;
-                    return;
-                }
-            }
-            recv = socket.recv_from(&mut buf) => {
-                let Ok((len, from_addr)) = recv else { continue };
-                if loss > 0.0 && rng.gen_bool(loss) {
-                    continue; // injected omission
-                }
-                let Some(&from) = addr_to_pid.get(&from_addr) else { continue };
-                if len == 2 && buf[0] == HELLO {
-                    continue; // a peer still in its startup barrier
-                }
-                let frame = Bytes::copy_from_slice(&buf[..len]);
-                if engine.on_frame(from, &frame).is_err() {
-                    continue; // malformed datagram: drop
-                }
-                // Round synchronization: the paper's model is synchronous
-                // rounds, but independently started OS processes boot with
-                // round 0. Decisions carry the group's subrun clock; a
-                // process that is behind fast-forwards so its requests land
-                // in the subrun the rest of the group is actually running.
-                let group_subrun = engine.last_decision().subrun.0;
-                let sync_round = 2 * (group_subrun + 1);
-                if round < sync_round {
-                    round = sync_round;
-                }
-                if !flush(&mut engine, &socket, &addrs, me, &evt_tx).await {
-                    return;
-                }
-            }
-            cmd = cmd_rx.recv() => {
-                match cmd {
-                    Some(Cmd::Submit { payload, deps, resp }) => {
-                        let result = engine
-                            .submit(payload, &deps)
-                            .map_err(|e| e.to_string());
-                        let _ = resp.send(result);
-                    }
-                    Some(Cmd::Status { resp }) => {
-                        let _ = resp.send(engine.status());
-                    }
-                    Some(Cmd::Stats { resp }) => {
-                        let _ = resp.send(engine.stats());
-                    }
-                    Some(Cmd::Snapshot { resp }) => {
-                        let _ = resp.send(engine.snapshot());
-                    }
-                    Some(Cmd::Kill) | Some(Cmd::Shutdown) | None => return,
-                }
-            }
-        }
-    }
-}
-
-/// Drains engine outputs onto the socket / event channel. Returns false if
-/// the application side is gone.
-async fn flush(
-    engine: &mut Engine,
-    socket: &UdpSocket,
-    addrs: &[SocketAddr],
-    me: ProcessId,
-    evt_tx: &mpsc::Sender<AppEvent>,
-) -> bool {
-    while let Some(out) = engine.poll_output() {
-        match out {
-            Output::Send { to, pdu } => {
-                let frame = urcgc_types::encode_pdu(&pdu);
-                let _ = socket.send_to(&frame, addrs[to.index()]).await;
-            }
-            Output::Broadcast { pdu } => {
-                let frame = urcgc_types::encode_pdu(&pdu);
-                for (i, addr) in addrs.iter().enumerate() {
-                    if i != me.index() {
-                        let _ = socket.send_to(&frame, addr).await;
-                    }
-                }
-            }
-            Output::Deliver { msg } => {
-                if evt_tx.send(AppEvent::Delivered(msg)).await.is_err() {
-                    return false;
-                }
-            }
-            Output::Confirm { mid } => {
-                if evt_tx.send(AppEvent::Confirmed(mid)).await.is_err() {
-                    return false;
-                }
-            }
-            Output::Discarded { mids } => {
-                if evt_tx.send(AppEvent::Discarded(mids)).await.is_err() {
-                    return false;
-                }
-            }
-            Output::StatusChanged { status, .. } => {
-                if evt_tx.send(AppEvent::StatusChanged(status)).await.is_err() {
-                    return false;
-                }
-            }
-        }
-    }
-    true
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::collections::HashSet;
-
-    async fn collect_deliveries(
-        handle: &mut ProcessHandle,
-        expect: usize,
-        timeout: Duration,
-    ) -> Vec<Arc<DataMsg>> {
-        let mut got = Vec::new();
-        let deadline = tokio::time::Instant::now() + timeout;
-        while got.len() < expect {
-            let ev = tokio::select! {
-                ev = handle.next_event() => ev,
-                _ = tokio::time::sleep_until(deadline) => break,
-            };
-            match ev {
-                Some(AppEvent::Delivered(msg)) => got.push(msg),
-                Some(_) => {}
-                None => break,
-            }
-        }
-        got
-    }
-
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn three_process_udp_group_delivers_everywhere() {
-        let cfg = ProtocolConfig::new(3);
-        let mut group = UdpGroup::spawn(cfg, Duration::from_millis(4), 0.0, 42)
-            .await
-            .unwrap();
-        let mid = group
-            .handle(0)
-            .submit(Bytes::from_static(b"over udp"), vec![])
-            .await
-            .unwrap();
-        for i in 0..3 {
-            let got = collect_deliveries(group.handle(i), 1, Duration::from_secs(5)).await;
-            assert_eq!(got.len(), 1, "member {i} missed the delivery");
-            assert_eq!(got[0].mid, mid);
-            assert_eq!(&got[0].payload[..], b"over udp");
-        }
-        group.shutdown().await;
-    }
-
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn causal_order_holds_on_real_sockets() {
-        let cfg = ProtocolConfig::new(3);
-        let mut group = UdpGroup::spawn(cfg, Duration::from_millis(4), 0.0, 7)
-            .await
-            .unwrap();
-        // p0 sends a chain of 5; every member must deliver in seq order.
-        let mut mids = Vec::new();
-        for k in 0..5u8 {
-            let mid = group
-                .handle(0)
-                .submit(Bytes::from(vec![k]), vec![])
-                .await
-                .unwrap();
-            mids.push(mid);
-        }
-        for i in 1..3 {
-            let got = collect_deliveries(group.handle(i), 5, Duration::from_secs(5)).await;
-            let seqs: Vec<u64> = got.iter().map(|m| m.mid.seq).collect();
-            assert_eq!(seqs, vec![1, 2, 3, 4, 5], "member {i} out of order");
-        }
-        group.shutdown().await;
-    }
-
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn packet_loss_is_recovered_from_history() {
-        let cfg = ProtocolConfig::new(3).with_k(3);
-        // 20% receive-side loss on every member.
-        let mut group = UdpGroup::spawn(cfg, Duration::from_millis(4), 0.20, 99)
-            .await
-            .unwrap();
-        let mut sent = HashSet::new();
-        for k in 0..6u8 {
-            let mid = group
-                .handle(0)
-                .submit(Bytes::from(vec![k]), vec![])
-                .await
-                .unwrap();
-            sent.insert(mid);
-        }
-        for i in 1..3 {
-            let got = collect_deliveries(group.handle(i), 6, Duration::from_secs(20)).await;
-            let got_mids: HashSet<Mid> = got.iter().map(|m| m.mid).collect();
-            assert_eq!(got_mids, sent, "member {i} did not recover all messages");
-        }
-        group.shutdown().await;
-    }
-
-    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-    async fn status_query_and_shutdown() {
-        let cfg = ProtocolConfig::new(2);
-        let mut group = UdpGroup::spawn(cfg, Duration::from_millis(4), 0.0, 1)
-            .await
-            .unwrap();
-        assert_eq!(group.n(), 2);
-        let st = group.handle(0).status().await.unwrap();
-        assert!(st.is_active());
-        group.shutdown().await;
-    }
-}
-
-#[cfg(test)]
-mod crash_tests {
-    use super::*;
-
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn killed_member_is_detected_by_survivors() {
-        let cfg = ProtocolConfig::new(4).with_k(2);
-        let mut group = UdpGroup::spawn(cfg, Duration::from_millis(4), 0.0, 55)
-            .await
-            .unwrap();
-        // Warm up: a message flows.
-        group
-            .handle(0)
-            .submit(Bytes::from_static(b"warmup"), vec![])
-            .await
-            .unwrap();
-        tokio::time::sleep(Duration::from_millis(60)).await;
-        // Kill p3 mid-protocol.
-        group.handle(3).kill().await.unwrap();
-        // Survivors must converge on a view without p3 within a few K
-        // subruns; poll p0's decision view via stats + a fresh submission.
-        let deadline = tokio::time::Instant::now() + Duration::from_secs(10);
-        loop {
-            assert!(
-                tokio::time::Instant::now() < deadline,
-                "crash never detected"
-            );
-            // decisions_applied keeps rising; use a probe submission to
-            // confirm the group is still live, then check detection via
-            // stats of the survivors.
-            let st = group.handle(0).stats().await.unwrap();
-            if st.decisions_applied > 0 {
-                // Submit and verify the 3 survivors still deliver.
-                let mid = group
-                    .handle(1)
-                    .submit(Bytes::from_static(b"after crash"), vec![])
-                    .await
-                    .unwrap();
-                let mut ok = 0;
-                for m in 0..3 {
-                    let d = tokio::time::timeout(Duration::from_secs(5), async {
-                        loop {
-                            match group.handle(m).next_event().await {
-                                Some(AppEvent::Delivered(msg)) if msg.mid == mid => break true,
-                                Some(_) => continue,
-                                None => break false,
-                            }
-                        }
-                    })
-                    .await;
-                    if d == Ok(true) {
-                        ok += 1;
-                    }
-                }
-                assert_eq!(ok, 3, "survivors failed to deliver after the crash");
-                break;
-            }
-            tokio::time::sleep(Duration::from_millis(20)).await;
-        }
-        // The killed member's handle reports the task gone.
-        assert!(group.handle(3).status().await.is_err());
-        group.shutdown().await;
-    }
-}
-
-/// Spawns a **single** group member bound to `bind_addr`, with the full
-/// peer address list supplied explicitly — the deployment shape for real
-/// multi-process / multi-host groups (each OS process runs one member and
-/// is given everyone's addresses out of band).
-///
-/// `peers[i]` must be the address of process `i`; `peers[me]` must equal
-/// `bind_addr` (it is used for self-identification, never dialed).
-///
-/// Members may start at different times: a late starter synchronizes its
-/// round clock to the group's from the first coordinator decision it
-/// receives (see the round-synchronization note in `run_process`). Until a
-/// member has synchronized, its requests may be ignored and its `attempts`
-/// counter advances — start all members within `K` subruns of each other
-/// or use a larger `K`.
-pub async fn spawn_member(
-    me: ProcessId,
-    bind_addr: SocketAddr,
-    peers: Vec<SocketAddr>,
-    cfg: ProtocolConfig,
-    round_duration: Duration,
-) -> Result<(ProcessHandle, GroupShutdown), GroupError> {
-    cfg.validate()
-        .map_err(|e| GroupError::Rejected(e.to_string()))?;
-    if peers.len() != cfg.n {
-        return Err(GroupError::Rejected(format!(
-            "peer list has {} entries for a group of {}",
-            peers.len(),
-            cfg.n
-        )));
-    }
-    if me.index() >= cfg.n {
-        return Err(GroupError::Rejected(format!(
-            "member {me} outside group of {}",
-            cfg.n
-        )));
-    }
-    let socket = Arc::new(UdpSocket::bind(bind_addr).await?);
-    let addr_to_pid: HashMap<SocketAddr, ProcessId> = peers
-        .iter()
-        .enumerate()
-        .map(|(i, &a)| (a, ProcessId::from_index(i)))
-        .collect();
-    let engine = Engine::new(me, cfg);
-    let (cmd_tx, cmd_rx) = mpsc::channel(64);
-    let (evt_tx, evt_rx) = mpsc::channel(1024);
-    let task = tokio::spawn(run_process(
-        engine,
-        socket,
-        peers,
-        addr_to_pid,
-        round_duration,
-        cmd_rx,
-        evt_tx,
-        0.0,
-        0,
-    ));
-    Ok((
-        ProcessHandle {
-            id: me,
-            cmd_tx: cmd_tx.clone(),
-            evt_rx,
-        },
-        GroupShutdown {
-            tasks: vec![task],
-            cmd_txs: vec![cmd_tx],
-        },
-    ))
-}
-
-#[cfg(test)]
-mod member_tests {
-    use super::*;
-
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn independently_spawned_members_form_a_group() {
-        // Reserve three concrete ports by binding throwaway sockets first.
-        let mut addrs = Vec::new();
-        for _ in 0..3 {
-            let s = UdpSocket::bind("127.0.0.1:0").await.unwrap();
-            addrs.push(s.local_addr().unwrap());
-            drop(s);
-        }
-        let cfg = ProtocolConfig::new(3);
-        let mut handles = Vec::new();
-        let mut shutdowns = Vec::new();
-        for i in 0..3 {
-            let (h, s) = spawn_member(
-                ProcessId::from_index(i),
-                addrs[i],
-                addrs.clone(),
-                cfg.clone(),
-                Duration::from_millis(4),
-            )
-            .await
-            .unwrap();
-            handles.push(h);
-            shutdowns.push(s);
-        }
-        let mid = handles[0]
-            .submit(Bytes::from_static(b"multi-host"), vec![])
-            .await
-            .unwrap();
-        for (i, h) in handles.iter_mut().enumerate() {
-            let deadline = tokio::time::Instant::now() + Duration::from_secs(10);
-            loop {
-                let ev = tokio::select! {
-                    ev = h.next_event() => ev,
-                    _ = tokio::time::sleep_until(deadline) => {
-                        panic!("member {i} timed out")
-                    }
-                };
-                match ev {
-                    Some(AppEvent::Delivered(msg)) if msg.mid == mid => break,
-                    Some(_) => {}
-                    None => panic!("member {i} task died"),
-                }
-            }
-        }
-        for s in shutdowns {
-            s.shutdown().await;
-        }
-    }
-}
-
-#[cfg(test)]
-mod snapshot_tests {
-    use super::*;
-
-    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-    async fn snapshot_over_the_wire() {
-        let cfg = ProtocolConfig::new(2);
-        let mut group = UdpGroup::spawn(cfg, Duration::from_millis(4), 0.0, 3)
-            .await
-            .unwrap();
-        group
-            .handle(0)
-            .submit(Bytes::from_static(b"x"), vec![])
-            .await
-            .unwrap();
-        tokio::time::sleep(Duration::from_millis(80)).await;
-        let snap = group.handle(1).snapshot().await.unwrap();
-        assert_eq!(snap.me, 1);
-        assert_eq!(snap.status, "Active");
-        assert_eq!(snap.frontier[0], 1, "p1 processed p0#1");
-        assert_eq!(snap.alive, vec![true, true]);
-        group.shutdown().await;
+    /// Stops all members and joins their threads.
+    pub fn shutdown(self) {
+        self.shutdown.shutdown();
     }
 }

@@ -1,0 +1,310 @@
+//! A lossy UDP middlebox for fault injection between real processes.
+//!
+//! The loopback-cluster soak does not trust in-process loss injection to
+//! represent a network: the point of a real-socket run is that faults
+//! happen *between* address spaces. [`LossyProxy`] stands one relay socket
+//! in front of every cluster member; peers are given the relay addresses
+//! instead of the real ones, and every datagram through a relay is
+//! independently dropped, duplicated, or delayed under a seeded RNG.
+//!
+//! The proxy rewrites source addresses (everything a member receives
+//! appears to come from the relay) — which is exactly why the runtime
+//! identifies senders by the fragment header's `src` field and not by
+//! `recv_from`'s address.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Fault plan for one [`LossyProxy`].
+#[derive(Clone, Copy, Debug)]
+pub struct ProxyOptions {
+    /// Probability a datagram is silently dropped.
+    pub drop_p: f64,
+    /// Probability a (non-dropped) datagram is forwarded twice.
+    pub dup_p: f64,
+    /// Probability a (non-dropped) datagram is held back before
+    /// forwarding.
+    pub delay_p: f64,
+    /// Maximum hold-back; the actual delay is uniform in `0..max_delay`.
+    pub max_delay: Duration,
+    /// RNG seed (each relay derives its own stream from this).
+    pub seed: u64,
+}
+
+impl Default for ProxyOptions {
+    fn default() -> ProxyOptions {
+        ProxyOptions {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            max_delay: Duration::from_millis(10),
+            seed: 0,
+        }
+    }
+}
+
+/// Counters aggregated over all relays.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProxyStats {
+    /// Datagrams received by the relays.
+    pub received: u64,
+    /// Datagrams forwarded (duplicates counted).
+    pub forwarded: u64,
+    /// Datagrams dropped.
+    pub dropped: u64,
+    /// Datagrams forwarded twice.
+    pub duplicated: u64,
+    /// Datagrams held back before forwarding.
+    pub delayed: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    received: AtomicU64,
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+}
+
+/// One relay socket per protected target, each on its own thread.
+pub struct LossyProxy {
+    addrs: Vec<SocketAddr>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    counters: Arc<Counters>,
+}
+
+impl LossyProxy {
+    /// Spawns one loopback relay in front of each `target`; datagrams sent
+    /// to [`addrs`](LossyProxy::addrs)`[i]` are forwarded — through the
+    /// fault plan — to `targets[i]`.
+    pub fn spawn(targets: &[SocketAddr], opts: ProxyOptions) -> io::Result<LossyProxy> {
+        assert!((0.0..=1.0).contains(&opts.drop_p), "drop_p out of range");
+        assert!((0.0..=1.0).contains(&opts.dup_p), "dup_p out of range");
+        assert!((0.0..=1.0).contains(&opts.delay_p), "delay_p out of range");
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let mut addrs = Vec::with_capacity(targets.len());
+        let mut threads = Vec::with_capacity(targets.len());
+        for (i, &target) in targets.iter().enumerate() {
+            let socket = UdpSocket::bind("127.0.0.1:0")?;
+            socket.set_read_timeout(Some(Duration::from_millis(2)))?;
+            addrs.push(socket.local_addr()?);
+            let (stop, counters) = (stop.clone(), counters.clone());
+            let seed = opts.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("urcgc-proxy-{i}"))
+                    .spawn(move || relay_loop(socket, target, opts, seed, &counters, &stop))?,
+            );
+        }
+        Ok(LossyProxy {
+            addrs,
+            stop,
+            threads,
+            counters,
+        })
+    }
+
+    /// The relay addresses, index-aligned with the targets.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Aggregated fault-plan counters.
+    pub fn stats(&self) -> ProxyStats {
+        ProxyStats {
+            received: self.counters.received.load(Ordering::Relaxed),
+            forwarded: self.counters.forwarded.load(Ordering::Relaxed),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            duplicated: self.counters.duplicated.load(Ordering::Relaxed),
+            delayed: self.counters.delayed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the relays and joins their threads.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A datagram being held back; min-heap by due time.
+struct Held {
+    due: Instant,
+    payload: Vec<u8>,
+}
+
+impl PartialEq for Held {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for Held {}
+impl PartialOrd for Held {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Held {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.due.cmp(&other.due)
+    }
+}
+
+fn relay_loop(
+    socket: UdpSocket,
+    target: SocketAddr,
+    opts: ProxyOptions,
+    seed: u64,
+    counters: &Counters,
+    stop: &AtomicBool,
+) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut held: BinaryHeap<Reverse<Held>> = BinaryHeap::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    while !stop.load(Ordering::Relaxed) {
+        // Release everything that has aged out of the delay queue.
+        let now = Instant::now();
+        while held.peek().is_some_and(|Reverse(h)| h.due <= now) {
+            let Reverse(h) = held.pop().unwrap();
+            let _ = socket.send_to(&h.payload, target);
+            counters.forwarded.fetch_add(1, Ordering::Relaxed);
+        }
+        match socket.recv_from(&mut buf) {
+            Ok((len, _)) => {
+                counters.received.fetch_add(1, Ordering::Relaxed);
+                if opts.drop_p > 0.0 && rng.gen_bool(opts.drop_p) {
+                    counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let copies = if opts.dup_p > 0.0 && rng.gen_bool(opts.dup_p) {
+                    counters.duplicated.fetch_add(1, Ordering::Relaxed);
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..copies {
+                    if opts.delay_p > 0.0
+                        && opts.max_delay > Duration::ZERO
+                        && rng.gen_bool(opts.delay_p)
+                    {
+                        let nanos = rng.gen_range(0..opts.max_delay.as_nanos() as u64);
+                        counters.delayed.fetch_add(1, Ordering::Relaxed);
+                        held.push(Reverse(Held {
+                            due: Instant::now() + Duration::from_nanos(nanos),
+                            payload: buf[..len].to_vec(),
+                        }));
+                    } else {
+                        let _ = socket.send_to(&buf[..len], target);
+                        counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return,
+        }
+    }
+    // Drain the delay queue on shutdown so late datagrams are not lost by
+    // the harness itself (the fault plan already decided their fate).
+    for Reverse(h) in held.into_sorted_vec() {
+        let _ = socket.send_to(&h.payload, target);
+        counters.forwarded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recv_all(sock: &UdpSocket, window: Duration) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 2048];
+        let deadline = Instant::now() + window;
+        while Instant::now() < deadline {
+            if let Ok((len, _)) = sock.recv_from(&mut buf) {
+                out.push(buf[..len].to_vec());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn clean_proxy_forwards_everything() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        dst.set_read_timeout(Some(Duration::from_millis(5)))
+            .unwrap();
+        let proxy =
+            LossyProxy::spawn(&[dst.local_addr().unwrap()], ProxyOptions::default()).unwrap();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for i in 0..20u8 {
+            src.send_to(&[i], proxy.addrs()[0]).unwrap();
+        }
+        let got = recv_all(&dst, Duration::from_millis(300));
+        assert_eq!(got.len(), 20, "lossless proxy must forward all datagrams");
+        let stats = proxy.stats();
+        assert_eq!(
+            (stats.received, stats.forwarded, stats.dropped),
+            (20, 20, 0)
+        );
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn full_drop_forwards_nothing() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        dst.set_read_timeout(Some(Duration::from_millis(5)))
+            .unwrap();
+        let opts = ProxyOptions {
+            drop_p: 1.0,
+            ..ProxyOptions::default()
+        };
+        let proxy = LossyProxy::spawn(&[dst.local_addr().unwrap()], opts).unwrap();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for i in 0..10u8 {
+            src.send_to(&[i], proxy.addrs()[0]).unwrap();
+        }
+        let got = recv_all(&dst, Duration::from_millis(200));
+        assert!(got.is_empty(), "drop_p=1 must black-hole everything");
+        assert_eq!(proxy.stats().dropped, 10);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn duplication_and_delay_deliver_eventually() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        dst.set_read_timeout(Some(Duration::from_millis(5)))
+            .unwrap();
+        let opts = ProxyOptions {
+            dup_p: 1.0,
+            delay_p: 1.0,
+            max_delay: Duration::from_millis(20),
+            seed: 7,
+            ..ProxyOptions::default()
+        };
+        let proxy = LossyProxy::spawn(&[dst.local_addr().unwrap()], opts).unwrap();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for i in 0..5u8 {
+            src.send_to(&[i], proxy.addrs()[0]).unwrap();
+        }
+        let got = recv_all(&dst, Duration::from_millis(400));
+        assert_eq!(got.len(), 10, "each datagram duplicated exactly once");
+        proxy.shutdown();
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for datagram fragmentation/reassembly: arbitrary frames
+//! and MTUs, with the adversary permuting, duplicating, and dropping
+//! fragments. The invariants mirror what the runtime needs from
+//! [`urcgc_runtime::frag`]: a transfer completes exactly once iff every
+//! fragment arrives, completes byte-identically, and incomplete transfers
+//! die by TTL instead of pinning memory.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use urcgc_runtime::{Fragmenter, Reassembler};
+use urcgc_transport::DATA_HEADER_LEN;
+use urcgc_types::ProcessId;
+
+const TTL: Duration = Duration::from_secs(2);
+
+/// Seed-driven Fisher–Yates over `0..len` (the mini proptest harness has
+/// no `prop_shuffle`).
+fn shuffled(len: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    let mut state = seed;
+    for i in (1..len).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+fn permute<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    shuffled(items.len(), seed)
+        .into_iter()
+        .map(|i| items[i].clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Shuffling and duplicating fragments never corrupts the frame: every
+    /// completion is byte-identical. (A fully duplicated fragment set may
+    /// complete twice — deduplication is the engine's job, at PDU level.)
+    #[test]
+    fn roundtrip_survives_reorder_and_duplication(
+        data in prop::collection::vec(any::<u8>(), 1..2048),
+        mtu in (DATA_HEADER_LEN + 1)..(DATA_HEADER_LEN + 257),
+        seed in any::<u64>(),
+        dup_every in 1usize..5,
+    ) {
+        let frame = Bytes::from(data);
+        let mut tx = Fragmenter::new(ProcessId(4), mtu);
+        let mut rx = Reassembler::new(TTL);
+        let grams = tx.split(&frame);
+        prop_assert!(!grams.is_empty());
+        prop_assert!(grams.iter().all(|g| g.len() <= mtu));
+
+        // Adversarial schedule: every fragment at least once, some twice,
+        // in a seed-chosen order.
+        let mut schedule: Vec<Bytes> = grams.clone();
+        schedule.extend(grams.iter().step_by(dup_every).cloned());
+        let schedule = permute(&schedule, seed);
+
+        let mut completions = Vec::new();
+        for g in schedule {
+            if let Some(done) = rx.accept(g, Duration::ZERO) {
+                completions.push(done);
+            }
+        }
+        prop_assert!(!completions.is_empty(), "the full set never completed");
+        for (src, got) in completions {
+            prop_assert_eq!(src, ProcessId(4));
+            prop_assert_eq!(got, frame.clone());
+        }
+        // Duplicates arriving after completion may open a ghost partial;
+        // it must be evictable, never completable.
+        prop_assert!(rx.evict_expired(TTL + TTL) as u64 == rx.evicted());
+        prop_assert_eq!(rx.partials(), 0);
+    }
+
+    /// Losing any single fragment of a multi-fragment transfer prevents
+    /// completion; the TTL then reclaims the partial.
+    #[test]
+    fn dropped_fragment_blocks_completion_until_eviction(
+        data in prop::collection::vec(any::<u8>(), 1..2048),
+        mtu in (DATA_HEADER_LEN + 1)..(DATA_HEADER_LEN + 257),
+        seed in any::<u64>(),
+        drop_choice in any::<prop::sample::Index>(),
+    ) {
+        let frame = Bytes::from(data);
+        let mut tx = Fragmenter::new(ProcessId(0), mtu);
+        let mut rx = Reassembler::new(TTL);
+        let mut grams = tx.split(&frame);
+        if grams.len() < 2 {
+            // Single-datagram transfers have nothing to lose; skip.
+            return Ok(());
+        }
+
+        let dropped = drop_choice.index(grams.len());
+        grams.remove(dropped);
+        for g in permute(&grams, seed) {
+            prop_assert!(rx.accept(g, Duration::ZERO).is_none(), "incomplete transfer completed");
+        }
+        prop_assert_eq!(rx.partials(), 1);
+
+        // Before the TTL: still buffered. At the TTL: reclaimed.
+        prop_assert_eq!(rx.evict_expired(TTL / 2), 0);
+        prop_assert_eq!(rx.evict_expired(TTL), 1);
+        prop_assert_eq!(rx.partials(), 0);
+        prop_assert_eq!(rx.evicted(), 1);
+    }
+
+    /// Transfers from many senders interleaved in one arbitrary order all
+    /// reassemble independently and correctly (the `(src, xfer)` key).
+    #[test]
+    fn interleaved_multi_sender_transfers_never_mix(
+        frames in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 1..600), 2..5),
+        mtu in (DATA_HEADER_LEN + 1)..(DATA_HEADER_LEN + 65),
+        seed in any::<u64>(),
+    ) {
+        let mut rx = Reassembler::new(TTL);
+        let mut schedule: Vec<Bytes> = Vec::new();
+        let mut expect: Vec<(ProcessId, Bytes)> = Vec::new();
+        for (i, data) in frames.iter().enumerate() {
+            let src = ProcessId(i as u16);
+            let frame = Bytes::from(data.clone());
+            let mut tx = Fragmenter::new(src, mtu);
+            schedule.extend(tx.split(&frame));
+            expect.push((src, frame));
+        }
+        let schedule = permute(&schedule, seed);
+
+        let mut done: Vec<(ProcessId, Bytes)> = Vec::new();
+        for g in schedule {
+            done.extend(rx.accept(g, Duration::ZERO));
+        }
+        done.sort_by_key(|(src, _)| *src);
+        prop_assert_eq!(done, expect);
+        prop_assert_eq!(rx.partials(), 0);
+        prop_assert_eq!(rx.malformed(), 0);
+    }
+}

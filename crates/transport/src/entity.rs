@@ -130,24 +130,7 @@ impl TransportEntity {
         let xfer = self.next_xfer;
         self.next_xfer += 1;
 
-        let frag_count = data.len().div_ceil(self.cfg.mtu).max(1);
-        assert!(
-            frag_count <= u16::MAX as usize,
-            "data too large for u16 fragments"
-        );
-        let mut fragments = Vec::with_capacity(frag_count);
-        for i in 0..frag_count {
-            let start = i * self.cfg.mtu;
-            let end = (start + self.cfg.mtu).min(data.len());
-            let frame = TFrame::Data {
-                xfer,
-                src: self.me,
-                frag_index: i as u16,
-                frag_count: frag_count as u16,
-                payload: data.slice(start..end),
-            };
-            fragments.push(frame.encode());
-        }
+        let fragments = crate::frame::fragment(xfer, self.me, self.cfg.mtu, &data);
         for &to in dests {
             for frame in &fragments {
                 self.outbox.push(TOutput::Send {

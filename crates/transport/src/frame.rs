@@ -39,6 +39,44 @@ const TAG_DATA: u8 = 0xD1;
 const TAG_ACK: u8 = 0xA1;
 const TAG_BATCH: u8 = 0xB7;
 
+/// Encoded size of a [`TFrame::Data`] header (tag + xfer + src +
+/// frag_index + frag_count + payload length). A fragment of payload size
+/// `p` occupies `DATA_HEADER_LEN + p` bytes on the wire — runtimes sizing
+/// fragments against a *datagram* MTU must budget for this overhead.
+pub const DATA_HEADER_LEN: usize = 1 + 8 + 2 + 2 + 2 + 4;
+
+/// Splits `data` into encoded [`TFrame::Data`] datagrams of at most `mtu`
+/// payload bytes each (empty data still yields one empty fragment, so a
+/// transfer is never zero frames). This is the one fragmentation routine in
+/// the workspace: [`TransportEntity`](crate::TransportEntity) uses it for
+/// the t-service and the UDP runtime uses it to fit engine PDUs into
+/// network packets.
+///
+/// # Panics
+/// Panics if `mtu` is zero or `data` needs more than `u16::MAX` fragments.
+pub fn fragment(xfer: u64, src: ProcessId, mtu: usize, data: &Bytes) -> Vec<Bytes> {
+    assert!(mtu > 0, "MTU must be positive");
+    let frag_count = data.len().div_ceil(mtu).max(1);
+    assert!(
+        frag_count <= u16::MAX as usize,
+        "data too large for u16 fragments"
+    );
+    let mut fragments = Vec::with_capacity(frag_count);
+    for i in 0..frag_count {
+        let start = i * mtu;
+        let end = (start + mtu).min(data.len());
+        let frame = TFrame::Data {
+            xfer,
+            src,
+            frag_index: i as u16,
+            frag_count: frag_count as u16,
+            payload: data.slice(start..end),
+        };
+        fragments.push(frame.encode());
+    }
+    fragments
+}
+
 impl TFrame {
     /// Encodes the frame.
     pub fn encode(&self) -> Bytes {
@@ -162,6 +200,36 @@ mod tests {
             payload: Bytes::from_static(b"chunk"),
         };
         assert_eq!(TFrame::decode(f.encode()), Some(f));
+    }
+
+    #[test]
+    fn fragment_helper_covers_data_and_header_len_is_exact() {
+        let data = Bytes::from((0..100u8).collect::<Vec<u8>>());
+        let frags = fragment(9, ProcessId(4), 16, &data);
+        assert_eq!(frags.len(), 7, "100 bytes / 16-byte MTU = 7 fragments");
+        let mut rebuilt = Vec::new();
+        for (i, raw) in frags.iter().enumerate() {
+            // Header length is the documented constant for every fragment.
+            let Some(TFrame::Data {
+                xfer,
+                src,
+                frag_index,
+                frag_count,
+                payload,
+            }) = TFrame::decode(raw.clone())
+            else {
+                panic!("fragment {i} did not decode as Data");
+            };
+            assert_eq!(raw.len(), DATA_HEADER_LEN + payload.len());
+            assert_eq!((xfer, src), (9, ProcessId(4)));
+            assert_eq!((frag_index, frag_count), (i as u16, 7));
+            rebuilt.extend_from_slice(&payload);
+        }
+        assert_eq!(rebuilt, &data[..]);
+        // Empty data still ships one (empty) fragment.
+        let empty = fragment(1, ProcessId(0), 16, &Bytes::new());
+        assert_eq!(empty.len(), 1);
+        assert_eq!(empty[0].len(), DATA_HEADER_LEN);
     }
 
     #[test]

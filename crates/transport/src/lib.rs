@@ -52,4 +52,4 @@ pub mod entity;
 pub mod frame;
 
 pub use entity::{TOutput, TransportConfig, TransportEntity, XferId};
-pub use frame::TFrame;
+pub use frame::{fragment, TFrame, DATA_HEADER_LEN};

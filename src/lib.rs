@@ -12,6 +12,7 @@ pub use urcgc_baselines as baselines;
 pub use urcgc_causal as causal;
 pub use urcgc_history as history;
 pub use urcgc_metrics as metrics;
+pub use urcgc_runtime as runtime;
 pub use urcgc_simnet as simnet;
 pub use urcgc_transport as transport;
 pub use urcgc_types as types;
