@@ -1,8 +1,9 @@
 //! Criterion suite for the PR 2 hot-path overhaul — indexed vs rescan
 //! waiting-list drain, shared-buffer vs deep-clone broadcast fan-out, and
-//! history purge/range — plus the PR 3 scheduler comparison (calendar
-//! queue vs flat-wire rescan) on dense fan-in and long-delay straggler
-//! shapes. The 10⁶-frame drain lives in the `hotpath` binary only.
+//! history purge/range — plus the PR 3 calendar-queue scheduler shapes
+//! (dense fan-in, long-delay straggler) and the zero-copy codec group
+//! (encode/decode throughput, cached vs per-destination fan-out). The
+//! 10⁶-frame drain lives in the `hotpath` binary only.
 //!
 //! Run: `cargo bench -p urcgc-bench --bench hotpath`
 //!
@@ -16,12 +17,12 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use urcgc_bench::hotpath::{
-    chain, chatter_group, drain_indexed, drain_rescan, fanout_deep, fanout_shared, flat_filled,
-    history_filled, history_purge, history_range, park_indexed, park_rescan, purge_in_steps,
-    purge_in_steps_flat, recovery_storm, run_calendar, run_flatwire, sample_msg,
+    chain, chatter_group, codec_roundtrip, drain_indexed, drain_rescan, fanout_cached, fanout_deep,
+    fanout_shared, flat_filled, history_filled, history_purge, history_range, park_indexed,
+    park_rescan, purge_in_steps, purge_in_steps_flat, recovery_storm, run_calendar, sample_msg,
 };
 use urcgc_simnet::FaultPlan;
-use urcgc_types::{Pdu, ProcessId};
+use urcgc_types::{decode_pdu, encode_pdu, FrameCache, Pdu, ProcessId};
 
 fn bench_waiting_drain(c: &mut Criterion) {
     let mut g = c.benchmark_group("waiting-drain");
@@ -139,15 +140,8 @@ fn bench_scheduler(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
-    g.bench_function("dense_fanin_flatwire_n50", |b| {
-        b.iter_batched(
-            || chatter_group(50, &fanin, 32),
-            |nodes| run_flatwire(nodes, FaultPlan::none(), rounds, 11),
-            BatchSize::LargeInput,
-        )
-    });
-    // Long-delay straggler: the flat engine rescans delay × (n−1) parked
-    // frames every round; the calendar queue never revisits them.
+    // Long-delay straggler: delay × (n−1) frames park in future buckets;
+    // the calendar queue never revisits them before their arrival round.
     let straggler = FaultPlan::none().slow_sender(ProcessId(0), 128);
     let s_rounds = 512u64;
     g.throughput(Throughput::Elements(7 * (s_rounds - 129)));
@@ -158,12 +152,39 @@ fn bench_scheduler(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
-    g.bench_function("straggler_flatwire_d128", |b| {
-        b.iter_batched(
-            || chatter_group(8, &[0], 32),
-            |nodes| run_flatwire(nodes, straggler.clone(), s_rounds, 11),
-            BatchSize::LargeInput,
-        )
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let msg = sample_msg(64);
+    let pdu = Pdu::data(msg.clone());
+    let frame_len = encode_pdu(&pdu).len();
+    g.throughput(Throughput::Bytes(frame_len as u64));
+    g.bench_function("encode_cached", |b| {
+        let mut cache = FrameCache::new();
+        b.iter(|| cache.encode(std::hint::black_box(&pdu)))
+    });
+    g.bench_function("encode_one_shot", |b| {
+        b.iter(|| encode_pdu(std::hint::black_box(&pdu)))
+    });
+    g.bench_function("decode", |b| {
+        let frame = encode_pdu(&pdu);
+        b.iter(|| decode_pdu(std::hint::black_box(&frame)).expect("decode"))
+    });
+    g.bench_function("roundtrip", |b| {
+        let mut cache = FrameCache::new();
+        b.iter(|| codec_roundtrip(&mut cache, std::hint::black_box(&pdu)))
+    });
+    // Fan-out at the acceptance cell: per-destination encoding vs one
+    // cached encode plus refcount clones.
+    g.throughput(Throughput::Elements(99));
+    g.bench_function("fanout_deep_n100", |b| {
+        b.iter(|| fanout_deep(std::hint::black_box(&msg), 100))
+    });
+    g.bench_function("fanout_cached_n100", |b| {
+        let mut cache = FrameCache::new();
+        b.iter(|| fanout_cached(&mut cache, std::hint::black_box(&pdu), 100))
     });
     g.finish();
 }
@@ -175,6 +196,7 @@ criterion_group!(
     bench_history,
     bench_recovery_storm,
     bench_purge_soak,
-    bench_scheduler
+    bench_scheduler,
+    bench_codec
 );
 criterion_main!(benches);

@@ -3,29 +3,63 @@
 //! Measures the three paths PR 2 rebuilt — waiting-list drain, broadcast
 //! fan-out, history purge/range — against their pre-PR implementations
 //! (the rescan waiting list kept as executable specification, and a
-//! deep-clone-per-destination fan-out emulation), plus the PR 3 scheduler
-//! scenarios (calendar-queue engine vs the retired flat-wire rescan), and
-//! emits one JSON document so future PRs can diff performance
-//! trajectories per commit.
+//! deep-clone-per-destination fan-out emulation), the PR 3 calendar-queue
+//! scheduler scenarios, and the zero-copy **codec** section (encode/decode
+//! throughput plus real heap-allocation counts for the n=100 fan-out,
+//! measured by a counting global allocator), and emits one JSON document
+//! so future PRs can diff performance trajectories per commit.
 //!
 //! Run:   `cargo run --release -p urcgc-bench --bin hotpath -- --json BENCH.json`
 //! Smoke: `... --bin hotpath -- --profile smoke --json smoke.json`
 //!
 //! Wall times are medians of several runs and naturally vary between
-//! machines; the byte accounting (`*_bytes` metrics) is exact and
-//! machine-independent.
+//! machines; the byte accounting (`*_bytes` metrics) and the allocation
+//! counts (`*_allocs` metrics) are exact and machine-independent.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use urcgc_bench::hotpath::{
-    allocs_avoided, chain, chatter_group, deep_clone_bytes, drain_indexed, drain_rescan,
-    fanout_deep, fanout_shared, flat_filled, history_filled, history_purge, history_range,
-    park_indexed, park_rescan, purge_in_steps, purge_in_steps_flat, recovery_storm, run_calendar,
-    run_flatwire, sample_msg, shared_clone_bytes, time_nanos,
+    allocs_avoided, chain, chatter_group, codec_roundtrip, deep_clone_bytes, drain_indexed,
+    drain_rescan, fanout_cached, fanout_deep, fanout_shared, flat_filled, history_filled,
+    history_purge, history_range, park_indexed, park_rescan, purge_in_steps, purge_in_steps_flat,
+    recovery_storm, run_calendar, sample_msg, shared_clone_bytes, time_nanos,
 };
 use urcgc_metrics::Json;
 use urcgc_simnet::FaultPlan;
-use urcgc_types::{Pdu, ProcessId};
+use urcgc_types::{decode_pdu, FrameCache, Pdu, ProcessId};
+
+/// Counts heap allocations so the codec section reports *measured* rather
+/// than modeled allocation economics. Reallocation counts as one fresh
+/// allocation; frees are not tracked (the metric is allocator pressure).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Heap allocations performed while running `f`.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, out)
+}
 
 const HELP: &str = "\
 hotpath — microbenchmark the urcgc hot paths, emit a urcgc-bench/1 document
@@ -39,18 +73,16 @@ OPTIONS:
   --help        print this help
 ";
 
-/// One scheduler scenario: a chat workload run on both engines.
+/// One scheduler scenario: a chat workload on the calendar-queue engine.
 struct SchedShape {
     name: &'static str,
     n: usize,
     /// `true` = every node broadcasts each round; `false` = only node 0.
     all_talk: bool,
-    /// Extra delivery delay for node 0 (the flat engine rescans every
-    /// parked frame each round, so delay × fan-out frames stay hot).
+    /// Extra delivery delay for node 0 (parks delay × fan-out frames).
     delay: u64,
     rounds: u64,
     cal_iters: usize,
-    flat_iters: usize,
 }
 
 struct Profile {
@@ -66,6 +98,10 @@ struct Profile {
     /// (origins, messages per origin, stability steps, timed iterations).
     purge_soak: (usize, u64, u64, usize),
     sched: &'static [SchedShape],
+    /// Frames per timed encode/decode throughput loop in the codec
+    /// section. (The fan-out allocation count always runs at n=100 — it
+    /// is the PR's acceptance metric and is cheap.)
+    codec_frames: usize,
 }
 
 const HOTPATH: Profile = Profile {
@@ -86,10 +122,9 @@ const HOTPATH: Profile = Profile {
             delay: 0,
             rounds: 40,
             cal_iters: 5,
-            flat_iters: 5,
         },
-        // One slow sender parks delay × (n−1) frames the flat engine
-        // rescans every round; the calendar queue never revisits them.
+        // One slow sender parks delay × (n−1) frames; the calendar queue
+        // never revisits them before their arrival round.
         SchedShape {
             name: "sched_straggler",
             n: 8,
@@ -97,7 +132,6 @@ const HOTPATH: Profile = Profile {
             delay: 512,
             rounds: 4_096,
             cal_iters: 9,
-            flat_iters: 3,
         },
         // ≈ 10⁶ frames end to end: 10 × 9 per round for 11 200 rounds.
         SchedShape {
@@ -107,9 +141,9 @@ const HOTPATH: Profile = Profile {
             delay: 0,
             rounds: 11_200,
             cal_iters: 3,
-            flat_iters: 3,
         },
     ],
+    codec_frames: 20_000,
 };
 
 const SMOKE: Profile = Profile {
@@ -129,7 +163,6 @@ const SMOKE: Profile = Profile {
             delay: 0,
             rounds: 10,
             cal_iters: 3,
-            flat_iters: 3,
         },
         SchedShape {
             name: "sched_straggler",
@@ -138,7 +171,6 @@ const SMOKE: Profile = Profile {
             delay: 64,
             rounds: 256,
             cal_iters: 3,
-            flat_iters: 3,
         },
         SchedShape {
             name: "sched_million_drain",
@@ -147,9 +179,9 @@ const SMOKE: Profile = Profile {
             delay: 0,
             rounds: 500,
             cal_iters: 3,
-            flat_iters: 3,
         },
     ],
+    codec_frames: 2_000,
 };
 
 fn parse_args(args: &[String]) -> Result<(&'static Profile, Option<String>), String> {
@@ -378,8 +410,9 @@ fn main() {
             ),
     );
 
-    // 6. Scheduler: calendar-queue engine vs the retired flat-wire rescan,
-    //    same chat workload, identical delivery population (asserted).
+    // 6. Scheduler: the calendar-queue engine on the three chat shapes.
+    //    (The flat-wire differential baseline is retired; frame counts are
+    //    still asserted stable across the timed iterations.)
     for shape in profile.sched {
         let talkers: Vec<usize> = if shape.all_talk {
             (0..shape.n).collect()
@@ -398,14 +431,8 @@ fn main() {
             11,
         );
         assert_eq!(
-            expected,
-            run_flatwire(
-                chatter_group(shape.n, &talkers, 32),
-                faults.clone(),
-                shape.rounds,
-                11,
-            ),
-            "{}: engines disagree on the delivered population",
+            expected.0, expected.1,
+            "{}: delivered counter vs node receptions",
             shape.name
         );
         let (frames, _) = expected;
@@ -419,21 +446,10 @@ fn main() {
                 )
             },
         );
-        let flat_nanos = time_nanos(
-            shape.flat_iters,
-            || chatter_group(shape.n, &talkers, 32),
-            |nodes| {
-                assert_eq!(
-                    run_flatwire(nodes, faults.clone(), shape.rounds, 11).0,
-                    frames
-                )
-            },
-        );
-        let speedup = flat_nanos as f64 / cal_nanos.max(1) as f64;
         let frames_per_sec = frames as f64 / (cal_nanos as f64 / 1e9);
         let avoided = allocs_avoided(frames, shape.n, shape.rounds);
         println!(
-            "{:<18} n={:<4} rounds={:<6} calendar {cal_nanos:>12} ns   flat-wire {flat_nanos:>12} ns   speedup {speedup:.1}x",
+            "{:<18} n={:<4} rounds={:<6} calendar {cal_nanos:>12} ns   {frames_per_sec:>12.0} frames/s",
             shape.name, shape.n, shape.rounds
         );
         benches.push(
@@ -451,11 +467,83 @@ fn main() {
                     "metrics",
                     Json::obj()
                         .with("calendar_nanos", cal_nanos)
-                        .with("flatwire_nanos", flat_nanos)
-                        .with("speedup", speedup)
                         .with("frames", frames)
                         .with("frames_per_sec", frames_per_sec)
                         .with("allocs_avoided", avoided),
+                ),
+        );
+    }
+
+    // 7. Codec: encode/decode throughput through the frame codec and
+    //    *measured* allocation counts for the n=100 fan-out. The fan-out
+    //    comparison always runs at n=100 (the PR's acceptance cell), even
+    //    under the smoke profile — it is a handful of microseconds.
+    {
+        let msg = sample_msg(64);
+        let pdu = Pdu::data(msg.clone());
+        let mut cache = FrameCache::new();
+        let frame_len = codec_roundtrip(&mut cache, &pdu); // warms the arena
+        let frames = profile.codec_frames;
+
+        let encode_nanos = time_nanos(
+            3,
+            || (),
+            |()| {
+                for _ in 0..frames {
+                    std::hint::black_box(cache.encode(&pdu));
+                }
+            },
+        );
+        let sample_frame = cache.encode(&pdu);
+        let decode_nanos = time_nanos(
+            3,
+            || (),
+            |()| {
+                for _ in 0..frames {
+                    std::hint::black_box(decode_pdu(&sample_frame).expect("decode"));
+                }
+            },
+        );
+        let encode_mb_per_sec = (frames * frame_len) as f64 / 1e6 / (encode_nanos as f64 / 1e9);
+        let decode_mb_per_sec = (frames * frame_len) as f64 / 1e6 / (decode_nanos as f64 / 1e9);
+
+        const FANOUT_N: usize = 100;
+        let expected_bytes = fanout_deep(&msg, FANOUT_N);
+        let (deep_allocs, _) = count_allocs(|| fanout_deep(&msg, FANOUT_N));
+        let (shared_allocs, produced) = count_allocs(|| fanout_cached(&mut cache, &pdu, FANOUT_N));
+        assert_eq!(produced, expected_bytes, "fan-outs must offer equal bytes");
+        assert!(
+            shared_allocs <= 1,
+            "warm-cache fan-out must cost at most one allocation, measured {shared_allocs}"
+        );
+        let alloc_reduction = deep_allocs as f64 / shared_allocs.max(1) as f64;
+        assert!(
+            alloc_reduction >= 5.0,
+            "fan-out allocation reduction below 5x: {deep_allocs} vs {shared_allocs}"
+        );
+        println!(
+            "codec            frame={frame_len:<4} encode {encode_mb_per_sec:>8.0} MB/s   decode {decode_mb_per_sec:>8.0} MB/s   fanout n={FANOUT_N}: {deep_allocs} vs {shared_allocs} allocs ({alloc_reduction:.0}x)"
+        );
+        benches.push(
+            Json::obj()
+                .with("name", "codec")
+                .with(
+                    "params",
+                    Json::obj()
+                        .with("frames", frames)
+                        .with("frame_len", frame_len)
+                        .with("fanout_n", FANOUT_N),
+                )
+                .with(
+                    "metrics",
+                    Json::obj()
+                        .with("encode_nanos", encode_nanos)
+                        .with("decode_nanos", decode_nanos)
+                        .with("encode_mb_per_sec", encode_mb_per_sec)
+                        .with("decode_mb_per_sec", decode_mb_per_sec)
+                        .with("deep_allocs", deep_allocs)
+                        .with("shared_allocs", shared_allocs)
+                        .with("alloc_reduction", alloc_reduction),
                 ),
         );
     }

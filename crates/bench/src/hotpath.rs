@@ -16,12 +16,17 @@
 //! * **History purge/range** — recovery replies are served straight out of
 //!   the table as `Arc` handles and stability purges drop whole prefixes.
 //!
-//! PR 3 adds the **scheduler** scenarios: the same chat workload run on the
-//! calendar-queue [`SimNet`] and the retired flat-wire engine
-//! ([`FlatWireSimNet`]), in three shapes — dense fan-in (every node
+//! PR 3 adds the **scheduler** scenarios: chat workloads on the
+//! calendar-queue [`SimNet`] in three shapes — dense fan-in (every node
 //! broadcasting), a long-delay straggler (one slow sender parking hundreds
-//! of frames the flat engine rescans every round), and a sustained
-//! million-frame drain.
+//! of frames), and a sustained million-frame drain. (These originally ran
+//! differentially against a flat-wire engine; after three PRs with no
+//! divergence that engine is retired and the scenarios time the calendar
+//! queue alone.)
+//!
+//! The zero-copy PR adds the **codec** scenarios: encode/decode throughput
+//! through the frame codec, [`FrameCache`] fan-out versus per-destination
+//! encoding, and the batched-vs-unbatched recovery storm.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -29,8 +34,10 @@ use std::time::Instant;
 use bytes::Bytes;
 use urcgc_causal::{DeliveryTracker, RescanWaitingList, WaitingList};
 use urcgc_history::{FlatHistory, History, StableVector};
-use urcgc_simnet::{FaultPlan, FlatWireSimNet, NetCtx, Node as SimNode, SimNet, SimOptions};
-use urcgc_types::{encode_pdu, DataMsg, Mid, Pdu, ProcessId, Round, WireEncode};
+use urcgc_simnet::{FaultPlan, NetCtx, Node as SimNode, SimNet, SimOptions};
+use urcgc_types::{
+    decode_pdu, encode_pdu, DataMsg, FrameCache, Mid, Pdu, ProcessId, Round, WireEncode,
+};
 
 /// The mid the whole drain chain is blocked on.
 pub fn chain_root() -> Mid {
@@ -153,6 +160,29 @@ pub fn fanout_shared(pdu: &Arc<Pdu>, n: usize) -> usize {
     produced
 }
 
+/// The cache-routed fan-out: the frame is encoded once into the reused
+/// arena (one allocation at steady state) and each destination gets a
+/// refcount-shared handle. Returns total frame bytes offered.
+pub fn fanout_cached(cache: &mut FrameCache, pdu: &Pdu, n: usize) -> usize {
+    let frame = cache.encode(pdu);
+    let mut produced = 0;
+    for _ in 1..n {
+        let f = frame.clone();
+        produced += f.len();
+        std::hint::black_box(&f);
+    }
+    produced
+}
+
+/// One encode→decode round trip through the frame codec (checksum
+/// verified, borrowed payload views). Returns the frame length.
+pub fn codec_roundtrip(cache: &mut FrameCache, pdu: &Pdu) -> usize {
+    let frame = cache.encode(pdu);
+    let decoded = decode_pdu(&frame).expect("roundtrip");
+    std::hint::black_box(&decoded);
+    frame.len()
+}
+
 /// Message-body bytes deep-copied per `n`-way broadcast under the pre-PR
 /// per-destination cloning (wire size is the body proxy).
 pub fn deep_clone_bytes(msg: &DataMsg, n: usize) -> u64 {
@@ -268,7 +298,7 @@ pub fn recovery_storm(n: usize, per_origin: u64, batched: bool) -> StormOutcome 
     let cfg = if batched {
         ProtocolConfig::new(n).with_batched_recovery()
     } else {
-        ProtocolConfig::new(n)
+        ProtocolConfig::new(n).with_unbatched_recovery()
     };
     // The holder has processed every lagged origin's chain (origins
     // 1..n-1; its own and the lagger's origins stay out of the storm).
@@ -398,32 +428,11 @@ pub fn run_calendar(
     (delivered, nodes.iter().map(|n| n.received).sum())
 }
 
-/// Runs the same scenario on the retired flat-wire engine (full rescan of
-/// every parked frame per round), kept as the executable baseline.
-pub fn run_flatwire(
-    nodes: Vec<ChatterNode>,
-    faults: FaultPlan,
-    rounds: u64,
-    seed: u64,
-) -> (u64, u64) {
-    let mut net = FlatWireSimNet::new(
-        nodes,
-        faults,
-        SimOptions {
-            seed,
-            ..SimOptions::default()
-        },
-    );
-    net.run_rounds(rounds);
-    let delivered = net.stats().delivered;
-    let (nodes, _) = net.into_parts();
-    (delivered, nodes.iter().map(|n| n.received).sum())
-}
-
-/// Heap allocations the calendar-queue engine avoids versus the flat-wire
-/// engine over one run: one `Vec<Outgoing>` per delivery and per per-round
-/// node invocation (the shared scratch buffer replaces both), plus one
-/// arrival-bucket `Vec` per round (recycled through the spare pool).
+/// Heap allocations the calendar-queue engine avoids versus the retired
+/// flat-wire engine over one run: one `Vec<Outgoing>` per delivery and per
+/// per-round node invocation (the shared scratch buffer replaces both),
+/// plus one arrival-bucket `Vec` per round (recycled through the spare
+/// pool).
 pub fn allocs_avoided(delivered: u64, n: usize, rounds: u64) -> u64 {
     delivered + n as u64 * rounds + rounds
 }
@@ -475,9 +484,9 @@ mod tests {
     }
 
     #[test]
-    fn engines_agree_on_chat_scenarios() {
-        // Dense fan-in, straggler, and drain shapes at tiny sizes: both
-        // engines must deliver the same frame population.
+    fn chat_scenarios_account_consistently() {
+        // Dense fan-in, straggler, and lossy shapes at tiny sizes: the
+        // engine's delivered counter must match node reception counts.
         let shapes: &[(usize, Vec<usize>, FaultPlan, u64)] = &[
             (6, (0..6).collect(), FaultPlan::none(), 12),
             (
@@ -495,11 +504,18 @@ mod tests {
         ];
         for (n, talkers, faults, rounds) in shapes {
             let cal = run_calendar(chatter_group(*n, talkers, 32), faults.clone(), *rounds, 9);
-            let flat = run_flatwire(chatter_group(*n, talkers, 32), faults.clone(), *rounds, 9);
-            assert_eq!(cal, flat, "n={n} talkers={talkers:?}");
             assert_eq!(cal.0, cal.1, "delivered counter vs node receptions");
             assert!(cal.0 > 0);
         }
+    }
+
+    #[test]
+    fn cached_fanout_matches_per_destination_encoding() {
+        let msg = sample_msg(64);
+        let pdu = Pdu::data(msg.clone());
+        let mut cache = FrameCache::new();
+        assert_eq!(fanout_cached(&mut cache, &pdu, 10), fanout_deep(&msg, 10));
+        assert_eq!(codec_roundtrip(&mut cache, &pdu), encode_pdu(&pdu).len());
     }
 
     #[test]

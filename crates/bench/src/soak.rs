@@ -30,7 +30,7 @@ use urcgc_baselines::cbcast::Load;
 use urcgc_baselines::{CbcastNode, PsyncNode};
 use urcgc_metrics::Json;
 use urcgc_simnet::{FaultPlan, NetCtx, Node, SimNet, SimOptions};
-use urcgc_types::{encode_pdu, Mid, ProcessId, Round};
+use urcgc_types::{FrameCache, Mid, ProcessId, Round};
 
 /// A urcgc group member stripped to soak essentials: the real [`Engine`]
 /// plus counters. Mirrors `urcgc::sim::UrcgcNode` (same workload RNG
@@ -46,6 +46,9 @@ pub struct SoakUrcgcNode {
     latest_foreign: Option<Mid>,
     peak_history: usize,
     peak_waiting: usize,
+    /// Reused encode arena: one allocation per outgoing frame, shared
+    /// across every destination of a broadcast.
+    frames: FrameCache,
 }
 
 impl SoakUrcgcNode {
@@ -65,6 +68,7 @@ impl SoakUrcgcNode {
             latest_foreign: None,
             peak_history: 0,
             peak_waiting: 0,
+            frames: FrameCache::new(),
         }
     }
 
@@ -146,10 +150,10 @@ impl SoakUrcgcNode {
         while let Some(out) = self.engine.poll_output() {
             match out {
                 Output::Send { to, pdu } => {
-                    net.send(to, pdu.kind().label(), encode_pdu(&pdu));
+                    net.send(to, pdu.kind().label(), self.frames.encode(&pdu));
                 }
                 Output::Broadcast { pdu } => {
-                    net.broadcast(pdu.kind().label(), encode_pdu(&pdu));
+                    net.broadcast(pdu.kind().label(), self.frames.encode(&pdu));
                 }
                 Output::Deliver { msg } => {
                     self.delivered += 1;
@@ -197,6 +201,11 @@ pub struct WindowSample {
     pub app_delivered: u64,
     /// Wire bytes offered during the window.
     pub wire_bytes: u64,
+    /// Bytes of frames encoded fresh during the window (unique frames).
+    pub encoded_bytes: u64,
+    /// Bytes put on the wire as refcount-shared clones of already-encoded
+    /// frames (fan-out copies beyond the first) during the window.
+    pub shared_bytes: u64,
     /// Max live history segments across nodes at the window boundary
     /// (gauge; 0 for baselines, which keep no segmented table).
     pub history_segments: usize,
@@ -225,6 +234,10 @@ pub struct SoakReport {
     pub frames: u64,
     /// Total wire bytes offered.
     pub wire_bytes: u64,
+    /// Bytes encoded fresh over the run (unique frames, counted once).
+    pub encoded_bytes: u64,
+    /// Bytes offered as refcount-shared fan-out clones over the run.
+    pub shared_bytes: u64,
     /// Whether every alive node finished inside the round budget.
     pub completed: bool,
     /// Whether the run was cut short by the stall detector (no application
@@ -272,6 +285,8 @@ impl SoakReport {
                     .with("frames", w.frames)
                     .with("app_delivered", w.app_delivered)
                     .with("wire_bytes", w.wire_bytes)
+                    .with("encoded_bytes", w.encoded_bytes)
+                    .with("shared_bytes", w.shared_bytes)
                     .with("history_segments", w.history_segments)
                     .with("history_bytes", w.history_bytes)
                     .with("purge_lag", w.purge_lag)
@@ -294,6 +309,8 @@ impl SoakReport {
                     .with("app_delivered", self.app_delivered)
                     .with("frames", self.frames)
                     .with("wire_bytes", self.wire_bytes)
+                    .with("encoded_bytes", self.encoded_bytes)
+                    .with("shared_bytes", self.shared_bytes)
                     .with("completed", self.completed)
                     .with("stalled", self.stalled)
                     .with("wall_secs", self.wall_secs)
@@ -382,6 +399,7 @@ pub fn run_soak<N: Node>(
     let started = Instant::now();
     let mut windows: Vec<WindowSample> = Vec::new();
     let (mut prev_frames, mut prev_app, mut prev_bytes) = (0u64, 0u64, 0u64);
+    let (mut prev_encoded, mut prev_shared) = (0u64, 0u64);
     let mut idle_windows = 0u32;
     let mut stalled = false;
     while !net.all_done() && net.round().0 < max_rounds {
@@ -400,6 +418,7 @@ pub fn run_soak<N: Node>(
         let frames = net.stats().delivered;
         let app: u64 = net.nodes().iter().map(&app_delivered).sum();
         let bytes = net.stats().bytes_per_round.total();
+        let (encoded, shared) = (net.stats().encoded_bytes, net.stats().shared_bytes);
         let (segs, res_bytes, lag) = net
             .nodes()
             .iter()
@@ -412,11 +431,14 @@ pub fn run_soak<N: Node>(
             frames: frames - prev_frames,
             app_delivered: app - prev_app,
             wire_bytes: bytes - prev_bytes,
+            encoded_bytes: encoded - prev_encoded,
+            shared_bytes: shared - prev_shared,
             history_segments: segs,
             history_bytes: res_bytes,
             purge_lag: lag,
         };
         (prev_frames, prev_app, prev_bytes) = (frames, app, bytes);
+        (prev_encoded, prev_shared) = (encoded, shared);
         idle_windows = if sample.app_delivered == 0 {
             idle_windows + 1
         } else {
@@ -434,6 +456,7 @@ pub fn run_soak<N: Node>(
     let wall_secs = started.elapsed().as_secs_f64();
     let rounds = net.round().0;
     let wire_bytes = net.stats().bytes_per_round.total();
+    let (encoded_bytes, shared_bytes) = (net.stats().encoded_bytes, net.stats().shared_bytes);
     let frames = net.stats().delivered;
     let (nodes, _) = net.into_parts();
     let app_total: u64 = nodes.iter().map(&app_delivered).sum();
@@ -458,6 +481,8 @@ pub fn run_soak<N: Node>(
         app_delivered: app_total,
         frames,
         wire_bytes,
+        encoded_bytes,
+        shared_bytes,
         completed,
         stalled,
         wall_secs,
@@ -618,6 +643,14 @@ mod tests {
         assert!(!r.windows.is_empty());
         let win_frames: u64 = r.windows.iter().map(|w| w.frames).sum();
         assert_eq!(win_frames, r.frames, "windowed trace must tile the run");
+        // Encoded + shared partition the offered load, and broadcasts at
+        // n=5 mean most offered bytes are refcount-shared clones.
+        assert_eq!(r.encoded_bytes + r.shared_bytes, r.wire_bytes);
+        assert!(r.shared_bytes > r.encoded_bytes, "fan-out should dominate");
+        let win_encoded: u64 = r.windows.iter().map(|w| w.encoded_bytes).sum();
+        let win_shared: u64 = r.windows.iter().map(|w| w.shared_bytes).sum();
+        assert_eq!(win_encoded, r.encoded_bytes);
+        assert_eq!(win_shared, r.shared_bytes);
         // Residency gauges: a live run holds at least one segment mid-run,
         // payload bytes track it, and the report peaks tile the trace.
         assert!(r.peak_segments > 0, "no live segments observed");

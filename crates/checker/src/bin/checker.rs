@@ -29,7 +29,6 @@ OPTIONS:
   --max-shrink K    candidate-run cap while shrinking (default 300)
   --json PATH       write the urcgc-check/1 summary to PATH
   --repro-dir DIR   where to write counterexample JSON (default .)
-  --no-differential skip the flat-wire differential check
   --broken-purge    check the deliberately-broken purge variant (self-test)
   --replay FILE     re-run a urcgc-repro/1 file and report the verdict
   --help            print this help
@@ -101,7 +100,6 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--json" => cli.json = Some(value("--json")?),
             "--repro-dir" => cli.repro_dir = value("--repro-dir")?,
-            "--no-differential" => cli.opts.differential = false,
             "--broken-purge" => cli.opts.broken_purge = true,
             "--replay" => cli.replay = Some(value("--replay")?),
             "--help" => return Err(HELP.to_string()),
@@ -114,7 +112,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
-fn replay(path: &str, differential: bool) -> i32 {
+fn replay(path: &str) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -140,7 +138,7 @@ fn replay(path: &str, differential: bool) -> i32 {
             ""
         }
     );
-    let result = run_spec(&spec, differential);
+    let result = run_spec(&spec);
     if result.violated() {
         for v in &result.violations {
             match v.round {
@@ -170,20 +168,15 @@ fn main() {
     };
 
     if let Some(path) = &cli.replay {
-        std::process::exit(replay(path, cli.opts.differential));
+        std::process::exit(replay(path));
     }
 
     println!(
-        "checker: {} run(s), n∈{:?}, base seed {}, {} job(s){}{}",
+        "checker: {} run(s), n∈{:?}, base seed {}, {} job(s){}",
         cli.opts.runs,
         cli.opts.ns,
         cli.opts.base_seed,
         cli.opts.jobs,
-        if cli.opts.differential {
-            ", differential"
-        } else {
-            ""
-        },
         if cli.opts.broken_purge {
             ", BROKEN-PURGE VARIANT"
         } else {

@@ -30,8 +30,6 @@ pub struct ExploreOpts {
     pub msgs: u64,
     /// Worker threads for the run fan-out.
     pub jobs: usize,
-    /// Differential-check every run against the flat-wire engine.
-    pub differential: bool,
     /// Optional wall-clock budget in seconds (checked between waves).
     pub secs: Option<f64>,
     /// Candidate-run cap for shrinking.
@@ -48,7 +46,6 @@ impl Default for ExploreOpts {
             ns: vec![3, 5],
             msgs: 12,
             jobs: 1,
-            differential: true,
             secs: None,
             max_shrink: 300,
             broken_purge: false,
@@ -117,7 +114,7 @@ pub fn explore(opts: &ExploreOpts) -> ExploreOutcome {
         let base = executed;
         let results: Vec<(CheckSpec, RunResult)> = run_pool(count, opts.jobs, |i| {
             let spec = spec_for_run(opts, base + i);
-            let result = run_spec(&spec, opts.differential);
+            let result = run_spec(&spec);
             (spec, result)
         });
         executed += count;
@@ -127,7 +124,7 @@ pub fn explore(opts: &ExploreOpts) -> ExploreOutcome {
             }
             violating_runs += 1;
             if counterexample.is_none() {
-                let (shrunk, violations, stats) = shrink(&spec, opts.differential, opts.max_shrink);
+                let (shrunk, violations, stats) = shrink(&spec, opts.max_shrink);
                 counterexample = Some(Counterexample {
                     run_index: base + i,
                     original: spec,
@@ -191,7 +188,6 @@ pub fn summary_doc(opts: &ExploreOpts, outcome: &ExploreOutcome, repro_path: Opt
         .with("ns", Json::Arr(ns))
         .with("msgs", opts.msgs)
         .with("jobs", opts.jobs)
-        .with("differential", opts.differential)
         .with("broken_purge", opts.broken_purge)
         .with("violating_runs", outcome.violating_runs)
         .with("wall_secs", outcome.wall_secs)
@@ -227,7 +223,6 @@ mod tests {
                 runs: 12,
                 msgs: 6,
                 jobs,
-                differential: false,
                 ..ExploreOpts::default()
             };
             let outcome = explore(&opts);

@@ -16,8 +16,7 @@
 //!    and checks every round and the final report against the typed
 //!    property [`oracle`]s: Uniform Atomicity, Uniform Ordering,
 //!    stability-safety (no history entry purged before it is stable),
-//!    frontier agreement, termination, and a differential comparison of
-//!    the calendar-queue and flat-wire simulation engines;
+//!    frontier agreement, and termination;
 //! 3. on violation, **shrinks** the spec to a locally-minimal
 //!    counterexample ([`shrink`]) and serializes it as a replayable
 //!    `urcgc-repro/1` JSON document ([`repro`]).

@@ -42,9 +42,6 @@ pub enum OracleKind {
     Stall,
     /// Survivors ended with different processed frontiers.
     Divergence,
-    /// The calendar-queue and flat-wire engines diverged on the same
-    /// (seed, plan, schedule) triple.
-    Differential,
 }
 
 impl OracleKind {
@@ -56,7 +53,6 @@ impl OracleKind {
             OracleKind::StabilitySafety => "stability_safety",
             OracleKind::Stall => "stall",
             OracleKind::Divergence => "divergence",
-            OracleKind::Differential => "differential",
         }
     }
 }
@@ -217,10 +213,4 @@ pub fn check_final(report: &GroupReport) -> Vec<Violation> {
         ));
     }
     violations
-}
-
-/// Builds a [`Violation`] for an engine divergence (emitted by the
-/// differential check in [`crate::run`]).
-pub fn differential_violation(detail: String) -> Violation {
-    Violation::terminal(OracleKind::Differential, detail)
 }

@@ -1,9 +1,7 @@
 //! Executes one [`CheckSpec`] and returns every oracle violation it
 //! provokes.
 
-use urcgc::sim::{GroupHarness, UrcgcNode, Workload};
-use urcgc_simnet::{FlatWireSimNet, SimOptions};
-use urcgc_types::ProcessId;
+use urcgc::sim::{GroupHarness, Workload};
 
 use crate::oracle::{self, Violation};
 use crate::sched::ScheduleAdversary;
@@ -34,11 +32,8 @@ impl RunResult {
 }
 
 /// Runs `spec` to quiescence (or its round budget), checking the mid-run
-/// stability oracle every round and the terminal oracles at the end. With
-/// `differential` set, the same (seed, plan, schedule) triple is replayed
-/// on [`FlatWireSimNet`] and the two engines' delivery logs and counters
-/// must match exactly.
-pub fn run_spec(spec: &CheckSpec, differential: bool) -> RunResult {
+/// stability oracle every round and the terminal oracles at the end.
+pub fn run_spec(spec: &CheckSpec) -> RunResult {
     let max_rounds = spec.max_rounds();
     let mut h = GroupHarness::builder(spec.config())
         .workload(Workload::fixed_count(spec.msgs, PAYLOAD))
@@ -75,76 +70,12 @@ pub fn run_spec(spec: &CheckSpec, differential: bool) -> RunResult {
         violations.push(v);
     }
     violations.extend(oracle::check_final(&report));
-    if differential {
-        if let Some(v) = differential_check(spec, rounds, &h) {
-            violations.push(v);
-        }
-    }
     RunResult {
         violations,
         rounds,
         quiesced: report.quiesced,
         generated: report.generated_total,
     }
-}
-
-/// Replays the spec on the legacy flat-wire engine for the same number of
-/// rounds and compares per-node delivery logs and delivery counters
-/// against the calendar-queue run. The two engines are contractually
-/// bit-for-bit identical (same fault-RNG draw order, same delivery order),
-/// which is why `FlatWireSimNet`'s retirement is deferred: it is the
-/// differential target that would catch a scheduling bug in either.
-fn differential_check(spec: &CheckSpec, rounds: u64, h: &GroupHarness) -> Option<Violation> {
-    let cfg = spec.config();
-    let workload = Workload::fixed_count(spec.msgs, PAYLOAD);
-    let nodes: Vec<UrcgcNode> = (0..spec.n)
-        .map(|i| {
-            UrcgcNode::new(
-                ProcessId::from_index(i),
-                cfg.clone(),
-                workload.clone(),
-                spec.seed,
-            )
-        })
-        .collect();
-    let mut flat = FlatWireSimNet::new(
-        nodes,
-        spec.plan.to_fault_plan(spec.n),
-        SimOptions {
-            seed: spec.seed,
-            max_rounds: spec.max_rounds(),
-            ..SimOptions::default()
-        },
-    );
-    flat.set_adversary(Box::new(ScheduleAdversary::new(&spec.sched)));
-    flat.run_rounds(rounds);
-
-    let main_stats = h.net().stats();
-    let flat_stats = flat.stats();
-    if main_stats.delivered != flat_stats.delivered
-        || main_stats.adversary_dropped != flat_stats.adversary_dropped
-    {
-        return Some(oracle::differential_violation(format!(
-            "engine counters diverged after {rounds} rounds: calendar delivered {} \
-             (adversary dropped {}), flat-wire delivered {} (adversary dropped {})",
-            main_stats.delivered,
-            main_stats.adversary_dropped,
-            flat_stats.delivered,
-            flat_stats.adversary_dropped
-        )));
-    }
-    for (a, b) in h.net().nodes().iter().zip(flat.nodes()) {
-        if a.delivery_log() != b.delivery_log() {
-            return Some(oracle::differential_violation(format!(
-                "p{}'s processing log diverged between engines after {rounds} rounds \
-                 ({} vs {} entries)",
-                a.engine().me().0,
-                a.delivery_log().len(),
-                b.delivery_log().len()
-            )));
-        }
-    }
-    None
 }
 
 #[cfg(test)]
@@ -155,7 +86,7 @@ mod tests {
     fn clean_specs_pass_all_oracles() {
         for seed in 0..12u64 {
             let spec = CheckSpec::generate(seed, 5, 8, false);
-            let result = run_spec(&spec, true);
+            let result = run_spec(&spec);
             assert!(
                 !result.violated(),
                 "seed {seed}: {:?} (spec {spec:?})",
@@ -170,7 +101,7 @@ mod tests {
     fn broken_purge_variant_is_caught() {
         let caught = (0..40u64).any(|seed| {
             let spec = CheckSpec::generate(seed, 5, 10, true);
-            run_spec(&spec, false)
+            run_spec(&spec)
                 .violations
                 .iter()
                 .any(|v| v.kind == crate::oracle::OracleKind::StabilitySafety)

@@ -64,13 +64,9 @@ fn candidates(spec: &CheckSpec) -> Vec<CheckSpec> {
 /// still provokes, and the effort spent. `max_attempts` bounds the total
 /// candidate runs (shrinking is best-effort; the original spec is already
 /// a valid repro).
-pub fn shrink(
-    spec: &CheckSpec,
-    differential: bool,
-    max_attempts: u32,
-) -> (CheckSpec, Vec<Violation>, ShrinkStats) {
+pub fn shrink(spec: &CheckSpec, max_attempts: u32) -> (CheckSpec, Vec<Violation>, ShrinkStats) {
     let mut current = spec.clone();
-    let mut current_violations = run_spec(&current, differential).violations;
+    let mut current_violations = run_spec(&current).violations;
     assert!(
         !current_violations.is_empty(),
         "shrink called on a passing spec"
@@ -82,7 +78,7 @@ pub fn shrink(
                 break 'outer;
             }
             stats.attempts += 1;
-            let result = run_spec(&candidate, differential);
+            let result = run_spec(&candidate);
             if result.violated() {
                 current = candidate;
                 current_violations = result.violations;
@@ -104,11 +100,11 @@ mod tests {
         // Find a violating seed first (same search as the run tests).
         let original = (0..40u64)
             .map(|seed| CheckSpec::generate(seed, 5, 10, true))
-            .find(|spec| run_spec(spec, false).violated())
+            .find(|spec| run_spec(spec).violated())
             .expect("no violating seed found");
-        let (shrunk, violations, stats) = shrink(&original, false, 150);
+        let (shrunk, violations, stats) = shrink(&original, 150);
         assert!(!violations.is_empty());
-        assert!(run_spec(&shrunk, false).violated(), "shrunk spec replays");
+        assert!(run_spec(&shrunk).violated(), "shrunk spec replays");
         assert!(stats.attempts > 0);
         // The shrunk spec is no more complex than the original on every
         // axis the candidates reduce.

@@ -15,7 +15,6 @@ fn broken_purge_is_found_shrunk_and_replayable() {
         runs: 60,
         msgs: 10,
         jobs: 2,
-        differential: false,
         broken_purge: true,
         ..ExploreOpts::default()
     };
@@ -44,7 +43,7 @@ fn broken_purge_is_found_shrunk_and_replayable() {
     let rendered = repro_doc(&cx.shrunk, &cx.violations).render_pretty();
     let parsed = parse_repro(&rendered).expect("repro parses back");
     assert_eq!(parsed, cx.shrunk);
-    let replay = run_spec(&parsed, false);
+    let replay = run_spec(&parsed);
     assert!(
         replay.violated(),
         "parsed repro no longer reproduces: {:?}",

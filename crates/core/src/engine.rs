@@ -928,6 +928,12 @@ mod tests {
         ProtocolConfig::new(N)
     }
 
+    /// The paper's literal per-origin recovery framing, for tests that
+    /// assert on `RecoveryRq` shapes (batching is the default now).
+    fn unbatched_cfg() -> ProtocolConfig {
+        cfg().with_unbatched_recovery()
+    }
+
     fn engines() -> Vec<Engine> {
         (0..N)
             .map(|i| Engine::new(ProcessId::from_index(i), cfg()))
@@ -1165,7 +1171,7 @@ mod tests {
 
     #[test]
     fn recovery_request_targets_most_updated() {
-        let mut e = Engine::new(ProcessId(2), cfg());
+        let mut e = Engine::new(ProcessId(2), unbatched_cfg());
         // A message from p0 with seq 2 arrives; seq 1 was missed.
         let msg = DataMsg {
             mid: Mid::new(ProcessId(0), 2),
@@ -1308,7 +1314,7 @@ mod tests {
 
     #[test]
     fn unbatched_config_never_emits_batch_pdus() {
-        let mut e = Engine::new(ProcessId(2), cfg());
+        let mut e = Engine::new(ProcessId(2), unbatched_cfg());
         let mut d = Decision::genesis(N);
         d.subrun = Subrun(1);
         d.max_processed[0] = MaxProcessed {
@@ -1326,7 +1332,7 @@ mod tests {
             if let Output::Send { pdu, .. } = o {
                 match *pdu {
                     Pdu::RecoveryRq(_) => rqs += 1,
-                    Pdu::RecoveryBatchRq(_) => panic!("default config emits per-origin frames"),
+                    Pdu::RecoveryBatchRq(_) => panic!("unbatched config emits per-origin frames"),
                     _ => {}
                 }
             }

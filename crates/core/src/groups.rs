@@ -24,8 +24,9 @@ use std::sync::Arc;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use urcgc_simnet::{FaultPlan, NetCtx, Node, SimNet, SimOptions};
+use urcgc_types::wire::encode_pdu_into;
 use urcgc_types::{
-    decode_pdu, encode_pdu, DataMsg, Mid, Pdu, ProcessId, ProtocolConfig, Round, WireDecode,
+    decode_pdu, DataMsg, FrameCache, Mid, Pdu, ProcessId, ProtocolConfig, Round, WireDecode,
     WireEncode,
 };
 
@@ -118,13 +119,15 @@ const TAG_REPLY: u8 = 0x42;
 const TAG_DIFFUSION: u8 = 0x43;
 
 impl CsFrame {
-    /// Encodes the frame.
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::new();
+    /// Appends the encoding of the frame to `b`.
+    ///
+    /// The urcgc arm encodes the PDU *directly* into the buffer — no
+    /// intermediate frame allocation and copy.
+    pub fn encode_into(&self, b: &mut BytesMut) {
         match self {
             CsFrame::Urcgc(pdu) => {
                 b.put_u8(TAG_URCGC);
-                b.extend_from_slice(&encode_pdu(pdu));
+                encode_pdu_into(pdu, b);
             }
             CsFrame::ClientRq { req_id, payload } => {
                 b.put_u8(TAG_CLIENT_RQ);
@@ -135,13 +138,20 @@ impl CsFrame {
             CsFrame::Reply { req_id, mid } => {
                 b.put_u8(TAG_REPLY);
                 b.put_u64_le(*req_id);
-                mid.encode(&mut b);
+                mid.encode(b);
             }
             CsFrame::Diffusion(msg) => {
                 b.put_u8(TAG_DIFFUSION);
-                msg.encode(&mut b);
+                msg.encode(b);
             }
         }
+    }
+
+    /// Encodes the frame into a fresh allocation. One-shot convenience;
+    /// send paths on the server go through the node's [`FrameCache`].
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        self.encode_into(&mut b);
         b.freeze()
     }
 
@@ -192,6 +202,9 @@ pub struct ServerNode {
     accepted: HashMap<(ProcessId, u64), Option<Mid>>,
     /// Processed mids, for inspection.
     processed: Vec<Mid>,
+    /// Reused encode arena: one allocation per outgoing frame, shared
+    /// across every destination of a core broadcast or diffusion.
+    frames: FrameCache,
 }
 
 impl ServerNode {
@@ -202,6 +215,7 @@ impl ServerNode {
             on_behalf: HashMap::new(),
             accepted: HashMap::new(),
             processed: Vec::new(),
+            frames: FrameCache::new(),
         }
     }
 
@@ -220,33 +234,52 @@ impl ServerNode {
         while let Some(out) = self.engine.poll_output() {
             match out {
                 Output::Send { to, pdu } => {
-                    net.send(to, pdu.kind().label(), CsFrame::Urcgc(*pdu).encode());
+                    let label = pdu.kind().label();
+                    let cs = CsFrame::Urcgc(*pdu);
+                    let frame = self.frames.encode_with(|b| cs.encode_into(b));
+                    net.send(to, label, frame);
                 }
                 Output::Broadcast { pdu } => {
                     // urcgc traffic goes to the *server* core only.
                     let me = self.engine.me();
                     let label = pdu.kind().label();
                     // Shallow clone: Pdu::Data holds an Arc, and the frame
-                    // is encoded exactly once for the whole fan-out.
-                    let frame = CsFrame::Urcgc(Pdu::clone(&pdu)).encode();
+                    // is encoded exactly once for the whole fan-out; every
+                    // copy after the first is a refcount bump, counted as
+                    // shared bytes.
+                    let cs = CsFrame::Urcgc(Pdu::clone(&pdu));
+                    let frame = self.frames.encode_with(|b| cs.encode_into(b));
+                    let mut first = true;
                     for i in 0..servers {
                         let to = ProcessId::from_index(i);
                         if to != me {
-                            net.send(to, label, frame.clone());
+                            if first {
+                                net.send(to, label, frame.clone());
+                                first = false;
+                            } else {
+                                net.send_shared(to, label, frame.clone());
+                            }
                         }
                     }
                 }
                 Output::Deliver { msg } => {
                     self.processed.push(msg.mid);
                     if self.cfg.diffusion {
-                        let frame = CsFrame::Diffusion(Arc::clone(&msg)).encode();
+                        let cs = CsFrame::Diffusion(Arc::clone(&msg));
+                        let frame = self.frames.encode_with(|b| cs.encode_into(b));
+                        let mut first = true;
                         for c in 0..self.cfg.clients {
                             // Each client receives the diffusion from its
                             // home server only (one copy, not one per
                             // server).
                             let client = ProcessId::from_index(servers + c);
                             if self.cfg.home_server(client) == self.engine.me() {
-                                net.send(client, "diffusion", frame.clone());
+                                if first {
+                                    net.send(client, "diffusion", frame.clone());
+                                    first = false;
+                                } else {
+                                    net.send_shared(client, "diffusion", frame.clone());
+                                }
                             }
                         }
                     }
@@ -254,7 +287,10 @@ impl ServerNode {
                 Output::Confirm { mid } => {
                     if let Some((client, req_id)) = self.on_behalf.remove(&mid) {
                         self.accepted.insert((client, req_id), Some(mid));
-                        net.send(client, "reply", CsFrame::Reply { req_id, mid }.encode());
+                        let frame = self
+                            .frames
+                            .encode_with(|b| CsFrame::Reply { req_id, mid }.encode_into(b));
+                        net.send(client, "reply", frame);
                     }
                 }
                 Output::Discarded { .. } | Output::StatusChanged { .. } => {}

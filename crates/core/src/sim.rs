@@ -16,7 +16,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use urcgc_simnet::{Adversary, FaultPlan, NetCtx, Node, RunOutcome, SimNet, SimOptions, SimStats};
-use urcgc_types::{encode_pdu, Mid, ProcessId, ProtocolConfig, Round};
+use urcgc_types::{FrameCache, Mid, ProcessId, ProtocolConfig, Round};
 
 use crate::engine::Engine;
 use crate::output::{Output, ProcessStatus};
@@ -112,6 +112,9 @@ pub struct UrcgcNode {
     waiting_series: Vec<(u64, usize)>,
     /// Frames that failed to decode (corruption casualties).
     undecodable: u64,
+    /// Reused encode arena: one allocation per outgoing frame, shared
+    /// across every destination of a broadcast.
+    frames: FrameCache,
 }
 
 impl UrcgcNode {
@@ -133,6 +136,7 @@ impl UrcgcNode {
             history_series: Vec::new(),
             waiting_series: Vec::new(),
             undecodable: 0,
+            frames: FrameCache::new(),
         }
     }
 
@@ -236,10 +240,10 @@ impl UrcgcNode {
         while let Some(out) = self.engine.poll_output() {
             match out {
                 Output::Send { to, pdu } => {
-                    net.send(to, pdu.kind().label(), encode_pdu(&pdu));
+                    net.send(to, pdu.kind().label(), self.frames.encode(&pdu));
                 }
                 Output::Broadcast { pdu } => {
-                    net.broadcast(pdu.kind().label(), encode_pdu(&pdu));
+                    net.broadcast(pdu.kind().label(), self.frames.encode(&pdu));
                 }
                 Output::Deliver { msg } => {
                     self.deliveries.insert(msg.mid, net.round());

@@ -283,7 +283,8 @@ fn max_processed_pointing_at_self_never_self_recovers() {
         .filter(|o| {
             matches!(
                 o,
-                Output::Send { pdu, .. } if matches!(**pdu, Pdu::RecoveryRq(_))
+                Output::Send { pdu, .. }
+                    if matches!(**pdu, Pdu::RecoveryRq(_) | Pdu::RecoveryBatchRq(_))
             )
         })
         .collect();

@@ -3,7 +3,8 @@
 //! [`FlatHistory`] is the pre-segmentation table — one `BTreeMap` per
 //! origin — exposed through the same API as the sharded
 //! [`History`](crate::History). It exists for two jobs (the same pattern
-//! as `RescanWaitingList` and `FlatWireSimNet` before it):
+//! as `RescanWaitingList`, and as the flat-wire simulator before its
+//! retirement):
 //!
 //! * the differential proptest replays random insert/purge interleavings
 //!   on both tables and requires observable equivalence;

@@ -15,8 +15,8 @@
 //! * An installed adversary must be deterministic given its own seed; it
 //!   must **not** share the engine's fault RNG (the engine never exposes
 //!   it), so the same `(seed, FaultPlan, adversary)` triple replays the
-//!   same run on both [`crate::SimNet`] and [`crate::FlatWireSimNet`] —
-//!   the checker's differential oracle depends on this.
+//!   same run bit-for-bit — the checker's counterexample replay depends
+//!   on this.
 //! * Reordering happens first, on the whole arrival set of the round;
 //!   drops are then asked per frame in the perturbed order. Dropped frames
 //!   are counted in [`crate::SimStats::adversary_dropped`].

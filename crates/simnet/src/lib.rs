@@ -48,14 +48,12 @@
 
 pub mod adversary;
 pub mod fault;
-pub mod legacy;
 pub mod net;
 pub mod node;
 pub mod timeline;
 
 pub use adversary::{Adversary, FrameView};
 pub use fault::FaultPlan;
-pub use legacy::FlatWireSimNet;
 pub use net::{RunOutcome, SimNet, SimOptions, SimStats};
 pub use node::{NetCtx, Node, Outgoing};
 pub use timeline::ByteTimeline;

@@ -9,13 +9,13 @@
 //! so a frame delayed `d` rounds by `slow_sender` is touched once on arrival
 //! instead of being re-examined `d` times by a full wire rescan.
 //!
-//! The delivery order and RNG draw sequence are bit-for-bit identical to the
-//! flat-wire engine this replaced (kept as [`crate::legacy::FlatWireSimNet`]
-//! for differential testing): the flat wire was ordered by (send round,
-//! within-round enqueue order) and frames drew no randomness while parked,
-//! so bucket-fill order — older send rounds first, enqueue order within a
-//! round — reproduces the rescan's arrival order exactly, and every fault
-//! draw happens at the same point in the ChaCha stream.
+//! The delivery order and RNG draw sequence are bit-for-bit identical to
+//! the flat-wire engine this replaced (retired after three PRs of
+//! differential testing found no divergence): the flat wire was ordered by
+//! (send round, within-round enqueue order) and frames drew no randomness
+//! while parked, so bucket-fill order — older send rounds first, enqueue
+//! order within a round — reproduces the rescan's arrival order exactly,
+//! and every fault draw happens at the same point in the ChaCha stream.
 
 use std::collections::VecDeque;
 
@@ -93,6 +93,15 @@ pub struct SimStats {
     /// Arriving frames dropped by an installed [`Adversary`] (targeted
     /// omissions; always 0 without an adversary).
     pub adversary_dropped: u64,
+    /// Bytes of frames the nodes actually encoded (each unique frame
+    /// counted once, at its first enqueue) — the real allocation/copy cost
+    /// of the send path.
+    pub encoded_bytes: u64,
+    /// Bytes offered to the wire by refcount-sharing an already-encoded
+    /// frame (fan-out copies beyond the first). With encode-once fan-out,
+    /// `encoded_bytes + shared_bytes` equals the total offered bytes; the
+    /// ratio is the zero-copy win.
+    pub shared_bytes: u64,
     /// Offered wire bytes over time (per round by default, or aggregated
     /// into fixed windows via [`SimOptions::bytes_window`]) — the network
     /// load timeline the paper's Section 6 characterizes.
@@ -284,6 +293,9 @@ impl<N: Node> SimNet<N> {
             {
                 let mut ctx = NetCtx::new(msg.to, n, round, &mut out);
                 self.nodes[msg.to.index()].on_frame(msg.from, msg.frame, &mut ctx);
+                let (encoded, shared) = ctx.share_gauge();
+                self.stats.encoded_bytes += encoded;
+                self.stats.shared_bytes += shared;
             }
             self.stats.delivered += 1;
             self.filter_sends(msg.to, round, &mut out);
@@ -301,6 +313,9 @@ impl<N: Node> SimNet<N> {
             {
                 let mut ctx = NetCtx::new(me, n, round, &mut out);
                 self.nodes[i].on_round(round, &mut ctx);
+                let (encoded, shared) = ctx.share_gauge();
+                self.stats.encoded_bytes += encoded;
+                self.stats.shared_bytes += shared;
             }
             self.filter_sends(me, round, &mut out);
             self.note_done(i);
@@ -667,6 +682,25 @@ mod load_tests {
         assert_eq!(series.len(), 4);
         // 3 nodes × 2 dests × 8 bytes per round.
         assert!(series.iter().all(|&b| b == 48), "{series:?}");
+    }
+
+    #[test]
+    fn share_gauge_splits_offered_bytes_into_encoded_and_shared() {
+        let mut net = SimNet::new(
+            vec![Talker, Talker, Talker],
+            FaultPlan::none(),
+            SimOptions::default(),
+        );
+        net.run_rounds(4);
+        // Each broadcast encodes its 8 bytes once and refcount-shares the
+        // second of its 2 destination copies.
+        assert_eq!(net.stats().encoded_bytes, 3 * 4 * 8);
+        assert_eq!(net.stats().shared_bytes, 3 * 4 * 8);
+        assert_eq!(
+            net.stats().encoded_bytes + net.stats().shared_bytes,
+            net.stats().bytes_per_round.total(),
+            "gauges must partition the offered load"
+        );
     }
 
     #[test]

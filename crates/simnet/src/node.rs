@@ -32,11 +32,30 @@ pub struct NetCtx<'a> {
     n: usize,
     round: Round,
     out: &'a mut Vec<Outgoing>,
+    /// Bytes of frames encoded fresh during this invocation (each unique
+    /// frame counted once).
+    encoded_bytes: u64,
+    /// Bytes put on the wire by refcount-sharing an already-counted frame
+    /// (fan-out clones beyond the first copy).
+    shared_bytes: u64,
 }
 
 impl<'a> NetCtx<'a> {
     pub(crate) fn new(me: ProcessId, n: usize, round: Round, out: &'a mut Vec<Outgoing>) -> Self {
-        NetCtx { me, n, round, out }
+        NetCtx {
+            me,
+            n,
+            round,
+            out,
+            encoded_bytes: 0,
+            shared_bytes: 0,
+        }
+    }
+
+    /// (encoded, shared) byte deltas accumulated by this invocation; the
+    /// engine folds them into [`crate::SimStats`].
+    pub(crate) fn share_gauge(&self) -> (u64, u64) {
+        (self.encoded_bytes, self.shared_bytes)
     }
 
     /// The node this context belongs to.
@@ -54,24 +73,40 @@ impl<'a> NetCtx<'a> {
         self.round
     }
 
-    /// Queues a unicast frame.
+    /// Queues a unicast frame (counted as freshly encoded bytes).
     pub fn send(&mut self, to: ProcessId, kind: &'static str, frame: Bytes) {
+        self.encoded_bytes += frame.len() as u64;
+        self.out.push(Outgoing { to, kind, frame });
+    }
+
+    /// Queues a unicast clone of a frame whose encoding was already
+    /// counted — manual fan-outs use this for every copy after the first so
+    /// the encoded-vs-shared gauge stays honest.
+    pub fn send_shared(&mut self, to: ProcessId, kind: &'static str, frame: Bytes) {
+        self.shared_bytes += frame.len() as u64;
         self.out.push(Outgoing { to, kind, frame });
     }
 
     /// Queues the same frame to every *other* group member (n−1 unicasts —
     /// the `n`-unicast semantics of the paper's transport service with no
-    /// required replies).
+    /// required replies). The frame's bytes are counted encoded once; every
+    /// further destination is a refcount-shared copy.
     pub fn broadcast(&mut self, kind: &'static str, frame: Bytes) {
+        let mut copies = 0u64;
         for i in 0..self.n {
             let to = ProcessId::from_index(i);
             if to != self.me {
+                copies += 1;
                 self.out.push(Outgoing {
                     to,
                     kind,
                     frame: frame.clone(),
                 });
             }
+        }
+        if copies > 0 {
+            self.encoded_bytes += frame.len() as u64;
+            self.shared_bytes += frame.len() as u64 * (copies - 1);
         }
     }
 

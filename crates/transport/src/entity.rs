@@ -21,9 +21,11 @@ pub struct TransportConfig {
     /// regardless (the primitive never fails).
     pub max_retries: u32,
     /// Coalesce a tick's retransmissions to one wire frame per
-    /// destination ([`TFrame::Batch`]). Off by default: batching changes
-    /// the frame population the simulator sees, so existing sweeps keep
-    /// per-fragment framing unless a scenario opts in.
+    /// destination ([`TFrame::Batch`]). On by default: batching amortizes
+    /// per-datagram cost over every queued fragment without changing what
+    /// the receiver reassembles. It does change the frame population the
+    /// simulator sees, so the digest-gated sweep documents were re-pinned
+    /// when this default flipped; set to `false` for per-fragment framing.
     pub batch_retransmissions: bool,
 }
 
@@ -33,7 +35,7 @@ impl Default for TransportConfig {
             mtu: 512,
             retx_interval: 2,
             max_retries: 4,
-            batch_retransmissions: false,
+            batch_retransmissions: true,
         }
     }
 }
@@ -208,17 +210,25 @@ impl TransportEntity {
                 }
                 entry.got.insert(frag_index, payload);
                 if entry.got.len() == frag_count as usize {
-                    let entry = self.reassembly.remove(&key).expect("just present");
-                    let mut data = BytesMut::new();
-                    for i in 0..frag_count {
-                        data.extend_from_slice(&entry.got[&i]);
-                    }
+                    let mut entry = self.reassembly.remove(&key).expect("just present");
+                    let data = if frag_count == 1 {
+                        // Borrowed fast path: a lone fragment's payload is
+                        // already a zero-copy view into the received
+                        // datagram — hand it up as-is.
+                        entry.got.remove(&0).expect("sole fragment present")
+                    } else {
+                        // Multi-fragment SDUs get exactly one assembly
+                        // buffer, sized up front.
+                        let total: usize = entry.got.values().map(Bytes::len).sum();
+                        let mut data = BytesMut::with_capacity(total);
+                        for i in 0..frag_count {
+                            data.extend_from_slice(&entry.got[&i]);
+                        }
+                        data.freeze()
+                    };
                     self.delivered.insert(key);
                     self.push_ack(from, xfer);
-                    self.outbox.push(TOutput::Ind {
-                        from: src,
-                        data: data.freeze(),
-                    });
+                    self.outbox.push(TOutput::Ind { from: src, data });
                 }
             }
         }
@@ -620,5 +630,91 @@ mod tests {
     fn h_larger_than_dest_set_panics() {
         let mut a = TransportEntity::new(ProcessId(0), TransportConfig::default());
         let _ = a.t_data_rq(&[ProcessId(1)], 4, Bytes::new());
+    }
+
+    #[test]
+    fn single_fragment_indication_borrows_the_datagram() {
+        // Borrowed decode: an SDU that fits one fragment must come back up
+        // as a zero-copy view into the received datagram, not a fresh
+        // allocation.
+        let mut a = TransportEntity::new(ProcessId(0), TransportConfig::default());
+        let mut b = TransportEntity::new(ProcessId(1), TransportConfig::default());
+        a.t_data_rq(&[ProcessId(1)], 1, Bytes::from_static(b"view into me"));
+        let datagram = std::iter::from_fn(|| a.poll_output())
+            .find_map(|o| match o {
+                TOutput::Send { frame, .. } => Some(frame),
+                _ => None,
+            })
+            .expect("one fragment sent");
+        b.on_frame(ProcessId(0), datagram.clone());
+        let ind = b
+            .drain_inds()
+            .into_iter()
+            .find_map(|o| match o {
+                TOutput::Ind { data, .. } => Some(data),
+                _ => None,
+            })
+            .expect("delivered");
+        assert_eq!(&ind[..], b"view into me");
+        let outer = datagram.as_ptr() as usize;
+        let inner = ind.as_ptr() as usize;
+        assert!(
+            inner >= outer && inner + ind.len() <= outer + datagram.len(),
+            "indication re-allocated instead of borrowing the datagram"
+        );
+    }
+
+    #[test]
+    fn corrupted_batch_frames_never_forge_a_pdu() {
+        // Checksum sweep over the 0xB7 envelope: flip every byte of a
+        // batched retransmission carrying a fragmented encoded PDU. Each
+        // flip must be caught — by TFrame::decode (envelope damage), by
+        // reassembly (shape damage), or by the PDU checksum trailer
+        // (payload damage). A flip may at worst reproduce the original;
+        // it must never decode to a *different* PDU.
+        use urcgc_types::wire::{decode_pdu, encode_pdu};
+        use urcgc_types::{DataMsg, Mid, Pdu, Round};
+
+        let pdu = Pdu::data(DataMsg {
+            mid: Mid::new(ProcessId(0), 7),
+            deps: vec![Mid::new(ProcessId(1), 3)],
+            round: Round(2),
+            payload: Bytes::from_static(b"batched payload under test"),
+        });
+        let sdu = encode_pdu(&pdu);
+        let cfg = TransportConfig {
+            mtu: 16,
+            retx_interval: 1,
+            max_retries: 5,
+            batch_retransmissions: true,
+        };
+        let mut a = TransportEntity::new(ProcessId(0), cfg);
+        a.t_data_rq(&[ProcessId(1)], 1, sdu);
+        while a.poll_output().is_some() {} // first transmission lost
+        a.on_tick();
+        let batch = std::iter::from_fn(|| a.poll_output())
+            .find_map(|o| match o {
+                TOutput::Send { frame, .. } => Some(frame),
+                _ => None,
+            })
+            .expect("batched resend");
+        assert_eq!(batch[0], 0xB7, "envelope under test is a batch");
+
+        for i in 0..batch.len() {
+            let mut raw = batch.to_vec();
+            raw[i] ^= 0x10;
+            let mut rx = TransportEntity::new(ProcessId(1), cfg);
+            rx.on_frame(ProcessId(0), Bytes::from(raw));
+            for out in rx.drain_inds() {
+                if let TOutput::Ind { data, .. } = out {
+                    match decode_pdu(&data) {
+                        Err(_) => {} // checksum/structure caught it
+                        Ok(back) => {
+                            assert_eq!(back, pdu, "flip at byte {i} forged a different PDU")
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -41,4 +41,4 @@ pub use pdu::{
     RecoveryWant, RequestMsg,
 };
 pub use view::GroupView;
-pub use wire::{decode_pdu, encode_pdu, WireDecode, WireEncode};
+pub use wire::{decode_pdu, encode_pdu, FrameCache, WireDecode, WireEncode};

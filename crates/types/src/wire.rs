@@ -62,14 +62,80 @@ fn frame_checksum(body: &[u8]) -> u32 {
     h
 }
 
+/// Appends the framed encoding of `pdu` (body + checksum trailer) to `buf`.
+///
+/// The `encoded_len` contract is a **hard** assertion, release builds
+/// included: fragmentation and pre-sizing derive datagram shapes from frame
+/// lengths, so a stale `encoded_len` impl must abort the send rather than
+/// silently emit a mis-framed PDU.
+pub fn encode_pdu_into(pdu: &Pdu, buf: &mut BytesMut) {
+    let start = buf.len();
+    pdu.encode(buf);
+    assert_eq!(
+        buf.len() - start,
+        pdu.encoded_len(),
+        "encoded_len out of sync with encode(): framing would corrupt"
+    );
+    let sum = frame_checksum(&buf[start..]);
+    buf.put_u32_le(sum);
+}
+
 /// Encodes a PDU into a freshly allocated frame (body + checksum trailer).
+///
+/// One-shot convenience; fan-out paths should prefer [`FrameCache`], which
+/// amortizes the buffer across frames.
 pub fn encode_pdu(pdu: &Pdu) -> Bytes {
     let mut buf = BytesMut::with_capacity(pdu.encoded_len() + FRAME_TRAILER_LEN);
-    pdu.encode(&mut buf);
-    debug_assert_eq!(buf.len(), pdu.encoded_len(), "encoded_len out of sync");
-    let sum = frame_checksum(&buf);
-    buf.put_u32_le(sum);
+    encode_pdu_into(pdu, &mut buf);
     buf.freeze()
+}
+
+/// Reusable encode arena: encode once, refcount-share per destination.
+///
+/// The naive send path pays at least two allocations per frame (buffer
+/// growth plus the freeze into an `Arc<[u8]>`) — and the pre-PR fan-out
+/// paid that *per destination*. A `FrameCache` keeps one warm `BytesMut`
+/// across calls: encoding writes into retained capacity (zero growth
+/// allocations at steady state) and the returned [`Bytes`] is a single
+/// shared allocation that callers `clone()` per destination for the cost
+/// of a refcount bump. Net steady-state cost: exactly one allocation per
+/// *frame*, independent of fan-out.
+#[derive(Debug, Default)]
+pub struct FrameCache {
+    buf: BytesMut,
+}
+
+impl FrameCache {
+    /// Creates an empty cache; the arena warms up on first use.
+    pub fn new() -> FrameCache {
+        FrameCache {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Encodes `pdu` into one frame (body + checksum trailer). Clone the
+    /// returned `Bytes` per destination — clones share the allocation.
+    pub fn encode(&mut self, pdu: &Pdu) -> Bytes {
+        self.buf.clear();
+        self.buf.reserve(pdu.encoded_len() + FRAME_TRAILER_LEN);
+        encode_pdu_into(pdu, &mut self.buf);
+        Bytes::copy_from_slice(&self.buf)
+    }
+
+    /// Encodes an arbitrary frame layout through the warm buffer: `fill`
+    /// writes the frame body, the cache copies it out as one shared
+    /// allocation. For non-PDU framings (e.g. the client/server codec)
+    /// that want the same arena reuse.
+    pub fn encode_with(&mut self, fill: impl FnOnce(&mut BytesMut)) -> Bytes {
+        self.buf.clear();
+        fill(&mut self.buf);
+        Bytes::copy_from_slice(&self.buf)
+    }
+
+    /// Bytes of capacity currently retained by the arena.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
 }
 
 /// Decodes a PDU from a frame, verifying the checksum trailer and requiring
@@ -780,20 +846,105 @@ mod tests {
         ));
     }
 
+    fn sample_batch_rq() -> Pdu {
+        Pdu::RecoveryBatchRq(RecoveryBatchRq {
+            requester: ProcessId(4),
+            wants: vec![
+                RecoveryWant {
+                    origin: ProcessId(0),
+                    after_seq: 2,
+                    upto_seq: 9,
+                },
+                RecoveryWant {
+                    origin: ProcessId(2),
+                    after_seq: NO_SEQ,
+                    upto_seq: 3,
+                },
+            ],
+        })
+    }
+
+    fn sample_batch() -> Pdu {
+        Pdu::RecoveryBatch(RecoveryBatch {
+            responder: ProcessId(1),
+            runs: vec![RecoveryRun {
+                origin: ProcessId(0),
+                messages: vec![Arc::new(DataMsg {
+                    mid: Mid::new(ProcessId(0), 3),
+                    deps: vec![Mid::new(ProcessId(0), 2)],
+                    round: Round(6),
+                    payload: Bytes::from_static(b"recovered"),
+                })],
+            }],
+        })
+    }
+
     #[test]
     fn corrupted_frame_fails_the_checksum() {
-        let frame = encode_pdu(&Pdu::Decision(sample_decision(4)));
-        for i in 0..frame.len() {
-            let mut raw = frame.to_vec();
-            raw[i] ^= 0x04;
-            assert!(
-                matches!(
-                    decode_pdu(&Bytes::from(raw)),
-                    Err(WireError::ChecksumMismatch { .. })
-                ),
-                "flip at byte {i} slipped through"
-            );
+        // Sweep every byte of every shape we put on the wire by default —
+        // including the batched recovery tags (6/7), which are the common
+        // case now that `batched_recovery` defaults on.
+        for pdu in [
+            Pdu::Decision(sample_decision(4)),
+            sample_batch_rq(),
+            sample_batch(),
+        ] {
+            let frame = encode_pdu(&pdu);
+            for i in 0..frame.len() {
+                let mut raw = frame.to_vec();
+                raw[i] ^= 0x04;
+                assert!(
+                    matches!(
+                        decode_pdu(&Bytes::from(raw)),
+                        Err(WireError::ChecksumMismatch { .. })
+                    ),
+                    "flip at byte {i} slipped through"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn frame_cache_matches_one_shot_encoding() {
+        let mut cache = FrameCache::new();
+        for pdu in [
+            Pdu::Decision(sample_decision(4)),
+            sample_batch_rq(),
+            sample_batch(),
+            Pdu::data(DataMsg {
+                mid: Mid::new(ProcessId(3), 12),
+                deps: vec![Mid::new(ProcessId(0), 1)],
+                round: Round(8),
+                payload: Bytes::from_static(b"causal payload"),
+            }),
+        ] {
+            let cached = cache.encode(&pdu);
+            assert_eq!(cached, encode_pdu(&pdu), "cache changed the framing");
+            assert_eq!(decode_pdu(&cached).expect("decode"), pdu);
+        }
+    }
+
+    #[test]
+    fn frame_cache_clones_share_one_allocation() {
+        let mut cache = FrameCache::new();
+        let frame = cache.encode(&Pdu::Decision(sample_decision(8)));
+        let fanout: Vec<Bytes> = (0..100).map(|_| frame.clone()).collect();
+        let base = frame.as_ptr();
+        for copy in &fanout {
+            assert_eq!(copy.as_ptr(), base, "clone re-allocated the frame");
+        }
+    }
+
+    #[test]
+    fn frame_cache_retains_capacity_across_frames() {
+        let mut cache = FrameCache::new();
+        let big = cache.encode(&Pdu::Decision(sample_decision(64)));
+        let warm = cache.capacity();
+        assert!(warm >= big.len());
+        // Smaller frames reuse the warm arena instead of growing it.
+        cache.encode(&Pdu::Decision(sample_decision(4)));
+        cache.encode(&sample_batch_rq());
+        assert_eq!(cache.capacity(), warm, "steady-state encode grew the arena");
     }
 
     #[test]

@@ -39,9 +39,15 @@ impl Bytes {
         Bytes::from_vec(bytes.to_vec())
     }
 
-    /// Copies `data` into a new `Bytes`.
+    /// Copies `data` into a new `Bytes` (one allocation: the slice goes
+    /// straight into the shared `Arc<[u8]>`, with no intermediate `Vec`).
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes::from_vec(data.to_vec())
+        let end = data.len();
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end,
+        }
     }
 
     fn from_vec(v: Vec<u8>) -> Self {
@@ -268,6 +274,18 @@ impl BytesMut {
     /// Reserves space for at least `additional` more bytes.
     pub fn reserve(&mut self, additional: usize) {
         self.data.reserve(additional);
+    }
+
+    /// Empties the buffer, keeping its capacity (the arena-reuse primitive:
+    /// clear, re-encode, copy out — zero growth allocations at steady
+    /// state).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Appends a slice.
