@@ -30,6 +30,8 @@ USAGE:
 
 OPTIONS:
   --profile P   soak (default: ~4M messages total) | smoke (~10⁴, for CI)
+                | overlay (tree dissemination at n ∈ {100, 1000}, the
+                n = 1000 barrier-breaker cell — also a CI gate)
   --jobs J      run grid cells on J worker threads (default 1; output is
                 identical whatever J is, per-window progress lines excepted)
   --json PATH   write the urcgc-bench/1 document to PATH
@@ -38,8 +40,11 @@ OPTIONS:
 
 struct Profile {
     name: &'static str,
-    /// (n, msgs_per_proc) scenario grid, run for every protocol.
+    /// (n, msgs_per_proc) scenario grid, run for every protocol in
+    /// `protocols`.
     grid: &'static [(usize, u64)],
+    /// Protocols each grid row runs under.
+    protocols: &'static [SoakProtocol],
     window: u64,
 }
 
@@ -49,12 +54,27 @@ struct Profile {
 const SOAK: Profile = Profile {
     name: "soak",
     grid: &[(10, 100_000), (50, 4_000), (100, 1_000)],
+    protocols: &SoakProtocol::ALL,
     window: 4_096,
 };
 
 const SMOKE: Profile = Profile {
     name: "smoke",
     grid: &[(10, 400)],
+    protocols: &SoakProtocol::ALL,
+    window: 256,
+};
+
+/// The overlay cells: tree dissemination (degree 8) at n = 100 for
+/// comparison against the classic grid's direct n = 100 row, and the
+/// n = 1000 cell that direct n-unicast cannot reach — every process
+/// originates ≤ 8 copies per logical broadcast instead of 999. CI gates
+/// the emitted document on `worst_broadcast_fanout` staying at the
+/// degree and on bounded history-residency gauges.
+const OVERLAY: Profile = Profile {
+    name: "overlay",
+    grid: &[(100, 40), (1000, 4)],
+    protocols: &[SoakProtocol::UrcgcOverlay],
     window: 256,
 };
 
@@ -77,7 +97,12 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 opts.profile = match it.next().map(String::as_str) {
                     Some("soak") => &SOAK,
                     Some("smoke") => &SMOKE,
-                    other => return Err(format!("--profile expects soak|smoke, got {other:?}")),
+                    Some("overlay") => &OVERLAY,
+                    other => {
+                        return Err(format!(
+                            "--profile expects soak|smoke|overlay, got {other:?}"
+                        ))
+                    }
                 }
             }
             "--jobs" => {
@@ -118,7 +143,7 @@ fn main() {
     let cells: Vec<(usize, u64, SoakProtocol)> = profile
         .grid
         .iter()
-        .flat_map(|&(n, msgs)| SoakProtocol::ALL.map(|p| (n, msgs, p)))
+        .flat_map(|&(n, msgs)| profile.protocols.iter().map(move |&p| (n, msgs, p)))
         .collect();
     let progress = opts.jobs == 1;
     let reports: Vec<SoakReport> = run_pool(cells.len(), opts.jobs, |i| {

@@ -29,6 +29,7 @@ use urcgc::{Engine, Output, ProtocolConfig};
 use urcgc_baselines::cbcast::Load;
 use urcgc_baselines::{CbcastNode, PsyncNode};
 use urcgc_metrics::Json;
+use urcgc_overlay::{is_relay_frame, Disseminator, OverlayConfig, RelayDisposition};
 use urcgc_simnet::{FaultPlan, NetCtx, Node, SimNet, SimOptions};
 use urcgc_types::{FrameCache, Mid, ProcessId, Round};
 
@@ -49,6 +50,15 @@ pub struct SoakUrcgcNode {
     /// Reused encode arena: one allocation per outgoing frame, shared
     /// across every destination of a broadcast.
     frames: FrameCache,
+    /// Overlay disseminator, when this soak routes `data`/`decision`
+    /// broadcasts hop-by-hop instead of by direct n-unicast.
+    overlay: Option<Disseminator>,
+    /// Logical broadcasts this node originated (data + decision PDUs).
+    broadcasts: u64,
+    /// Wire copies those broadcasts cost at the origin: n−1 each under
+    /// direct dissemination, ≤ degree under the overlay. The ratio is the
+    /// origin fan-out the overlay exists to flatten.
+    broadcast_copies: u64,
 }
 
 impl SoakUrcgcNode {
@@ -69,7 +79,20 @@ impl SoakUrcgcNode {
             peak_history: 0,
             peak_waiting: 0,
             frames: FrameCache::new(),
+            overlay: None,
+            broadcasts: 0,
+            broadcast_copies: 0,
         }
+    }
+
+    /// Routes this node's `data`/`decision` broadcasts over the overlay
+    /// (control traffic stays direct) — same semantics as
+    /// `urcgc::sim::UrcgcNode::with_overlay`. Every group member must be
+    /// given the same config.
+    pub fn with_overlay(mut self, cfg: OverlayConfig) -> Self {
+        let n = self.engine.config().n;
+        self.overlay = Some(Disseminator::new(self.engine.me(), n, cfg));
+        self
     }
 
     /// Application messages processed here.
@@ -105,6 +128,12 @@ impl SoakUrcgcNode {
     /// Orphan-destruction victims plus undecodable frames seen here.
     pub fn losses(&self) -> u64 {
         self.discarded + self.undecodable
+    }
+
+    /// (logical broadcasts originated, wire copies they cost at this
+    /// origin) — the per-process fan-out gauge.
+    pub fn fanout(&self) -> (u64, u64) {
+        (self.broadcasts, self.broadcast_copies)
     }
 
     /// Whole budget generated, no backlog, no known gap (same rule as the
@@ -153,7 +182,27 @@ impl SoakUrcgcNode {
                     net.send(to, pdu.kind().label(), self.frames.encode(&pdu));
                 }
                 Output::Broadcast { pdu } => {
-                    net.broadcast(pdu.kind().label(), self.frames.encode(&pdu));
+                    let kind = pdu.kind().label();
+                    let inner = self.frames.encode(&pdu);
+                    self.broadcasts += 1;
+                    match self.overlay.as_mut() {
+                        Some(ov) => {
+                            ov.sync_view(self.engine.view().flags());
+                            let (envelope, targets) = ov.broadcast(&inner);
+                            self.broadcast_copies += targets.len() as u64;
+                            for (i, to) in targets.into_iter().enumerate() {
+                                if i == 0 {
+                                    net.send(to, kind, envelope.clone());
+                                } else {
+                                    net.send_shared(to, kind, envelope.clone());
+                                }
+                            }
+                        }
+                        None => {
+                            self.broadcast_copies += self.engine.config().n as u64 - 1;
+                            net.broadcast(kind, inner);
+                        }
+                    }
                 }
                 Output::Deliver { msg } => {
                     self.delivered += 1;
@@ -165,6 +214,34 @@ impl SoakUrcgcNode {
                 Output::Discarded { mids } => self.discarded += mids.len() as u64,
                 Output::StatusChanged { .. } => {}
             }
+        }
+    }
+
+    /// Handles an arriving overlay envelope: dedup, forward to overlay
+    /// children, deliver the inner frame to the engine (mirrors
+    /// `urcgc::sim::UrcgcNode::on_relay_frame`).
+    fn on_relay_frame(&mut self, frame: &Bytes, net: &mut NetCtx<'_>) {
+        let disposition = {
+            let ov = self.overlay.as_mut().expect("relay frame without overlay");
+            ov.sync_view(self.engine.view().flags());
+            ov.on_frame(frame)
+        };
+        match disposition {
+            RelayDisposition::Deliver {
+                origin,
+                inner,
+                forward,
+                envelope,
+            } => {
+                for to in forward {
+                    net.send_relayed(to, "relay", envelope.clone());
+                }
+                if self.engine.on_frame(origin, &inner).is_err() {
+                    self.undecodable += 1;
+                }
+            }
+            RelayDisposition::Duplicate => {}
+            RelayDisposition::Undecodable => self.undecodable += 1,
         }
     }
 }
@@ -179,7 +256,9 @@ impl Node for SoakUrcgcNode {
     }
 
     fn on_frame(&mut self, from: ProcessId, frame: Bytes, net: &mut NetCtx<'_>) {
-        if self.engine.on_frame(from, &frame).is_err() {
+        if self.overlay.is_some() && is_relay_frame(&frame) {
+            self.on_relay_frame(&frame, net);
+        } else if self.engine.on_frame(from, &frame).is_err() {
             self.undecodable += 1;
         }
         self.flush(net);
@@ -206,6 +285,9 @@ pub struct WindowSample {
     /// Bytes put on the wire as refcount-shared clones of already-encoded
     /// frames (fan-out copies beyond the first) during the window.
     pub shared_bytes: u64,
+    /// Bytes re-sent unchanged as overlay forwards during the window
+    /// (0 when dissemination is direct n-unicast).
+    pub relayed_bytes: u64,
     /// Max live history segments across nodes at the window boundary
     /// (gauge; 0 for baselines, which keep no segmented table).
     pub history_segments: usize,
@@ -238,6 +320,22 @@ pub struct SoakReport {
     pub encoded_bytes: u64,
     /// Bytes offered as refcount-shared fan-out clones over the run.
     pub shared_bytes: u64,
+    /// Bytes offered as overlay forwards (re-sent arrivals) over the run.
+    pub relayed_bytes: u64,
+    /// Per-process frames originated (unicasts plus first-hop broadcast
+    /// copies), indexed by process.
+    pub frames_sent: Vec<u64>,
+    /// Per-process frames forwarded on behalf of another origin — the
+    /// overlay relay load (all zeros under direct n-unicast).
+    pub frames_relayed: Vec<u64>,
+    /// Logical `data`/`decision` broadcasts originated, summed over nodes
+    /// (0 for the baselines, which don't report the gauge).
+    pub broadcasts: u64,
+    /// Worst origin fan-out: max over processes of ⌈wire copies per
+    /// logical broadcast⌉. Direct dissemination pins this at n−1; the
+    /// overlay bounds it by the configured degree — the number the
+    /// n = 1000 CI cell gates on.
+    pub worst_broadcast_fanout: u64,
     /// Whether every alive node finished inside the round budget.
     pub completed: bool,
     /// Whether the run was cut short by the stall detector (no application
@@ -287,6 +385,7 @@ impl SoakReport {
                     .with("wire_bytes", w.wire_bytes)
                     .with("encoded_bytes", w.encoded_bytes)
                     .with("shared_bytes", w.shared_bytes)
+                    .with("relayed_bytes", w.relayed_bytes)
                     .with("history_segments", w.history_segments)
                     .with("history_bytes", w.history_bytes)
                     .with("purge_lag", w.purge_lag)
@@ -311,6 +410,17 @@ impl SoakReport {
                     .with("wire_bytes", self.wire_bytes)
                     .with("encoded_bytes", self.encoded_bytes)
                     .with("shared_bytes", self.shared_bytes)
+                    .with("relayed_bytes", self.relayed_bytes)
+                    .with(
+                        "max_frames_sent",
+                        self.frames_sent.iter().copied().max().unwrap_or(0),
+                    )
+                    .with(
+                        "max_frames_relayed",
+                        self.frames_relayed.iter().copied().max().unwrap_or(0),
+                    )
+                    .with("broadcasts", self.broadcasts)
+                    .with("worst_broadcast_fanout", self.worst_broadcast_fanout)
                     .with("completed", self.completed)
                     .with("stalled", self.stalled)
                     .with("wall_secs", self.wall_secs)
@@ -371,7 +481,9 @@ pub struct SoakSpec {
 /// chunk. `app_delivered` extracts the per-node application delivery
 /// counter; `peaks` the per-node (history, waiting) gauges; `residency`
 /// the current (live segments, payload bytes, purge lag) triple, sampled
-/// across nodes at every window boundary (baselines return zeros).
+/// across nodes at every window boundary (baselines return zeros); and
+/// `fanout` the (logical broadcasts, origin wire copies) pair per node
+/// (baselines return zeros).
 pub fn run_soak<N: Node>(
     spec: SoakSpec,
     nodes: Vec<N>,
@@ -379,6 +491,7 @@ pub fn run_soak<N: Node>(
     app_delivered: impl Fn(&N) -> u64,
     peaks: impl Fn(&N) -> (usize, usize),
     residency: impl Fn(&N) -> (usize, usize, u64),
+    fanout: impl Fn(&N) -> (u64, u64),
 ) -> SoakReport {
     let SoakSpec {
         protocol,
@@ -399,13 +512,13 @@ pub fn run_soak<N: Node>(
     let started = Instant::now();
     let mut windows: Vec<WindowSample> = Vec::new();
     let (mut prev_frames, mut prev_app, mut prev_bytes) = (0u64, 0u64, 0u64);
-    let (mut prev_encoded, mut prev_shared) = (0u64, 0u64);
+    let (mut prev_encoded, mut prev_shared, mut prev_relayed) = (0u64, 0u64, 0u64);
     let mut idle_windows = 0u32;
     let mut stalled = false;
     while !net.all_done() && net.round().0 < max_rounds {
         // A protocol that cannot finish under the fault plan (CBCAST after
         // a member crash) would otherwise spin to the round limit; eight
-        // delivery-free windows is a conservative steady-state detector.
+        // dead windows is a conservative steady-state detector.
         if idle_windows >= 8 {
             stalled = true;
             if progress {
@@ -418,7 +531,11 @@ pub fn run_soak<N: Node>(
         let frames = net.stats().delivered;
         let app: u64 = net.nodes().iter().map(&app_delivered).sum();
         let bytes = net.stats().bytes_per_round.total();
-        let (encoded, shared) = (net.stats().encoded_bytes, net.stats().shared_bytes);
+        let (encoded, shared, relayed) = (
+            net.stats().encoded_bytes,
+            net.stats().shared_bytes,
+            net.stats().relayed_bytes,
+        );
         let (segs, res_bytes, lag) = net
             .nodes()
             .iter()
@@ -433,13 +550,23 @@ pub fn run_soak<N: Node>(
             wire_bytes: bytes - prev_bytes,
             encoded_bytes: encoded - prev_encoded,
             shared_bytes: shared - prev_shared,
+            relayed_bytes: relayed - prev_relayed,
             history_segments: segs,
             history_bytes: res_bytes,
             purge_lag: lag,
         };
         (prev_frames, prev_app, prev_bytes) = (frames, app, bytes);
-        (prev_encoded, prev_shared) = (encoded, shared);
-        idle_windows = if sample.app_delivered == 0 {
+        (prev_encoded, prev_shared, prev_relayed) = (encoded, shared, relayed);
+        // A window is "idle" only when NOTHING moved — no application
+        // deliveries AND no frames. Keying on deliveries alone misreads
+        // warm-up as a stall once n is large: at n = 1000 the first
+        // decision (and hence the first processed message) can lag the
+        // first window by far more than 8 windows while the wire is
+        // saturated with perfectly healthy traffic. A genuinely wedged
+        // baseline (CBCAST blocked on a crashed member's vector-clock
+        // entries) still trips this: once the senders' budgets drain,
+        // frames stop too.
+        idle_windows = if sample.app_delivered == 0 && sample.frames == 0 {
             idle_windows + 1
         } else {
             0
@@ -456,14 +583,26 @@ pub fn run_soak<N: Node>(
     let wall_secs = started.elapsed().as_secs_f64();
     let rounds = net.round().0;
     let wire_bytes = net.stats().bytes_per_round.total();
-    let (encoded_bytes, shared_bytes) = (net.stats().encoded_bytes, net.stats().shared_bytes);
+    let (encoded_bytes, shared_bytes, relayed_bytes) = (
+        net.stats().encoded_bytes,
+        net.stats().shared_bytes,
+        net.stats().relayed_bytes,
+    );
     let frames = net.stats().delivered;
+    let frames_sent = net.stats().frames_sent.clone();
+    let frames_relayed = net.stats().frames_relayed.clone();
     let (nodes, _) = net.into_parts();
     let app_total: u64 = nodes.iter().map(&app_delivered).sum();
     let (peak_history, peak_waiting) = nodes
         .iter()
         .map(&peaks)
         .fold((0, 0), |(h, w), (nh, nw)| (h.max(nh), w.max(nw)));
+    let (broadcasts, worst_broadcast_fanout) = nodes
+        .iter()
+        .map(&fanout)
+        .fold((0u64, 0u64), |(total, worst), (b, copies)| {
+            (total + b, worst.max(copies.div_ceil(b.max(1))))
+        });
     let (peak_segments, peak_history_bytes, max_purge_lag) =
         windows.iter().fold((0, 0, 0), |(s, b, l), w| {
             (
@@ -483,6 +622,11 @@ pub fn run_soak<N: Node>(
         wire_bytes,
         encoded_bytes,
         shared_bytes,
+        relayed_bytes,
+        frames_sent,
+        frames_relayed,
+        broadcasts,
+        worst_broadcast_fanout,
         completed,
         stalled,
         wall_secs,
@@ -500,6 +644,10 @@ pub fn run_soak<N: Node>(
 pub enum SoakProtocol {
     /// The paper's protocol, under the full lossy plan.
     Urcgc,
+    /// The paper's protocol with `data`/`decision` broadcasts routed over
+    /// the degree-bounded overlay tree (control stays direct) — the
+    /// configuration that breaks the n ≈ 100 barrier. Same lossy plan.
+    UrcgcOverlay,
     /// CBCAST baseline, reliable-channel plan.
     Cbcast,
     /// Psync baseline, reliable-channel plan.
@@ -507,12 +655,25 @@ pub enum SoakProtocol {
 }
 
 impl SoakProtocol {
-    /// All protocols, in grid order.
+    /// The classic three-protocol comparison grid (direct dissemination),
+    /// in grid order — the overlay cell is its own profile, not part of
+    /// the comparison rows, so existing soak documents keep their layout.
     pub const ALL: [SoakProtocol; 3] = [
         SoakProtocol::Urcgc,
         SoakProtocol::Cbcast,
         SoakProtocol::Psync,
     ];
+}
+
+/// Overlay degree used by the soak's overlay cells: fan-out 8 keeps the
+/// n = 1000 tree at depth ⌈log₈ 1000⌉ = 4 while every process originates
+/// ≤ 8 copies per logical broadcast (vs. 999 under direct n-unicast).
+pub const OVERLAY_SOAK_DEGREE: usize = 8;
+
+/// The overlay layout for a soak cell, derived from the cell seed so
+/// reruns are bit-identical.
+pub fn overlay_soak_config(seed: u64) -> OverlayConfig {
+    OverlayConfig::tree(OVERLAY_SOAK_DEGREE, seed ^ 0xE701)
 }
 
 /// Runs one cell of the soak grid. `progress` streams per-window lines —
@@ -557,6 +718,44 @@ pub fn soak_cell(
                 |nd| nd.delivered(),
                 |nd| (nd.peak_history(), nd.peak_waiting()),
                 |nd| nd.residency(),
+                |nd| nd.fanout(),
+            )
+        }
+        SoakProtocol::UrcgcOverlay => {
+            // K is sized up for multi-hop dissemination: until a crashed
+            // relay is declared failed and the tree re-parents, a process
+            // downstream of the corpse can miss several consecutive
+            // decisions through no fault of its own (PROTOCOL.md §8).
+            let cfg = ProtocolConfig::new(n).with_k(6);
+            let overlay = overlay_soak_config(seed);
+            let workload = Workload::fixed_count(msgs_per_proc, 32);
+            let nodes: Vec<SoakUrcgcNode> = (0..n)
+                .map(|i| {
+                    SoakUrcgcNode::new(
+                        ProcessId::from_index(i),
+                        cfg.clone(),
+                        workload.clone(),
+                        seed,
+                    )
+                    .with_overlay(overlay.clone())
+                })
+                .collect();
+            run_soak(
+                SoakSpec {
+                    protocol: "urcgc+overlay",
+                    n,
+                    msgs_per_proc,
+                    seed,
+                    window,
+                    max_rounds,
+                    progress,
+                },
+                nodes,
+                soak_faults(n, msgs_per_proc),
+                |nd| nd.delivered(),
+                |nd| (nd.peak_history(), nd.peak_waiting()),
+                |nd| nd.residency(),
+                |nd| nd.fanout(),
             )
         }
         SoakProtocol::Cbcast => {
@@ -579,6 +778,7 @@ pub fn soak_cell(
                 |nd| nd.delivered_count(),
                 |_| (0, 0),
                 |_| (0, 0, 0),
+                |_| (0, 0),
             )
         }
         SoakProtocol::Psync => {
@@ -601,6 +801,7 @@ pub fn soak_cell(
                 |nd| nd.delivered_count(),
                 |_| (0, 0),
                 |_| (0, 0, 0),
+                |_| (0, 0),
             )
         }
     }
@@ -643,14 +844,22 @@ mod tests {
         assert!(!r.windows.is_empty());
         let win_frames: u64 = r.windows.iter().map(|w| w.frames).sum();
         assert_eq!(win_frames, r.frames, "windowed trace must tile the run");
-        // Encoded + shared partition the offered load, and broadcasts at
-        // n=5 mean most offered bytes are refcount-shared clones.
-        assert_eq!(r.encoded_bytes + r.shared_bytes, r.wire_bytes);
+        // Encoded + shared + relayed partition the offered load; direct
+        // dissemination forwards nothing, and broadcasts at n=5 mean most
+        // offered bytes are refcount-shared clones.
+        assert_eq!(
+            r.encoded_bytes + r.shared_bytes + r.relayed_bytes,
+            r.wire_bytes
+        );
+        assert_eq!(r.relayed_bytes, 0, "direct soak must not relay");
+        assert!(r.frames_relayed.iter().all(|&f| f == 0));
         assert!(r.shared_bytes > r.encoded_bytes, "fan-out should dominate");
         let win_encoded: u64 = r.windows.iter().map(|w| w.encoded_bytes).sum();
         let win_shared: u64 = r.windows.iter().map(|w| w.shared_bytes).sum();
+        let win_relayed: u64 = r.windows.iter().map(|w| w.relayed_bytes).sum();
         assert_eq!(win_encoded, r.encoded_bytes);
         assert_eq!(win_shared, r.shared_bytes);
+        assert_eq!(win_relayed, r.relayed_bytes);
         // Residency gauges: a live run holds at least one segment mid-run,
         // payload bytes track it, and the report peaks tile the trace.
         assert!(r.peak_segments > 0, "no live segments observed");
@@ -663,6 +872,136 @@ mod tests {
             r.max_purge_lag,
             r.windows.iter().map(|w| w.purge_lag).max().unwrap()
         );
+    }
+
+    #[test]
+    fn overlay_soak_cell_keeps_per_process_fanout_flat() {
+        let n = 100;
+        let msgs = 8;
+        let r = soak_cell(SoakProtocol::UrcgcOverlay, n, msgs, 7, 64, false);
+        assert_eq!(r.protocol, "urcgc+overlay");
+        assert!(
+            r.completed,
+            "overlay soak did not quiesce in {} rounds",
+            r.rounds
+        );
+        assert!(!r.stalled);
+        assert!(r.app_delivered > 0);
+        // The three-way byte partition tiles exactly, and forwards carry
+        // real traffic.
+        assert_eq!(
+            r.encoded_bytes + r.shared_bytes + r.relayed_bytes,
+            r.wire_bytes
+        );
+        assert!(r.relayed_bytes > 0, "overlay soak forwarded nothing");
+        assert!(r.frames_relayed.iter().sum::<u64>() > 0);
+        // Flat fan-out: a direct origin bursts n−1 copies per logical
+        // broadcast; the overlay caps every origin at the configured
+        // degree — ≥10x below n-unicast at this n.
+        assert!(r.broadcasts > 0);
+        assert!(
+            r.worst_broadcast_fanout <= OVERLAY_SOAK_DEGREE as u64,
+            "origin fan-out {} exceeds degree {}",
+            r.worst_broadcast_fanout,
+            OVERLAY_SOAK_DEGREE
+        );
+        assert!(r.worst_broadcast_fanout * 10 <= (n as u64 - 1));
+        // The direct cell at the same n pins the fan-out at n−1.
+        let direct = soak_cell(SoakProtocol::Urcgc, n, msgs, 7, 64, false);
+        assert_eq!(direct.worst_broadcast_fanout, n as u64 - 1);
+        assert_eq!(direct.relayed_bytes, 0);
+        // History residency stays bounded (gauges flow through windows).
+        assert!(r.peak_segments > 0 && r.peak_history_bytes > 0);
+    }
+
+    #[test]
+    fn stall_detector_ignores_busy_warmup_windows() {
+        // Regression for large-n warm-up: a node that chats every round
+        // but delivers nothing until late must NOT be declared stalled,
+        // even though >8 consecutive windows are delivery-free.
+        struct SlowStarter {
+            me: ProcessId,
+            delivered: u64,
+            done: bool,
+        }
+        impl Node for SlowStarter {
+            fn on_round(&mut self, round: Round, net: &mut NetCtx<'_>) {
+                let peer = ProcessId::from_index((self.me.index() + 1) % net.n());
+                net.send(peer, "chat", Bytes::from_static(b"warmup"));
+                // First delivery lands after 20 windows of window=4.
+                if round.0 >= 80 {
+                    self.delivered += 1;
+                }
+                self.done = round.0 >= 90;
+            }
+            fn on_frame(&mut self, _from: ProcessId, _frame: Bytes, _net: &mut NetCtx<'_>) {}
+            fn is_done(&self) -> bool {
+                self.done
+            }
+        }
+        let nodes = vec![
+            SlowStarter {
+                me: ProcessId(0),
+                delivered: 0,
+                done: false,
+            },
+            SlowStarter {
+                me: ProcessId(1),
+                delivered: 0,
+                done: false,
+            },
+        ];
+        let r = run_soak(
+            SoakSpec {
+                protocol: "urcgc",
+                n: 2,
+                msgs_per_proc: 1,
+                seed: 1,
+                window: 4,
+                max_rounds: 200,
+                progress: false,
+            },
+            nodes,
+            FaultPlan::none(),
+            |nd| nd.delivered,
+            |_| (0, 0),
+            |_| (0, 0, 0),
+            |_| (0, 0),
+        );
+        assert!(!r.stalled, "busy warm-up misreported as stall");
+        assert!(r.completed);
+        assert!(r.app_delivered > 0);
+    }
+
+    #[test]
+    fn stall_detector_still_trips_on_dead_runs() {
+        // A run where nothing moves at all — no frames, no deliveries —
+        // must stop at the detector, well short of the round budget.
+        struct DeadNode;
+        impl Node for DeadNode {
+            fn on_round(&mut self, _round: Round, _net: &mut NetCtx<'_>) {}
+            fn on_frame(&mut self, _from: ProcessId, _frame: Bytes, _net: &mut NetCtx<'_>) {}
+        }
+        let r = run_soak(
+            SoakSpec {
+                protocol: "cbcast",
+                n: 2,
+                msgs_per_proc: 1,
+                seed: 1,
+                window: 4,
+                max_rounds: 100_000,
+                progress: false,
+            },
+            vec![DeadNode, DeadNode],
+            FaultPlan::none(),
+            |_| 0,
+            |_| (0, 0),
+            |_| (0, 0, 0),
+            |_| (0, 0),
+        );
+        assert!(r.stalled, "dead run escaped the stall detector");
+        assert!(!r.completed);
+        assert!(r.rounds < 100, "detector fired too late: {}", r.rounds);
     }
 
     #[test]

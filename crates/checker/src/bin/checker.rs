@@ -30,6 +30,10 @@ OPTIONS:
   --json PATH       write the urcgc-check/1 summary to PATH
   --repro-dir DIR   where to write counterexample JSON (default .)
   --broken-purge    check the deliberately-broken purge variant (self-test)
+  --overlay         route broadcasts over the tree/gossip overlay, with
+                    crashes aimed at relay nodes
+  --broken-relay    check the deliberately-broken relay that drops decision
+                    forwards (self-test; implies --overlay)
   --replay FILE     re-run a urcgc-repro/1 file and report the verdict
   --help            print this help
 ";
@@ -101,6 +105,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--json" => cli.json = Some(value("--json")?),
             "--repro-dir" => cli.repro_dir = value("--repro-dir")?,
             "--broken-purge" => cli.opts.broken_purge = true,
+            "--overlay" => cli.opts.overlay = true,
+            "--broken-relay" => {
+                cli.opts.overlay = true;
+                cli.opts.broken_relay = true;
+            }
             "--replay" => cli.replay = Some(value("--replay")?),
             "--help" => return Err(HELP.to_string()),
             other => return Err(format!("unknown argument {other:?}\n\n{HELP}")),
@@ -127,8 +136,21 @@ fn replay(path: &str) -> i32 {
             return 2;
         }
     };
+    let overlay = match &spec.overlay {
+        Some(ov) => format!(
+            " overlay={}/{}{}",
+            ov.mode.label(),
+            ov.degree,
+            if ov.drop_decisions {
+                " (broken-relay variant)"
+            } else {
+                ""
+            }
+        ),
+        None => String::new(),
+    };
     println!(
-        "replaying {path}: seed {} n={} msgs={}{}",
+        "replaying {path}: seed {} n={} msgs={}{}{}",
         spec.seed,
         spec.n,
         spec.msgs,
@@ -136,7 +158,8 @@ fn replay(path: &str) -> i32 {
             " (broken-purge variant)"
         } else {
             ""
-        }
+        },
+        overlay
     );
     let result = run_spec(&spec);
     if result.violated() {
@@ -179,6 +202,10 @@ fn main() {
         cli.opts.jobs,
         if cli.opts.broken_purge {
             ", BROKEN-PURGE VARIANT"
+        } else if cli.opts.broken_relay {
+            ", BROKEN-RELAY VARIANT"
+        } else if cli.opts.overlay {
+            ", overlay dissemination"
         } else {
             ""
         },

@@ -36,6 +36,12 @@ pub struct ExploreOpts {
     pub max_shrink: u32,
     /// Explore the deliberately-broken purge variant (oracle self-test).
     pub broken_purge: bool,
+    /// Explore overlay-dissemination specs (relay-targeted crashes,
+    /// multi-hop routing) instead of direct n-unicast.
+    pub overlay: bool,
+    /// Explore the deliberately-broken relay that drops decision forwards
+    /// (oracle self-test; implies `overlay`).
+    pub broken_relay: bool,
 }
 
 impl Default for ExploreOpts {
@@ -49,6 +55,8 @@ impl Default for ExploreOpts {
             secs: None,
             max_shrink: 300,
             broken_purge: false,
+            overlay: false,
+            broken_relay: false,
         }
     }
 }
@@ -85,12 +93,13 @@ pub struct ExploreOutcome {
 /// The spec of run `i` under `opts` (exposed so a repro can be traced
 /// back to its schedule position).
 pub fn spec_for_run(opts: &ExploreOpts, i: usize) -> CheckSpec {
-    CheckSpec::generate(
-        derive_seed(opts.base_seed, i),
-        opts.ns[i % opts.ns.len()],
-        opts.msgs,
-        opts.broken_purge,
-    )
+    let seed = derive_seed(opts.base_seed, i);
+    let n = opts.ns[i % opts.ns.len()];
+    if opts.overlay || opts.broken_relay {
+        CheckSpec::generate_overlay(seed, n, opts.msgs, opts.broken_relay)
+    } else {
+        CheckSpec::generate(seed, n, opts.msgs, opts.broken_purge)
+    }
 }
 
 /// Runs the exploration loop. Stops at the run budget, the wall-clock
@@ -189,6 +198,8 @@ pub fn summary_doc(opts: &ExploreOpts, outcome: &ExploreOutcome, repro_path: Opt
         .with("msgs", opts.msgs)
         .with("jobs", opts.jobs)
         .with("broken_purge", opts.broken_purge)
+        .with("overlay", opts.overlay || opts.broken_relay)
+        .with("broken_relay", opts.broken_relay)
         .with("violating_runs", outcome.violating_runs)
         .with("wall_secs", outcome.wall_secs)
         .with("counterexample", counterexample)
@@ -214,6 +225,23 @@ mod tests {
         let text = doc.render_pretty();
         assert!(text.contains("urcgc-check/1"));
         urcgc_metrics::json::parse(&text).expect("summary parses");
+    }
+
+    #[test]
+    fn small_overlay_exploration_is_clean() {
+        let opts = ExploreOpts {
+            runs: 12,
+            msgs: 6,
+            jobs: 2,
+            overlay: true,
+            ..ExploreOpts::default()
+        };
+        let outcome = explore(&opts);
+        assert_eq!(outcome.executed, 12);
+        assert_eq!(outcome.violating_runs, 0);
+        assert!(outcome.counterexample.is_none());
+        let text = summary_doc(&opts, &outcome, None).render_pretty();
+        assert!(text.contains("\"overlay\": true"));
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   `last_processed` vectors.
 //! * **Termination**: the run reaches quiescence within the (generous)
 //!   round budget.
+//! * **Membership** (loss-free specs only): a process leaves the group
+//!   only when it actually crashed — the paper's exit rules all hinge on
+//!   lost messages, so in a run that loses none, every non-crashed
+//!   process must still be `Active` at the end.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -42,6 +46,10 @@ pub enum OracleKind {
     Stall,
     /// Survivors ended with different processed frontiers.
     Divergence,
+    /// A process left the group in a run where nothing was lost: the
+    /// paper's leave rule (Section 5) ejects a member only when messages
+    /// were actually lost or the member actually failed.
+    Membership,
 }
 
 impl OracleKind {
@@ -53,6 +61,7 @@ impl OracleKind {
             OracleKind::StabilitySafety => "stability_safety",
             OracleKind::Stall => "stall",
             OracleKind::Divergence => "divergence",
+            OracleKind::Membership => "membership",
         }
     }
 }
@@ -177,6 +186,39 @@ pub fn check_ordering(nodes: &[UrcgcNode]) -> Option<Violation> {
                     }
                 }
             }
+        }
+    }
+    None
+}
+
+/// Membership check, sound only for *loss-free* specs (no omissions, no
+/// cuts, no schedule drops — see `CheckSpec::is_loss_free`): every process
+/// the fault plan did not crash must still be `Active` at the end of the
+/// run. With nothing lost, the paper's exit rules (missed-`K`-decisions
+/// leave, declared-crashed suicide, exhausted recovery) can only fire on a
+/// process that really failed — any other ejection is a protocol bug.
+/// Crash-induced relay gaps are covered by the `K` sizing (PROTOCOL.md §8).
+pub fn check_membership(h: &GroupHarness) -> Option<Violation> {
+    for node in h.net().nodes() {
+        let id = node.engine().me();
+        if h.net().is_crashed(id) {
+            continue;
+        }
+        let status = node.engine().status();
+        if !status.is_active() {
+            let reason = node
+                .engine()
+                .status_reason()
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "unknown".to_string());
+            return Some(Violation::terminal(
+                OracleKind::Membership,
+                format!(
+                    "p{} was ejected ({status:?}: {reason}) although it never crashed and \
+                     the run lost no messages",
+                    id.0
+                ),
+            ));
         }
     }
     None

@@ -35,13 +35,16 @@ impl RunResult {
 /// stability oracle every round and the terminal oracles at the end.
 pub fn run_spec(spec: &CheckSpec) -> RunResult {
     let max_rounds = spec.max_rounds();
-    let mut h = GroupHarness::builder(spec.config())
+    let mut builder = GroupHarness::builder(spec.config())
         .workload(Workload::fixed_count(spec.msgs, PAYLOAD))
         .faults(spec.plan.to_fault_plan(spec.n))
         .seed(spec.seed)
         .max_rounds(max_rounds)
-        .adversary(Box::new(ScheduleAdversary::new(&spec.sched)))
-        .build();
+        .adversary(Box::new(ScheduleAdversary::new(&spec.sched)));
+    if let Some(ov) = &spec.overlay {
+        builder = builder.overlay(ov.to_config());
+    }
+    let mut h = builder.build();
 
     let mut violations = Vec::new();
     let mut rounds = 0u64;
@@ -69,6 +72,11 @@ pub fn run_spec(spec: &CheckSpec) -> RunResult {
     if let Some(v) = oracle::check_ordering(h.net().nodes()) {
         violations.push(v);
     }
+    if spec.is_loss_free() {
+        if let Some(v) = oracle::check_membership(&h) {
+            violations.push(v);
+        }
+    }
     violations.extend(oracle::check_final(&report));
     RunResult {
         violations,
@@ -95,6 +103,62 @@ mod tests {
             assert!(result.quiesced);
             assert!(result.generated > 0);
         }
+    }
+
+    #[test]
+    fn clean_overlay_specs_pass_all_oracles() {
+        for seed in 0..12u64 {
+            let spec = CheckSpec::generate_overlay(seed, 5, 8, false);
+            let result = run_spec(&spec);
+            assert!(
+                !result.violated(),
+                "seed {seed}: {:?} (spec {spec:?})",
+                result.violations
+            );
+            assert!(result.quiesced);
+            assert!(result.generated > 0);
+        }
+    }
+
+    #[test]
+    fn loss_free_overlay_specs_keep_every_survivor_active() {
+        // Soundness of the membership oracle: with a *working* relay, a
+        // loss-free genome — relay crashes, slow senders and shuffles, but
+        // nothing dropped — must never eject a process that did not crash,
+        // even at the depth where the broken relay is caught (n=9).
+        for seed in 0..20u64 {
+            let mut spec = CheckSpec::generate_overlay(seed, 9, 10, false);
+            spec.strip_loss_faults();
+            assert!(spec.is_loss_free());
+            let result = run_spec(&spec);
+            assert!(
+                !result.violated(),
+                "seed {seed}: {:?} (spec {spec:?})",
+                result.violations
+            );
+        }
+    }
+
+    #[test]
+    fn broken_relay_variant_is_caught() {
+        // The relay delivers decisions locally but never forwards them, so
+        // processes deep in the tree only see a decision when they sit
+        // within one hop of its coordinator. At n=9 the rotation leaves
+        // some process decision-starved for more than K+f consecutive
+        // subruns and it silently ejects itself — which the membership
+        // oracle (armed because broken-relay genomes are loss-free)
+        // condemns.
+        let caught = (0..40u64).any(|seed| {
+            let spec = CheckSpec::generate_overlay(seed, 9, 16, true);
+            run_spec(&spec)
+                .violations
+                .iter()
+                .any(|v| v.kind == crate::oracle::OracleKind::Membership)
+        });
+        assert!(
+            caught,
+            "40 adversarial runs never caught the decision-dropping relay"
+        );
     }
 
     #[test]

@@ -32,6 +32,13 @@ fn candidates(spec: &CheckSpec) -> Vec<CheckSpec> {
     };
     push(&|c| c.msgs = (c.msgs / 2).max(2));
     push(&|c| c.msgs = (c.msgs - 1).max(2));
+    // Dropping the overlay tells the reader the failure is not a relay
+    // artifact. Never dropped when it carries the injected broken-relay
+    // knob — like `broken_purge`, the deliberate bug must survive
+    // shrinking.
+    if spec.overlay.as_ref().is_some_and(|ov| !ov.drop_decisions) {
+        push(&|c| c.overlay = None);
+    }
     for i in 0..spec.plan.crashes.len() {
         push(&|c| {
             c.plan.crashes.remove(i);
@@ -111,5 +118,21 @@ mod tests {
         assert!(shrunk.msgs <= original.msgs);
         assert!(shrunk.plan.crashes.len() <= original.plan.crashes.len());
         assert!(shrunk.plan.cuts.len() <= original.plan.cuts.len());
+    }
+
+    #[test]
+    fn shrinks_broken_relay_counterexample_and_keeps_the_knob() {
+        let original = (0..40u64)
+            .map(|seed| CheckSpec::generate_overlay(seed, 9, 16, true))
+            .find(|spec| run_spec(spec).violated())
+            .expect("no violating broken-relay seed found");
+        let (shrunk, violations, stats) = shrink(&original, 150);
+        assert!(!violations.is_empty());
+        assert!(run_spec(&shrunk).violated(), "shrunk spec replays");
+        assert!(stats.attempts > 0);
+        // The injected bug is the point of the repro: shrinking must not
+        // simplify it away.
+        assert!(shrunk.overlay.as_ref().is_some_and(|ov| ov.drop_decisions));
+        assert!(shrunk.msgs <= original.msgs);
     }
 }

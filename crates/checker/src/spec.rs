@@ -13,6 +13,7 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use urcgc_metrics::Json;
+use urcgc_overlay::{OverlayConfig, OverlayMode, Plan};
 use urcgc_simnet::FaultPlan;
 use urcgc_types::{ProcessId, ProtocolConfig, Round, Subrun};
 
@@ -108,6 +109,40 @@ impl PlanSpec {
     }
 }
 
+/// Overlay-dissemination genome: when present, every process routes its
+/// `data`/`decision` broadcasts over the shared overlay instead of direct
+/// n-unicast (see [`urcgc_overlay`]), so the oracles run against multi-hop
+/// relay semantics — relay crashes, re-parenting, recovery through the
+/// gap.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverlaySpec {
+    /// Dissemination strategy.
+    pub mode: OverlayMode,
+    /// Fan-out bound (tree arity / gossip targets).
+    pub degree: usize,
+    /// Overlay permutation seed (group-shared, like the protocol config).
+    pub seed: u64,
+    /// Runs the deliberately-broken relay that delivers decision frames
+    /// locally but never forwards them (oracle self-test; see
+    /// `OverlayConfig::with_drop_decision_forwards`).
+    pub drop_decisions: bool,
+}
+
+impl OverlaySpec {
+    /// Realizes the genome as an [`OverlayConfig`].
+    pub fn to_config(&self) -> OverlayConfig {
+        let cfg = match self.mode {
+            OverlayMode::Tree => OverlayConfig::tree(self.degree, self.seed),
+            OverlayMode::Gossip => OverlayConfig::gossip(self.degree, self.seed),
+        };
+        if self.drop_decisions {
+            cfg.with_drop_decision_forwards()
+        } else {
+            cfg
+        }
+    }
+}
+
 /// Schedule-perturbation genome, realized as a
 /// [`ScheduleAdversary`](crate::sched::ScheduleAdversary).
 #[derive(Clone, Debug, PartialEq)]
@@ -154,6 +189,9 @@ pub struct CheckSpec {
     /// variant (oracle self-test; see
     /// `ProtocolConfig::with_broken_purge_before_stability`).
     pub broken_purge: bool,
+    /// Overlay-dissemination genome (`None` = the paper's direct
+    /// n-unicast).
+    pub overlay: Option<OverlaySpec>,
     /// Fault-plan genome.
     pub plan: PlanSpec,
     /// Schedule-perturbation genome.
@@ -227,9 +265,88 @@ impl CheckSpec {
             n,
             msgs,
             broken_purge,
+            overlay: None,
             plan,
             sched,
         }
+    }
+
+    /// Samples an overlay spec from `seed`: the [`CheckSpec::generate`]
+    /// genome plus overlay parameters, with the crash machinery re-aimed
+    /// at the overlay's weak point — an interior (relay) node of a sampled
+    /// origin's tree — so most runs exercise re-parenting and recovery
+    /// through the dissemination gap, not just leaf crashes. A pure
+    /// function of `(seed, n, max_msgs, broken_relay)`.
+    pub fn generate_overlay(seed: u64, n: usize, max_msgs: u64, broken_relay: bool) -> CheckSpec {
+        let mut spec = CheckSpec::generate(seed, n, max_msgs, false);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0E71_0E71_0E71_0E71);
+        let overlay = OverlaySpec {
+            mode: if rng.gen_bool(0.75) {
+                OverlayMode::Tree
+            } else {
+                OverlayMode::Gossip
+            },
+            degree: rng.gen_range(2..4).min(n.saturating_sub(1)).max(1),
+            seed: rng.gen(),
+            drop_decisions: broken_relay,
+        };
+        if broken_relay {
+            // The decision-dropping relay is caught by the membership
+            // oracle, which is only sound when nothing else can cost a
+            // process its decisions: strip every loss fault (crashes stay —
+            // the oracle accounts for them) so any ejection indicts the
+            // relay.
+            spec.strip_loss_faults();
+        }
+        let resilience = (n - 1) / 2;
+        if spec.plan.coordinator_crashes.is_none() && resilience > 0 {
+            // Find the relays (interior nodes) of a sampled origin's tree
+            // from the same deterministic plan every process will compute,
+            // and make sure one of them crashes — displacing a sampled
+            // leaf crash if the resilience budget is already spent.
+            let probe = Plan::build(overlay.to_config(), &vec![true; n]);
+            let origin = ProcessId(rng.gen_range(0..n as u16));
+            let relays: Vec<u16> = (0..n as u16)
+                .filter(|&p| p != origin.0 && !probe.fanout(origin, 0, ProcessId(p)).is_empty())
+                .collect();
+            if !relays.is_empty() {
+                let relay = relays[rng.gen_range(0..relays.len())];
+                let round = rng.gen_range(2..spec.msgs * 2 + 24);
+                spec.plan.crashes.retain(|&(p, _)| p != relay);
+                while spec.plan.crashes.len() >= resilience {
+                    spec.plan.crashes.pop();
+                }
+                spec.plan.crashes.push((relay, round));
+            }
+        }
+        spec.overlay = Some(overlay);
+        spec
+    }
+
+    /// Removes every fault that loses frames (omissions, cuts, schedule
+    /// drops), leaving crashes, slow senders and shuffles. The result
+    /// satisfies [`CheckSpec::is_loss_free`], arming the membership
+    /// oracle.
+    pub fn strip_loss_faults(&mut self) {
+        self.plan.send_omission = 0.0;
+        self.plan.recv_omission = 0.0;
+        self.plan.cuts.clear();
+        self.plan.handoff_cuts.clear();
+        self.sched.drop_permille = 0;
+        self.sched.max_drops = 0;
+    }
+
+    /// Whether this genome can lose a frame some process needed: omission
+    /// faults, link cuts, or targeted schedule drops. Loss-free specs arm
+    /// the membership oracle (crashes do not count — a crashed process is
+    /// an expected ejection, and the `K` sizing covers the relay gaps a
+    /// crash opens).
+    pub fn is_loss_free(&self) -> bool {
+        self.plan.send_omission == 0.0
+            && self.plan.recv_omission == 0.0
+            && self.plan.cuts.is_empty()
+            && self.plan.handoff_cuts.is_empty()
+            && (self.sched.drop_permille == 0 || self.sched.max_drops == 0)
     }
 
     /// The protocol configuration this spec runs under: paper defaults
@@ -243,6 +360,15 @@ impl CheckSpec {
             .unwrap_or(1)
             .max(1);
         let cfg = ProtocolConfig::new(self.n).with_f_allowance(f);
+        // Overlay runs size K up: until a crashed relay is declared failed
+        // and the tree re-parents, downstream processes can miss several
+        // consecutive decisions through no fault of their own
+        // (PROTOCOL.md §8).
+        let cfg = if self.overlay.is_some() {
+            cfg.with_k(4)
+        } else {
+            cfg
+        };
         if self.broken_purge {
             cfg.with_broken_purge_before_stability()
         } else {
@@ -306,11 +432,20 @@ impl CheckSpec {
             ),
             None => plan.set("slow_sender", Json::Null),
         }
+        let overlay = match &self.overlay {
+            Some(ov) => Json::obj()
+                .with("mode", ov.mode.label())
+                .with("degree", ov.degree)
+                .with("seed", ov.seed.to_string())
+                .with("drop_decisions", ov.drop_decisions),
+            None => Json::Null,
+        };
         Json::obj()
             .with("seed", self.seed.to_string())
             .with("n", self.n)
             .with("msgs", self.msgs)
             .with("broken_purge", self.broken_purge)
+            .with("overlay", overlay)
             .with("plan", plan)
             .with(
                 "sched",
@@ -357,11 +492,30 @@ impl CheckSpec {
                     Some((num(ss, "process")? as u16, num(ss, "extra_rounds")? as u64));
             }
         }
+        // Absent or Null = direct unicast: repro files predating the
+        // overlay dimension keep parsing.
+        let overlay = match doc.get("overlay") {
+            None | Some(Json::Null) => None,
+            Some(ov) => {
+                let label = ov
+                    .get("mode")
+                    .and_then(Json::as_str)
+                    .ok_or("overlay missing \"mode\"")?;
+                Some(OverlaySpec {
+                    mode: OverlayMode::from_label(label)
+                        .ok_or_else(|| format!("unknown overlay mode {label:?}"))?,
+                    degree: num(ov, "degree")? as usize,
+                    seed: seed_str(ov, "seed")?,
+                    drop_decisions: matches!(ov.get("drop_decisions"), Some(Json::Bool(true))),
+                })
+            }
+        };
         Ok(CheckSpec {
             seed: seed_str(doc, "seed")?,
             n: num(doc, "n")? as usize,
             msgs: num(doc, "msgs")? as u64,
             broken_purge: matches!(doc.get("broken_purge"), Some(Json::Bool(true))),
+            overlay,
             plan,
             sched: SchedSpec {
                 seed: seed_str(sched_doc, "seed")?,
@@ -422,6 +576,50 @@ mod tests {
             let parsed = urcgc_metrics::json::parse(&doc.render_pretty()).expect("parses");
             assert_eq!(CheckSpec::from_json(&parsed).expect("decodes"), spec);
         }
+    }
+
+    #[test]
+    fn overlay_generation_is_deterministic_and_in_model() {
+        for seed in 0..100u64 {
+            for n in [5usize, 7] {
+                let a = CheckSpec::generate_overlay(seed, n, 12, false);
+                let b = CheckSpec::generate_overlay(seed, n, 12, false);
+                assert_eq!(a, b, "seed {seed} n {n}");
+                a.config().validate().expect("generated config is valid");
+                assert!(
+                    a.plan.crashed_processes(n) <= (n - 1) / 2,
+                    "seed {seed} n {n}: crashes exceed the resilience bound"
+                );
+                let ov = a.overlay.as_ref().expect("overlay genome present");
+                assert!(!ov.drop_decisions);
+                assert!((1..n).contains(&ov.degree));
+                // The crash machinery is re-aimed at the overlay: unless a
+                // coordinator burst claimed the whole resilience budget,
+                // some individual crash lands on a relay node.
+                assert!(
+                    a.plan.coordinator_crashes.is_some() || !a.plan.crashes.is_empty(),
+                    "seed {seed} n {n}: no crash targets the overlay"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_specs_round_trip_through_json() {
+        for seed in [1u64, 9, 42, 77] {
+            let spec = CheckSpec::generate_overlay(seed, 5, 10, seed % 2 == 0);
+            let doc = spec.to_json();
+            let parsed = urcgc_metrics::json::parse(&doc.render_pretty()).expect("parses");
+            assert_eq!(CheckSpec::from_json(&parsed).expect("decodes"), spec);
+        }
+        // Pre-overlay repro documents (overlay key null or missing) still
+        // parse, as the direct-unicast spec they always meant.
+        let direct = CheckSpec::generate(3, 5, 8, false);
+        let doc = direct.to_json();
+        let parsed = urcgc_metrics::json::parse(&doc.render_pretty()).expect("parses");
+        let decoded = CheckSpec::from_json(&parsed).expect("decodes");
+        assert_eq!(decoded.overlay, None);
+        assert_eq!(decoded, direct);
     }
 
     #[test]

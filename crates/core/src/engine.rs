@@ -45,6 +45,8 @@ pub struct Engine {
     me: ProcessId,
     cfg: ProtocolConfig,
     status: ProcessStatus,
+    /// Why `status` left `Active` (`None` while active).
+    status_reason: Option<StatusReason>,
     view: GroupView,
     labeler: Labeler,
     tracker: DeliveryTracker,
@@ -93,6 +95,7 @@ impl Engine {
         Engine {
             me,
             status: ProcessStatus::Active,
+            status_reason: None,
             view: GroupView::all_alive(n),
             labeler: Labeler::new(me, n, cfg.causality),
             tracker: DeliveryTracker::new(n),
@@ -126,6 +129,13 @@ impl Engine {
     /// Current life-cycle status.
     pub fn status(&self) -> ProcessStatus {
         self.status
+    }
+
+    /// Why the entity left `Active`, if it has (`None` while active). Lets
+    /// harnesses distinguish a self-ejection (missed decisions, exhausted
+    /// recovery) from a group verdict (declared crashed).
+    pub fn status_reason(&self) -> Option<StatusReason> {
+        self.status_reason
     }
 
     /// The protocol configuration.
@@ -536,15 +546,32 @@ impl Engine {
         let decision = matrix.compute(subrun, self.me, self.cfg.k, &self.last_decision);
         // The accumulated delta can drive this decision's purge directly —
         // but only when it provably describes the same purge the stable
-        // vector would: the delta claims exactness, its baseline is the
-        // full-group decision we last applied (so our history frontier sits
-        // exactly at the baseline's stable vector), and the new decision is
-        // itself full-group. Anything else falls back to the vector sweep.
+        // vector would: the delta claims exactness, its baseline matches
+        // the full-group decision we last applied, the new decision is
+        // itself full-group, and — decisions can be lost in transit, so the
+        // matrix's `freshest_prev` may sit ahead of what we applied — the
+        // union of our current purge frontier and the delta's ranges
+        // actually reaches the decision's stable vector. Anything else
+        // falls back to the vector sweep.
         let hint_ok = decision.full_group
             && matrix.delta_exact()
             && matrix
                 .freshest_prev()
-                .is_some_and(|p| p.full_group && self.last_decision_subrun == Some(p.subrun));
+                .is_some_and(|p| p.full_group && self.last_decision_subrun == Some(p.subrun))
+            && {
+                let mut covered: Vec<u64> = (0..self.cfg.n)
+                    .map(|q| self.history.stable_frontier(ProcessId::from_index(q)))
+                    .collect();
+                for r in delta.ranges() {
+                    let c = &mut covered[r.origin.index()];
+                    *c = (*c).max(r.upto_seq);
+                }
+                decision
+                    .stable
+                    .iter()
+                    .enumerate()
+                    .all(|(q, &s)| s <= covered[q])
+            };
         self.stats.decisions_made += 1;
         let pdu = Arc::new(Pdu::Decision(decision));
         self.outbox.push_back(Output::Broadcast {
@@ -912,6 +939,7 @@ impl Engine {
             return;
         }
         self.status = status;
+        self.status_reason = Some(reason);
         self.outbox
             .push_back(Output::StatusChanged { status, reason });
     }

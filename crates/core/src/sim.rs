@@ -15,6 +15,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use urcgc_overlay::{Disseminator, OverlayConfig, RelayDisposition};
 use urcgc_simnet::{Adversary, FaultPlan, NetCtx, Node, RunOutcome, SimNet, SimOptions, SimStats};
 use urcgc_types::{FrameCache, Mid, ProcessId, ProtocolConfig, Round};
 
@@ -115,6 +116,9 @@ pub struct UrcgcNode {
     /// Reused encode arena: one allocation per outgoing frame, shared
     /// across every destination of a broadcast.
     frames: FrameCache,
+    /// Optional overlay relay layer. `None` (the default) keeps the
+    /// paper's direct n-unicast broadcast path, bit for bit.
+    overlay: Option<Disseminator>,
 }
 
 impl UrcgcNode {
@@ -137,7 +141,22 @@ impl UrcgcNode {
             waiting_series: Vec::new(),
             undecodable: 0,
             frames: FrameCache::new(),
+            overlay: None,
         }
+    }
+
+    /// Routes this node's `data`/`decision` broadcasts over the overlay
+    /// instead of direct n-unicast (control traffic stays direct). Every
+    /// group member must be given the same config.
+    pub fn with_overlay(mut self, cfg: OverlayConfig) -> Self {
+        let n = self.engine.config().n;
+        self.overlay = Some(Disseminator::new(self.engine.me(), n, cfg));
+        self
+    }
+
+    /// The overlay relay layer, if enabled.
+    pub fn overlay(&self) -> Option<&Disseminator> {
+        self.overlay.as_ref()
     }
 
     /// The wrapped engine.
@@ -243,7 +262,22 @@ impl UrcgcNode {
                     net.send(to, pdu.kind().label(), self.frames.encode(&pdu));
                 }
                 Output::Broadcast { pdu } => {
-                    net.broadcast(pdu.kind().label(), self.frames.encode(&pdu));
+                    let kind = pdu.kind().label();
+                    let inner = self.frames.encode(&pdu);
+                    match self.overlay.as_mut() {
+                        Some(ov) => {
+                            ov.sync_view(self.engine.view().flags());
+                            let (envelope, targets) = ov.broadcast(&inner);
+                            for (i, to) in targets.into_iter().enumerate() {
+                                if i == 0 {
+                                    net.send(to, kind, envelope.clone());
+                                } else {
+                                    net.send_shared(to, kind, envelope.clone());
+                                }
+                            }
+                        }
+                        None => net.broadcast(kind, inner),
+                    }
                 }
                 Output::Deliver { msg } => {
                     self.deliveries.insert(msg.mid, net.round());
@@ -257,6 +291,33 @@ impl UrcgcNode {
                 Output::Discarded { mids } => self.discarded.extend(mids),
                 Output::StatusChanged { .. } => {}
             }
+        }
+    }
+
+    /// Handles an arriving overlay envelope: forward-once to this node's
+    /// children of the origin's tree, then unwrap and feed the engine.
+    fn on_relay_frame(&mut self, frame: &Bytes, net: &mut NetCtx<'_>) {
+        let disposition = {
+            let ov = self.overlay.as_mut().expect("relay frame without overlay");
+            ov.sync_view(self.engine.view().flags());
+            ov.on_frame(frame)
+        };
+        match disposition {
+            RelayDisposition::Deliver {
+                origin,
+                inner,
+                forward,
+                envelope,
+            } => {
+                for to in forward {
+                    net.send_relayed(to, "relay", envelope.clone());
+                }
+                if self.engine.on_frame(origin, &inner).is_err() {
+                    self.undecodable += 1;
+                }
+            }
+            RelayDisposition::Duplicate => {}
+            RelayDisposition::Undecodable => self.undecodable += 1,
         }
     }
 }
@@ -276,7 +337,9 @@ impl Node for UrcgcNode {
         // Corrupted frames (FaultPlan::corruption_rate) fail to decode and
         // are dropped — in-flight corruption degenerates to an omission,
         // which the protocol already recovers from.
-        if self.engine.on_frame(from, &frame).is_err() {
+        if self.overlay.is_some() && urcgc_overlay::is_relay_frame(&frame) {
+            self.on_relay_frame(&frame, net);
+        } else if self.engine.on_frame(from, &frame).is_err() {
             self.undecodable += 1;
         }
         self.flush(net);
@@ -295,6 +358,7 @@ pub struct GroupHarnessBuilder {
     seed: u64,
     max_rounds: u64,
     adversary: Option<Box<dyn Adversary>>,
+    overlay: Option<OverlayConfig>,
 }
 
 impl GroupHarnessBuilder {
@@ -330,17 +394,29 @@ impl GroupHarnessBuilder {
         self
     }
 
+    /// Routes every member's `data`/`decision` broadcasts over a shared
+    /// overlay (see [`urcgc_overlay`]); the default is `None`, the paper's
+    /// direct n-unicast.
+    pub fn overlay(mut self, cfg: OverlayConfig) -> Self {
+        self.overlay = Some(cfg);
+        self
+    }
+
     /// Builds the harness.
     pub fn build(self) -> GroupHarness {
         let n = self.cfg.n;
         let nodes: Vec<UrcgcNode> = (0..n)
             .map(|i| {
-                UrcgcNode::new(
+                let node = UrcgcNode::new(
                     ProcessId::from_index(i),
                     self.cfg.clone(),
                     self.workload.clone(),
                     self.seed,
-                )
+                );
+                match &self.overlay {
+                    Some(ov) => node.with_overlay(ov.clone()),
+                    None => node,
+                }
             })
             .collect();
         let mut net = SimNet::new(
@@ -374,6 +450,7 @@ impl GroupHarness {
             seed: 1,
             max_rounds: 100_000,
             adversary: None,
+            overlay: None,
         }
     }
 
@@ -827,6 +904,112 @@ mod tests {
             }
         }
         assert!(violated, "broken purge never outran a peer's frontier");
+    }
+
+    #[test]
+    fn overlay_group_reaches_atomic_agreement_with_flat_fanout() {
+        let n = 9;
+        let cfg = ProtocolConfig::new(n);
+        let mut h = GroupHarness::builder(cfg)
+            .workload(Workload::fixed_count(8, 16))
+            .seed(41)
+            .overlay(OverlayConfig::tree(2, 0xfeed))
+            .build();
+        let report = h.run_to_completion(4_000);
+        assert!(report.quiesced);
+        assert!(report.all_processed_everything());
+        assert!(report.frontiers_agree());
+        // Dissemination really went hop-by-hop: interior tree nodes forwarded
+        // frames, and the relayed byte gauge is non-zero.
+        let relayed: u64 = report.stats.frames_relayed.iter().sum();
+        assert!(relayed > 0, "no forwards — overlay was bypassed");
+        assert!(report.stats.relayed_bytes > 0);
+        // Flat fan-out: no process originates more than degree copies per
+        // logical broadcast, where direct n-unicast would send n−1 = 8.
+        // Compare against a direct-unicast twin of the same run.
+        let cfg = ProtocolConfig::new(n);
+        let mut direct = GroupHarness::builder(cfg)
+            .workload(Workload::fixed_count(8, 16))
+            .seed(41)
+            .build();
+        let dreport = direct.run_to_completion(4_000);
+        let overlay_origin: u64 = report.stats.frames_sent.iter().sum();
+        let direct_origin: u64 = dreport.stats.frames_sent.iter().sum();
+        assert!(
+            overlay_origin * 2 < direct_origin,
+            "overlay originated {overlay_origin} vs direct {direct_origin}"
+        );
+    }
+
+    #[test]
+    fn overlay_survives_relay_node_crash() {
+        // A mid-tree relay crashes while traffic is in flight; re-parenting
+        // plus the engine's recovery path must still reach atomic agreement
+        // among the survivors. K must absorb the re-parenting window: until
+        // the coordinator declares the relay failed, decisions keep routing
+        // through the corpse, so a downstream process can miss several
+        // consecutive decisions without being at fault (PROTOCOL.md §8).
+        let n = 7;
+        let cfg = ProtocolConfig::new(n).with_k(4);
+        let faults = FaultPlan::none().crash_at(ProcessId(3), Round(10));
+        let mut h = GroupHarness::builder(cfg)
+            .workload(Workload::fixed_count(10, 16))
+            .faults(faults)
+            .seed(43)
+            .overlay(OverlayConfig::tree(2, 0xbeef))
+            .build();
+        let report = h.run_to_completion(6_000);
+        assert!(!report.alive[3]);
+        assert!(report.frontiers_agree());
+        assert!(report.atomicity_holds());
+        assert!(
+            report.statuses[..3].iter().all(|s| s.is_active())
+                && report.statuses[4..].iter().all(|s| s.is_active()),
+            "statuses {:?} quiesced={} fully={}/{}",
+            report.statuses,
+            report.quiesced,
+            report.fully_processed,
+            report.generated_total,
+        );
+    }
+
+    #[test]
+    fn gossip_overlay_reaches_agreement_via_recovery() {
+        // Gossip coverage is probabilistic; the engine's recovery-from-
+        // history fills whatever the rumor missed, so the end state is
+        // still uniform agreement.
+        let cfg = ProtocolConfig::new(8);
+        let mut h = GroupHarness::builder(cfg)
+            .workload(Workload::fixed_count(6, 16))
+            .seed(47)
+            .overlay(OverlayConfig::gossip(3, 0xabcd))
+            .build();
+        let report = h.run_to_completion(6_000);
+        assert!(report.quiesced, "gossip run stalled");
+        assert!(report.all_processed_everything());
+        assert!(report.frontiers_agree());
+    }
+
+    #[test]
+    fn overlay_runs_are_deterministic() {
+        let run = |seed: u64| {
+            let cfg = ProtocolConfig::new(6);
+            let mut h = GroupHarness::builder(cfg)
+                .workload(Workload::bernoulli(0.5, 8, 8))
+                .faults(FaultPlan::none().omission_rate(0.01))
+                .seed(seed)
+                .overlay(OverlayConfig::tree(3, 99))
+                .build();
+            let r = h.run_to_completion(4_000);
+            (
+                r.rounds,
+                r.generated_total,
+                r.fully_processed,
+                r.stats.frames_sent,
+                r.stats.frames_relayed,
+            )
+        };
+        assert_eq!(run(5), run(5));
     }
 
     #[test]

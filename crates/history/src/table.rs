@@ -339,7 +339,10 @@ impl History {
         self.bytes -= report.bytes;
         debug_assert!(
             (0..self.n()).all(|q| stable.get(q) <= self.entries[q].purged_to),
-            "stability delta failed to cover the stable vector"
+            "stability delta failed to cover the stable vector: stable={:?} purged={:?} ranges={:?}",
+            (0..self.n()).map(|q| stable.get(q)).collect::<Vec<_>>(),
+            (0..self.n()).map(|q| self.entries[q].purged_to).collect::<Vec<_>>(),
+            delta.ranges()
         );
         report
     }

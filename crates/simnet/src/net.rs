@@ -99,9 +99,21 @@ pub struct SimStats {
     pub encoded_bytes: u64,
     /// Bytes offered to the wire by refcount-sharing an already-encoded
     /// frame (fan-out copies beyond the first). With encode-once fan-out,
-    /// `encoded_bytes + shared_bytes` equals the total offered bytes; the
-    /// ratio is the zero-copy win.
+    /// `encoded_bytes + shared_bytes + relayed_bytes` equals the total
+    /// offered bytes; the ratio is the zero-copy win.
     pub shared_bytes: u64,
+    /// Bytes offered as overlay *forwards* — frames received from another
+    /// process and re-sent unchanged (refcount clones of the arrived
+    /// allocation, no re-encoding). Third leg of the offered-byte
+    /// partition; always 0 on the direct n-unicast path.
+    pub relayed_bytes: u64,
+    /// Frames each process originated onto the wire (one slot per
+    /// process; offered, like [`SimStats::traffic`]). On the overlay this
+    /// must stay O(degree · broadcasts), not O(n · broadcasts).
+    pub frames_sent: Vec<u64>,
+    /// Frames each process forwarded on behalf of another origin
+    /// (overlay relays; 0 everywhere on the direct path).
+    pub frames_relayed: Vec<u64>,
     /// Offered wire bytes over time (per round by default, or aggregated
     /// into fixed windows via [`SimOptions::bytes_window`]) — the network
     /// load timeline the paper's Section 6 characterizes.
@@ -174,6 +186,8 @@ impl<N: Node> SimNet<N> {
         crash_events.sort_unstable();
         let stats = SimStats {
             bytes_per_round: ByteTimeline::new(opts.bytes_window),
+            frames_sent: vec![0; nodes.len()],
+            frames_relayed: vec![0; nodes.len()],
             ..SimStats::default()
         };
         let mut net = SimNet {
@@ -293,9 +307,10 @@ impl<N: Node> SimNet<N> {
             {
                 let mut ctx = NetCtx::new(msg.to, n, round, &mut out);
                 self.nodes[msg.to.index()].on_frame(msg.from, msg.frame, &mut ctx);
-                let (encoded, shared) = ctx.share_gauge();
+                let (encoded, shared, relayed) = ctx.share_gauge();
                 self.stats.encoded_bytes += encoded;
                 self.stats.shared_bytes += shared;
+                self.stats.relayed_bytes += relayed;
             }
             self.stats.delivered += 1;
             self.filter_sends(msg.to, round, &mut out);
@@ -313,9 +328,10 @@ impl<N: Node> SimNet<N> {
             {
                 let mut ctx = NetCtx::new(me, n, round, &mut out);
                 self.nodes[i].on_round(round, &mut ctx);
-                let (encoded, shared) = ctx.share_gauge();
+                let (encoded, shared, relayed) = ctx.share_gauge();
                 self.stats.encoded_bytes += encoded;
                 self.stats.shared_bytes += shared;
+                self.stats.relayed_bytes += relayed;
             }
             self.filter_sends(me, round, &mut out);
             self.note_done(i);
@@ -366,6 +382,11 @@ impl<N: Node> SimNet<N> {
             // paper's network-load figures count offered control traffic.
             self.stats.traffic.record(o.kind, o.frame.len());
             self.round_bytes += o.frame.len() as u64;
+            if o.relayed {
+                self.stats.frames_relayed[from.index()] += 1;
+            } else {
+                self.stats.frames_sent[from.index()] += 1;
+            }
             if self.faults.link_cut_at(from, o.to, round) {
                 self.stats.link_dropped += 1;
                 continue;
@@ -697,9 +718,76 @@ mod load_tests {
         assert_eq!(net.stats().encoded_bytes, 3 * 4 * 8);
         assert_eq!(net.stats().shared_bytes, 3 * 4 * 8);
         assert_eq!(
-            net.stats().encoded_bytes + net.stats().shared_bytes,
+            net.stats().encoded_bytes + net.stats().shared_bytes + net.stats().relayed_bytes,
             net.stats().bytes_per_round.total(),
             "gauges must partition the offered load"
+        );
+        assert_eq!(net.stats().relayed_bytes, 0, "direct path never relays");
+        assert!(net.stats().frames_relayed.iter().all(|&f| f == 0));
+    }
+
+    /// p0 sends one frame to p1 each round; p1 forwards every arrival to
+    /// p2 via the relay path.
+    struct HopSender;
+    struct HopRelay;
+    struct HopSink;
+    impl Node for HopSender {
+        fn on_round(&mut self, _round: Round, net: &mut NetCtx<'_>) {
+            net.send(ProcessId(1), "data", Bytes::from_static(b"12345678"));
+        }
+        fn on_frame(&mut self, _f: ProcessId, _x: Bytes, _n: &mut NetCtx<'_>) {}
+    }
+    impl Node for HopRelay {
+        fn on_round(&mut self, _round: Round, _net: &mut NetCtx<'_>) {}
+        fn on_frame(&mut self, _f: ProcessId, frame: Bytes, net: &mut NetCtx<'_>) {
+            net.send_relayed(ProcessId(2), "relay", frame);
+        }
+    }
+    impl Node for HopSink {
+        fn on_round(&mut self, _round: Round, _net: &mut NetCtx<'_>) {}
+        fn on_frame(&mut self, _f: ProcessId, _x: Bytes, _n: &mut NetCtx<'_>) {}
+    }
+
+    #[test]
+    fn relayed_sends_split_out_per_process_and_by_bytes() {
+        enum Hop {
+            Sender(HopSender),
+            Relay(HopRelay),
+            Sink(HopSink),
+        }
+        impl Node for Hop {
+            fn on_round(&mut self, round: Round, net: &mut NetCtx<'_>) {
+                match self {
+                    Hop::Sender(x) => x.on_round(round, net),
+                    Hop::Relay(x) => x.on_round(round, net),
+                    Hop::Sink(x) => x.on_round(round, net),
+                }
+            }
+            fn on_frame(&mut self, from: ProcessId, frame: Bytes, net: &mut NetCtx<'_>) {
+                match self {
+                    Hop::Sender(x) => x.on_frame(from, frame, net),
+                    Hop::Relay(x) => x.on_frame(from, frame, net),
+                    Hop::Sink(x) => x.on_frame(from, frame, net),
+                }
+            }
+        }
+        let nodes = vec![
+            Hop::Sender(HopSender),
+            Hop::Relay(HopRelay),
+            Hop::Sink(HopSink),
+        ];
+        let mut net = SimNet::new(nodes, FaultPlan::none(), SimOptions::default());
+        net.run_rounds(4);
+        // p0 originated 4 frames; p1 forwarded the 3 that had arrived by
+        // round 3 (one hop of latency); p2 sent nothing.
+        assert_eq!(net.stats().frames_sent, vec![4, 0, 0]);
+        assert_eq!(net.stats().frames_relayed, vec![0, 3, 0]);
+        assert_eq!(net.stats().encoded_bytes, 4 * 8);
+        assert_eq!(net.stats().relayed_bytes, 3 * 8);
+        assert_eq!(
+            net.stats().encoded_bytes + net.stats().shared_bytes + net.stats().relayed_bytes,
+            net.stats().bytes_per_round.total(),
+            "three-way partition tiles the offered load"
         );
     }
 

@@ -16,6 +16,10 @@ pub struct Outgoing {
     pub kind: &'static str,
     /// Encoded frame.
     pub frame: Bytes,
+    /// Whether this is an overlay *forward* of a frame received from
+    /// another process (vs. traffic this node originated). Splits the
+    /// per-process `frames_sent`/`frames_relayed` gauges.
+    pub relayed: bool,
 }
 
 /// Per-round sending context handed to a node.
@@ -38,6 +42,9 @@ pub struct NetCtx<'a> {
     /// Bytes put on the wire by refcount-sharing an already-counted frame
     /// (fan-out clones beyond the first copy).
     shared_bytes: u64,
+    /// Bytes re-sent unchanged as overlay forwards of frames received from
+    /// another process (refcount clones of the arrived allocation).
+    relayed_bytes: u64,
 }
 
 impl<'a> NetCtx<'a> {
@@ -49,13 +56,14 @@ impl<'a> NetCtx<'a> {
             out,
             encoded_bytes: 0,
             shared_bytes: 0,
+            relayed_bytes: 0,
         }
     }
 
-    /// (encoded, shared) byte deltas accumulated by this invocation; the
-    /// engine folds them into [`crate::SimStats`].
-    pub(crate) fn share_gauge(&self) -> (u64, u64) {
-        (self.encoded_bytes, self.shared_bytes)
+    /// (encoded, shared, relayed) byte deltas accumulated by this
+    /// invocation; the engine folds them into [`crate::SimStats`].
+    pub(crate) fn share_gauge(&self) -> (u64, u64, u64) {
+        (self.encoded_bytes, self.shared_bytes, self.relayed_bytes)
     }
 
     /// The node this context belongs to.
@@ -76,7 +84,12 @@ impl<'a> NetCtx<'a> {
     /// Queues a unicast frame (counted as freshly encoded bytes).
     pub fn send(&mut self, to: ProcessId, kind: &'static str, frame: Bytes) {
         self.encoded_bytes += frame.len() as u64;
-        self.out.push(Outgoing { to, kind, frame });
+        self.out.push(Outgoing {
+            to,
+            kind,
+            frame,
+            relayed: false,
+        });
     }
 
     /// Queues a unicast clone of a frame whose encoding was already
@@ -84,7 +97,27 @@ impl<'a> NetCtx<'a> {
     /// the encoded-vs-shared gauge stays honest.
     pub fn send_shared(&mut self, to: ProcessId, kind: &'static str, frame: Bytes) {
         self.shared_bytes += frame.len() as u64;
-        self.out.push(Outgoing { to, kind, frame });
+        self.out.push(Outgoing {
+            to,
+            kind,
+            frame,
+            relayed: false,
+        });
+    }
+
+    /// Queues an overlay *forward*: a frame received from another process,
+    /// re-sent unchanged (the caller clones the arrived [`Bytes`] handle —
+    /// no new encoding happens). Counted in the relayed gauge and in this
+    /// process's `frames_relayed`, keeping the originated-vs-relayed split
+    /// honest at every layer.
+    pub fn send_relayed(&mut self, to: ProcessId, kind: &'static str, frame: Bytes) {
+        self.relayed_bytes += frame.len() as u64;
+        self.out.push(Outgoing {
+            to,
+            kind,
+            frame,
+            relayed: true,
+        });
     }
 
     /// Queues the same frame to every *other* group member (n−1 unicasts —
@@ -101,6 +134,7 @@ impl<'a> NetCtx<'a> {
                     to,
                     kind,
                     frame: frame.clone(),
+                    relayed: false,
                 });
             }
         }

@@ -50,6 +50,11 @@
 
 pub mod entity;
 pub mod frame;
+pub mod relay;
 
 pub use entity::{TOutput, TransportConfig, TransportEntity, XferId};
 pub use frame::{fragment, TFrame, DATA_HEADER_LEN};
+pub use relay::{
+    decode_relay, encode_relay, encode_relay_into, is_relay_frame, RelayError, RelayFrame,
+    RelaySeen, RELAY_HEADER_LEN, RELAY_TAG,
+};

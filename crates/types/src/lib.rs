@@ -37,8 +37,8 @@ pub use decision::{Decision, MaxProcessed};
 pub use error::WireError;
 pub use id::{Mid, ProcessId, Round, Subrun, NO_SEQ};
 pub use pdu::{
-    DataMsg, Pdu, RecoveryBatch, RecoveryBatchRq, RecoveryReply, RecoveryRq, RecoveryRun,
+    DataMsg, Pdu, PduKind, RecoveryBatch, RecoveryBatchRq, RecoveryReply, RecoveryRq, RecoveryRun,
     RecoveryWant, RequestMsg,
 };
 pub use view::GroupView;
-pub use wire::{decode_pdu, encode_pdu, FrameCache, WireDecode, WireEncode};
+pub use wire::{decode_pdu, encode_pdu, frame_kind, FrameCache, WireDecode, WireEncode};

@@ -600,6 +600,22 @@ const TAG_RECOVERY_REPLY: u8 = 5;
 const TAG_RECOVERY_BATCH_RQ: u8 = 6;
 const TAG_RECOVERY_BATCH: u8 = 7;
 
+/// Peeks the PDU kind of an encoded frame from its leading tag byte
+/// without decoding (or checksum-verifying) the body. Relay layers use
+/// this to classify frames they carry opaquely; `None` means the tag is
+/// not a PDU tag.
+pub fn frame_kind(frame: &[u8]) -> Option<crate::pdu::PduKind> {
+    use crate::pdu::PduKind;
+    match frame.first()? {
+        &TAG_DATA => Some(PduKind::Data),
+        &TAG_REQUEST => Some(PduKind::Request),
+        &TAG_DECISION => Some(PduKind::Decision),
+        &TAG_RECOVERY_RQ | &TAG_RECOVERY_BATCH_RQ => Some(PduKind::RecoveryRq),
+        &TAG_RECOVERY_REPLY | &TAG_RECOVERY_BATCH => Some(PduKind::RecoveryReply),
+        _ => None,
+    }
+}
+
 impl WireEncode for Pdu {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
