@@ -113,11 +113,8 @@ impl SoakUrcgcNode {
     /// Current history residency: (live segments, payload bytes, purge
     /// lag in messages). Sampled by the soak loop at window boundaries.
     pub fn residency(&self) -> (usize, usize, u64) {
-        (
-            self.engine.history_segments(),
-            self.engine.history_bytes(),
-            self.engine.purge_lag(),
-        )
+        let g = self.engine.gauges();
+        (g.history_segments, g.history_bytes, g.purge_lag)
     }
 
     /// Peak waiting-list length observed.
@@ -142,10 +139,7 @@ impl SoakUrcgcNode {
         if !self.engine.status().is_active() {
             return true;
         }
-        if self.submitted < self.workload.total
-            || self.engine.pending_len() != 0
-            || self.engine.waiting_len() != 0
-        {
+        if self.submitted < self.workload.total || !self.engine.gauges().is_drained() {
             return false;
         }
         let d = self.engine.last_decision();
@@ -251,8 +245,12 @@ impl Node for SoakUrcgcNode {
         self.maybe_generate();
         self.engine.begin_round(round);
         self.flush(net);
-        self.peak_history = self.peak_history.max(self.engine.history_len());
-        self.peak_waiting = self.peak_waiting.max(self.engine.waiting_len());
+        // stats() refreshes the two peak gauges in O(1); gauges() would
+        // also walk the per-origin purge-lag vector, which this per-round
+        // hot path does not need.
+        let s = self.engine.stats();
+        self.peak_history = self.peak_history.max(s.history_len);
+        self.peak_waiting = self.peak_waiting.max(s.waiting);
     }
 
     fn on_frame(&mut self, from: ProcessId, frame: Bytes, net: &mut NetCtx<'_>) {

@@ -168,9 +168,7 @@ impl Node for TransportedNode {
         // the quiescence condition; the harness checks global completeness
         // instead.
         !self.engine.status().is_active()
-            || (self.submitted >= self.workload.total
-                && self.engine.pending_len() == 0
-                && self.engine.waiting_len() == 0)
+            || (self.submitted >= self.workload.total && self.engine.gauges().is_drained())
     }
 }
 

@@ -17,23 +17,21 @@
 
 use std::process::Command;
 
+use urcgc_types::Fnv64;
+
 /// FNV-1a 64 over the document with every line containing `"wall_secs"`
 /// removed (the only field that varies run to run).
 fn normalized_digest(doc: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = Fnv64::new();
     let mut first = true;
     for line in doc.split('\n').filter(|l| !l.contains("\"wall_secs\"")) {
         if !first {
-            h ^= b'\n' as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
+            h.update(b"\n");
         }
         first = false;
-        for &b in line.as_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
+        h.update(line.as_bytes());
     }
-    h
+    h.finish()
 }
 
 fn run_and_digest(bin: &str, exe: &str) -> u64 {

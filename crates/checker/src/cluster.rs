@@ -24,24 +24,19 @@
 //! in the same relative order — equality of frontiers alone would miss a
 //! gap that a later recovery happened to paper over.
 
-use crate::oracle::{OracleKind, Violation};
+use urcgc_types::Fnv64;
 
-/// FNV-1a offset basis (64-bit).
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a prime (64-bit).
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+use crate::oracle::{OracleKind, Violation};
 
 /// Order-sensitive FNV-1a digest over a stream of sequence numbers
 /// (little-endian bytes). Used by cluster members to summarize each
 /// origin's delivered-sequence stream for cross-member comparison.
 pub fn fnv1a_stream(seqs: impl IntoIterator<Item = u64>) -> u64 {
-    let mut h = FNV_OFFSET;
+    let mut h = Fnv64::new();
     for seq in seqs {
-        for byte in seq.to_le_bytes() {
-            h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
-        }
+        h.update(&seq.to_le_bytes());
     }
-    h
+    h.finish()
 }
 
 /// What one cluster member reported at the end of its run — the minimum
@@ -146,6 +141,44 @@ pub fn check_cluster(obs: &[NodeObservation]) -> Vec<Violation> {
     violations
 }
 
+/// The multi-group **genuineness** oracle: only a message's destination
+/// groups take protocol steps (the group-envelope demux drops every other
+/// frame after a header read, before any PDU decode).
+///
+/// * `misrouted` — frames a harness observed being accepted by an engine
+///   other than the envelope's destination group. The `Node` façade makes
+///   this structurally impossible, so any nonzero count means the demux
+///   itself is broken.
+/// * `foreign_frames` — frames that arrived at a node which does not host
+///   their destination group. The node dropped them correctly, but their
+///   existence means the *routing* layer pushed traffic at a non-member —
+///   a non-destination process took a receive step it never should have
+///   seen.
+pub fn check_genuineness(misrouted: u64, foreign_frames: u64) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if misrouted > 0 {
+        violations.push(Violation {
+            kind: OracleKind::Genuineness,
+            round: None,
+            detail: format!(
+                "{misrouted} frame(s) accepted by an engine other than their \
+                 destination group"
+            ),
+        });
+    }
+    if foreign_frames > 0 {
+        violations.push(Violation {
+            kind: OracleKind::Genuineness,
+            round: None,
+            detail: format!(
+                "{foreign_frames} frame(s) routed to nodes that do not host \
+                 their destination group"
+            ),
+        });
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +201,23 @@ mod tests {
     fn clean_cluster_has_no_violations() {
         let obs: Vec<_> = (0..3).map(clean).collect();
         assert!(check_cluster(&obs).is_empty());
+    }
+
+    #[test]
+    fn genuineness_fires_on_either_counter() {
+        assert!(check_genuineness(0, 0).is_empty());
+        let v = check_genuineness(3, 0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, OracleKind::Genuineness);
+        assert!(
+            v[0].detail.contains("3 frame(s) accepted"),
+            "{}",
+            v[0].detail
+        );
+        let v = check_genuineness(0, 2);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("routed to nodes"), "{}", v[0].detail);
+        assert_eq!(check_genuineness(1, 1).len(), 2);
     }
 
     #[test]
@@ -222,7 +272,7 @@ mod tests {
 
     #[test]
     fn fnv_digest_is_order_sensitive_and_stable() {
-        assert_eq!(fnv1a_stream([]), FNV_OFFSET);
+        assert_eq!(fnv1a_stream([]), urcgc_types::fnv::FNV64_OFFSET);
         let a = fnv1a_stream([1, 2, 3]);
         let b = fnv1a_stream([1, 3, 2]);
         assert_ne!(a, b, "digest must be order-sensitive");

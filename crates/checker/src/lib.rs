@@ -32,6 +32,7 @@
 
 pub mod cluster;
 pub mod explore;
+pub mod multigroup;
 pub mod oracle;
 pub mod repro;
 pub mod run;
@@ -39,8 +40,9 @@ pub mod sched;
 pub mod shrink;
 pub mod spec;
 
-pub use cluster::{check_cluster, fnv1a_stream, NodeObservation};
+pub use cluster::{check_cluster, check_genuineness, fnv1a_stream, NodeObservation};
 pub use explore::{explore, ExploreOpts, ExploreOutcome};
+pub use multigroup::{run_multigroup, MultigroupReport, MultigroupSpec, MULTIGROUP_SCHEMA};
 pub use oracle::{OracleKind, Violation};
 pub use run::{run_spec, RunResult};
 pub use spec::{CheckSpec, PlanSpec, SchedSpec};

@@ -50,6 +50,11 @@ pub enum OracleKind {
     /// paper's leave rule (Section 5) ejects a member only when messages
     /// were actually lost or the member actually failed.
     Membership,
+    /// Genuineness (multi-group operation): a frame took a protocol step
+    /// at a group other than its destination group — either an engine
+    /// accepted a frame enveloped for a different group, or a frame was
+    /// routed to a node that does not host its destination group at all.
+    Genuineness,
 }
 
 impl OracleKind {
@@ -62,6 +67,7 @@ impl OracleKind {
             OracleKind::Stall => "stall",
             OracleKind::Divergence => "divergence",
             OracleKind::Membership => "membership",
+            OracleKind::Genuineness => "genuineness",
         }
     }
 }

@@ -175,19 +175,19 @@ impl Engine {
         s
     }
 
-    /// Current history population (Figure 6's "history length").
-    pub fn history_len(&self) -> usize {
-        self.history.len()
-    }
-
-    /// Current waiting-list population.
-    pub fn waiting_len(&self) -> usize {
-        self.waiting.len()
-    }
-
-    /// Number of submissions not yet broadcast.
-    pub fn pending_len(&self) -> usize {
-        self.pending.len()
+    /// Every state-population gauge in one read — history, waiting list,
+    /// pending submissions, residency, and purge lag. Replaces the six
+    /// per-gauge getters the API used to carry; the same struct is
+    /// embedded in [`EngineSnapshot`](crate::output::EngineSnapshot).
+    pub fn gauges(&self) -> crate::output::EngineGauges {
+        crate::output::EngineGauges {
+            history_len: self.history.len(),
+            history_bytes: self.history.payload_bytes(),
+            history_segments: self.history.segments_live(),
+            purge_lag: self.purge_lag(),
+            waiting_len: self.waiting.len(),
+            pending_len: self.pending.len(),
+        }
     }
 
     /// Highest contiguous sequence processed for origin `q`.
@@ -208,22 +208,9 @@ impl Engine {
         self.history.stable_frontier(q)
     }
 
-    /// Number of live history segments (capacity actually allocated; the
-    /// soak harness tracks this as "history residency").
-    pub fn history_segments(&self) -> usize {
-        self.history.segments_live()
-    }
-
-    /// Payload bytes resident in the history table.
-    pub fn history_bytes(&self) -> usize {
-        self.history.payload_bytes()
-    }
-
-    /// How far processing runs ahead of group stability, in messages: the
-    /// sum over origins of `last_processed − stable_frontier`. This is the
-    /// population the next full-group purge could free — the soak harness's
-    /// "purge lag" gauge.
-    pub fn purge_lag(&self) -> u64 {
+    /// How far processing runs ahead of group stability, in messages (the
+    /// [`EngineGauges::purge_lag`](crate::output::EngineGauges) field).
+    fn purge_lag(&self) -> u64 {
         (0..self.cfg.n)
             .map(|q| {
                 let q = ProcessId::from_index(q);
@@ -246,12 +233,7 @@ impl Engine {
             last_decision_full_group: self.last_decision.full_group,
             frontier: self.tracker.last_processed_vector(),
             alive: self.view.flags().to_vec(),
-            history_len: self.history.len(),
-            history_bytes: self.history.payload_bytes(),
-            history_segments: self.history.segments_live(),
-            purge_lag: self.purge_lag(),
-            waiting_len: self.waiting.len(),
-            pending: self.pending.len(),
+            gauges: self.gauges(),
             missed_decisions: self.missed_decisions,
             recovery_attempts: self.recovery_attempts,
             stats: self.stats(),
@@ -1023,7 +1005,7 @@ mod tests {
         ));
         for e in &es {
             assert!(e.has_processed(mid));
-            assert_eq!(e.history_len(), 1);
+            assert_eq!(e.gauges().history_len, 1);
         }
     }
 
@@ -1055,7 +1037,7 @@ mod tests {
         // Out-of-order arrival at p1.
         es[1].on_pdu(ProcessId(0), Pdu::Data(Arc::clone(&pdus[1])));
         assert!(!es[1].has_processed(m2), "m2 must wait for m1");
-        assert_eq!(es[1].waiting_len(), 1);
+        assert_eq!(es[1].gauges().waiting_len, 1);
         es[1].on_pdu(ProcessId(0), Pdu::Data(Arc::clone(&pdus[0])));
         assert!(es[1].has_processed(m1));
         assert!(es[1].has_processed(m2), "waiting m2 released after m1");
@@ -1084,7 +1066,11 @@ mod tests {
         };
         es[1].on_pdu(ProcessId(0), Pdu::data(replay));
         assert_eq!(es[1].stats().processed, before);
-        assert_eq!(es[1].waiting_len(), 0, "a replay must not park either");
+        assert_eq!(
+            es[1].gauges().waiting_len,
+            0,
+            "a replay must not park either"
+        );
     }
 
     #[test]
@@ -1110,13 +1096,13 @@ mod tests {
         es[0].submit(Bytes::from_static(b"a"), &[]).unwrap();
         run_round(&mut es, 0); // broadcast + requests (lp not yet counting a)
         run_round(&mut es, 1); // decision of subrun 0
-        assert!(es.iter().all(|e| e.history_len() == 1));
+        assert!(es.iter().all(|e| e.gauges().history_len == 1));
         // Subrun 1: requests now report last_processed = 1 for origin 0.
         run_round(&mut es, 2);
         run_round(&mut es, 3); // decision of subrun 1: stable[0] = 1
         for e in &es {
             assert_eq!(
-                e.history_len(),
+                e.gauges().history_len,
                 0,
                 "{} should have cleaned after stability",
                 e.me()
@@ -1208,7 +1194,7 @@ mod tests {
             payload: Bytes::new(),
         };
         e.on_pdu(ProcessId(0), Pdu::data(msg));
-        assert_eq!(e.waiting_len(), 1);
+        assert_eq!(e.gauges().waiting_len, 1);
         // A decision names p1 as most updated for origin 0.
         let mut d = Decision::genesis(N);
         d.subrun = Subrun(1);
@@ -1384,7 +1370,7 @@ mod tests {
                 "drained boundary segment freed"
             );
             assert_eq!(
-                e.purge_lag(),
+                e.gauges().purge_lag,
                 0,
                 "processing and stability agree at quiescence"
             );
@@ -1454,7 +1440,7 @@ mod tests {
                 payload: Bytes::new(),
             }),
         );
-        assert_eq!(e.waiting_len(), 2);
+        assert_eq!(e.gauges().waiting_len, 2);
         // Full-group decision: p0 crashed, best alive holder has seq 1,
         // min_waiting 3 → gap.
         let mut d = Decision::genesis(N);
@@ -1467,7 +1453,7 @@ mod tests {
         };
         d.min_waiting[0] = 3;
         e.on_pdu(ProcessId(2), Pdu::Decision(d));
-        assert_eq!(e.waiting_len(), 0, "orphan suffix destroyed");
+        assert_eq!(e.gauges().waiting_len, 0, "orphan suffix destroyed");
         let mut discarded = Vec::new();
         while let Some(o) = e.poll_output() {
             if let Output::Discarded { mids } = o {
@@ -1489,18 +1475,22 @@ mod tests {
         e.submit(Bytes::from_static(b"b"), &[]).unwrap();
         e.begin_round(Round(0));
         // First send went out; history now holds 1 ≥ threshold.
-        assert_eq!(e.pending_len(), 1);
+        assert_eq!(e.gauges().pending_len, 1);
         e.begin_round(Round(1));
-        assert_eq!(e.pending_len(), 1, "second send blocked by flow control");
+        assert_eq!(
+            e.gauges().pending_len,
+            1,
+            "second send blocked by flow control"
+        );
         assert!(e.stats().flow_blocked_rounds >= 1);
         // Simulate cleaning: a full-group decision with stable[0] = 1.
         let mut d = Decision::genesis(N);
         d.subrun = Subrun(1);
         d.stable = vec![1, 0, 0];
         e.on_pdu(ProcessId(1), Pdu::Decision(d));
-        assert_eq!(e.history_len(), 0);
+        assert_eq!(e.gauges().history_len, 0);
         e.begin_round(Round(2));
-        assert_eq!(e.pending_len(), 0, "unblocked after cleaning");
+        assert_eq!(e.gauges().pending_len, 0, "unblocked after cleaning");
     }
 
     #[test]
@@ -1513,7 +1503,7 @@ mod tests {
         }
         assert_eq!(e.status(), ProcessStatus::Active);
         assert_eq!(e.last_processed(ProcessId(0)), 1);
-        assert_eq!(e.history_len(), 0, "self-stability cleans history");
+        assert_eq!(e.gauges().history_len, 0, "self-stability cleans history");
         assert_eq!(e.stats().decisions_made, 3);
     }
 

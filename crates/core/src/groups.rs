@@ -460,7 +460,7 @@ impl Node for CsNode {
 
     fn is_done(&self) -> bool {
         match self {
-            CsNode::Server(s) => s.engine.pending_len() == 0 && s.engine.waiting_len() == 0,
+            CsNode::Server(s) => s.engine.gauges().is_drained(),
             CsNode::Client(c) => {
                 c.next_req >= c.cfg.requests_per_client && c.outstanding.is_empty()
             }

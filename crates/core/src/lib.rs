@@ -54,15 +54,19 @@
 pub mod clock;
 pub mod engine;
 pub mod groups;
+pub mod node;
 pub mod output;
 pub mod sim;
 pub mod trace;
 
 pub use clock::{Clock, Deadlines, ManualClock, RoundPacer, WallClock};
 pub use engine::Engine;
-pub use output::{EngineSnapshot, EngineStats, Output, ProcessStatus, StatusReason, SubmitError};
+pub use node::{Node, NodeError, NodeGauges};
+pub use output::{
+    EngineGauges, EngineSnapshot, EngineStats, Output, ProcessStatus, StatusReason, SubmitError,
+};
 pub use trace::{TraceEvent, Tracer};
 
 pub use urcgc_types::{
-    CausalityMode, DataMsg, Decision, Mid, Pdu, ProcessId, ProtocolConfig, Round, Subrun,
+    CausalityMode, DataMsg, Decision, GroupId, Mid, Pdu, ProcessId, ProtocolConfig, Round, Subrun,
 };

@@ -144,6 +144,41 @@ pub struct EngineStats {
     pub purged_segments: u64,
 }
 
+/// Every state-population gauge of an [`Engine`](crate::Engine), read in
+/// one call ([`Engine::gauges`](crate::Engine::gauges)).
+///
+/// These six numbers used to be six separate getters; one typed struct
+/// keeps the observation surface in lockstep across the simulator, the
+/// soak harnesses, the UDP runtime, and [`EngineSnapshot`] — a new gauge
+/// is added here once and every layer sees it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineGauges {
+    /// History population, in messages (Figure 6's "history length").
+    pub history_len: usize,
+    /// Payload bytes resident in the history table.
+    pub history_bytes: usize,
+    /// Live history segments (capacity actually allocated; the soak
+    /// harness tracks this as "history residency").
+    pub history_segments: usize,
+    /// How far processing runs ahead of group stability, in messages: the
+    /// sum over origins of `last_processed − stable_frontier` — the
+    /// population the next full-group purge could free.
+    pub purge_lag: u64,
+    /// Waiting-list population.
+    pub waiting_len: usize,
+    /// Submissions accepted but not yet broadcast.
+    pub pending_len: usize,
+}
+
+impl EngineGauges {
+    /// Whether the entity holds no undelivered backlog — no submission
+    /// waiting to be broadcast and no message parked for missing causes.
+    /// The common prefix of every quiescence predicate in the workspace.
+    pub fn is_drained(&self) -> bool {
+        self.pending_len == 0 && self.waiting_len == 0
+    }
+}
+
 /// A serializable point-in-time view of an [`Engine`](crate::Engine) — see
 /// [`Engine::snapshot`](crate::Engine::snapshot).
 #[derive(Clone, Debug)]
@@ -164,18 +199,8 @@ pub struct EngineSnapshot {
     pub frontier: Vec<u64>,
     /// Per-member liveness in the local view.
     pub alive: Vec<bool>,
-    /// History population (messages).
-    pub history_len: usize,
-    /// History population (payload bytes).
-    pub history_bytes: usize,
-    /// Live history segments (allocated residency).
-    pub history_segments: usize,
-    /// Messages processed but not yet group-stable (purgeable backlog).
-    pub purge_lag: u64,
-    /// Waiting-list population.
-    pub waiting_len: usize,
-    /// Submissions not yet broadcast.
-    pub pending: usize,
+    /// State-population gauges at snapshot time.
+    pub gauges: EngineGauges,
     /// Consecutive subruns without a decision.
     pub missed_decisions: u32,
     /// Consecutive fruitless recovery attempts.

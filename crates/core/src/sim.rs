@@ -217,10 +217,7 @@ impl UrcgcNode {
         if !self.engine.status().is_active() {
             return true;
         }
-        if self.submitted < self.workload.total
-            || self.engine.pending_len() != 0
-            || self.engine.waiting_len() != 0
-        {
+        if self.submitted < self.workload.total || !self.engine.gauges().is_drained() {
             return false;
         }
         let d = self.engine.last_decision();
@@ -327,10 +324,9 @@ impl Node for UrcgcNode {
         self.maybe_generate(round);
         self.engine.begin_round(round);
         self.flush(net);
-        self.history_series
-            .push((round.0, self.engine.history_len()));
-        self.waiting_series
-            .push((round.0, self.engine.waiting_len()));
+        let g = self.engine.gauges();
+        self.history_series.push((round.0, g.history_len));
+        self.waiting_series.push((round.0, g.waiting_len));
     }
 
     fn on_frame(&mut self, from: ProcessId, frame: Bytes, net: &mut NetCtx<'_>) {

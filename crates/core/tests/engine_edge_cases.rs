@@ -53,8 +53,8 @@ fn two_process_group_works() {
     assert_eq!(a.status(), ProcessStatus::Active);
     assert_eq!(b.status(), ProcessStatus::Active);
     // Stability reached: histories cleaned on both sides.
-    assert_eq!(a.history_len(), 0);
-    assert_eq!(b.history_len(), 0);
+    assert_eq!(a.gauges().history_len, 0);
+    assert_eq!(b.gauges().history_len, 0);
 }
 
 #[test]
@@ -225,16 +225,16 @@ fn stale_decision_cannot_unclean_history() {
         };
         e.on_pdu(ProcessId(1), data(1, s, deps));
     }
-    assert_eq!(e.history_len(), 3);
+    assert_eq!(e.gauges().history_len, 3);
     // Fresh decision cleans up to 3.
     let mut d = Decision::genesis(2);
     d.subrun = Subrun(5);
     d.stable = vec![0, 3];
     e.on_pdu(ProcessId(1), Pdu::Decision(d));
-    assert_eq!(e.history_len(), 0);
+    assert_eq!(e.gauges().history_len, 0);
     // A late re-arrival of message 2 must not re-enter the history.
     e.on_pdu(ProcessId(1), data(1, 2, vec![Mid::new(ProcessId(1), 1)]));
-    assert_eq!(e.history_len(), 0);
+    assert_eq!(e.gauges().history_len, 0);
 }
 
 #[test]
@@ -319,9 +319,9 @@ fn snapshot_reflects_engine_state() {
     assert_eq!(snap.me, 0);
     assert_eq!(snap.status, "Active");
     assert_eq!(snap.frontier, vec![1, 0, 0]);
-    assert_eq!(snap.history_len, 1);
-    assert!(snap.history_bytes >= 4);
-    assert_eq!(snap.waiting_len, 1);
+    assert_eq!(snap.gauges.history_len, 1);
+    assert!(snap.gauges.history_bytes >= 4);
+    assert_eq!(snap.gauges.waiting_len, 1);
     assert_eq!(snap.alive, vec![true, true, true]);
     assert_eq!(snap.stats.processed, 1);
 }

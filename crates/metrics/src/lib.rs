@@ -33,6 +33,7 @@
 
 pub mod delay;
 pub mod json;
+pub mod schema;
 pub mod series;
 pub mod stats;
 pub mod table;
@@ -40,6 +41,7 @@ pub mod traffic;
 
 pub use delay::DelayStats;
 pub use json::Json;
+pub use schema::Schema;
 pub use series::TimeSeries;
 pub use stats::Summary;
 pub use table::Table;

@@ -1,0 +1,101 @@
+//! Versioned document-schema identifiers.
+//!
+//! Every JSON document this workspace emits is self-describing: a top-level
+//! `"schema": "family/version"` field names the producer and pins the
+//! layout, so validators and downstream tooling can reject documents they
+//! do not understand instead of misreading them. [`Schema`] is the one
+//! implementation of that convention — emitters tag documents with
+//! [`Schema::tag`] and parsers gate on [`Schema::expect`], instead of each
+//! crate hand-rolling its own `"urcgc-…/1"` string comparisons.
+
+use crate::json::Json;
+
+/// One versioned document schema, e.g. `urcgc-node/1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Schema {
+    family: &'static str,
+    version: u32,
+}
+
+impl Schema {
+    /// Defines a schema. `family` is the document kind (conventionally
+    /// `urcgc-<kind>`); `version` bumps on any layout change.
+    pub const fn new(family: &'static str, version: u32) -> Schema {
+        Schema { family, version }
+    }
+
+    /// The document kind.
+    pub const fn family(&self) -> &'static str {
+        self.family
+    }
+
+    /// The layout version.
+    pub const fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The wire identifier, `family/version`.
+    pub fn id(&self) -> String {
+        format!("{}/{}", self.family, self.version)
+    }
+
+    /// Stamps the identifier onto a document under construction.
+    pub fn tag(&self, j: Json) -> Json {
+        j.with("schema", self.id())
+    }
+
+    /// Validates a parsed document's `schema` field against this schema.
+    /// Rejects missing fields, other families, and other versions.
+    pub fn expect(&self, j: &Json) -> Result<(), String> {
+        let got = j
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing schema field (expected {:?})", self.id()))?;
+        if got != self.id() {
+            return Err(format!(
+                "unexpected schema {got:?} (expected {:?})",
+                self.id()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl core::fmt::Display for Schema {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}/{}", self.family, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NODE: Schema = Schema::new("urcgc-node", 1);
+
+    #[test]
+    fn id_and_display_agree() {
+        assert_eq!(NODE.id(), "urcgc-node/1");
+        assert_eq!(NODE.to_string(), "urcgc-node/1");
+        assert_eq!(NODE.family(), "urcgc-node");
+        assert_eq!(NODE.version(), 1);
+    }
+
+    #[test]
+    fn tag_then_expect_roundtrips() {
+        let doc = NODE.tag(Json::obj().with("x", 1u64));
+        assert_eq!(NODE.expect(&doc), Ok(()));
+        let text = doc.render();
+        let back = crate::json::parse(&text).unwrap();
+        assert_eq!(NODE.expect(&back), Ok(()));
+    }
+
+    #[test]
+    fn expect_rejects_wrong_family_version_and_absence() {
+        assert!(NODE.expect(&Json::obj()).unwrap_err().contains("missing"));
+        let other = Schema::new("urcgc-cluster", 1).tag(Json::obj());
+        assert!(NODE.expect(&other).unwrap_err().contains("unexpected"));
+        let v2 = Schema::new("urcgc-node", 2).tag(Json::obj());
+        assert!(NODE.expect(&v2).unwrap_err().contains("unexpected"));
+    }
+}

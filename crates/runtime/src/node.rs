@@ -44,9 +44,9 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use urcgc::{
-    Clock, Engine, EngineSnapshot, EngineStats, Output, ProcessStatus, RoundPacer, WallClock,
+    Clock, Engine, EngineSnapshot, EngineStats, Node, Output, ProcessStatus, RoundPacer, WallClock,
 };
-use urcgc_types::{encode_pdu, DataMsg, Mid, ProcessId, ProtocolConfig, Round};
+use urcgc_types::{DataMsg, GroupId, Mid, ProcessId, ProtocolConfig, Round};
 
 use crate::frag::{Fragmenter, Reassembler};
 
@@ -81,6 +81,11 @@ pub struct NodeOptions {
     /// How long the startup barrier waits for all peers before giving up
     /// and starting anyway.
     pub hello_deadline: Duration,
+    /// The group this member hosts. Wire frames carry a group envelope
+    /// ([`urcgc_types::group`]); a frame for any other group is dropped at
+    /// demux without a PDU decode (counted in
+    /// [`NetStats::foreign_group_frames`]).
+    pub group: GroupId,
 }
 
 impl Default for NodeOptions {
@@ -92,6 +97,7 @@ impl Default for NodeOptions {
             loss: 0.0,
             seed: 0,
             hello_deadline: Duration::from_secs(15),
+            group: GroupId(0),
         }
     }
 }
@@ -113,6 +119,12 @@ impl NodeOptions {
     /// Sets the datagram MTU.
     pub fn mtu(mut self, mtu: usize) -> NodeOptions {
         self.mtu = mtu;
+        self
+    }
+
+    /// Sets the hosted group.
+    pub fn group(mut self, group: GroupId) -> NodeOptions {
+        self.group = group;
         self
     }
 }
@@ -176,6 +188,10 @@ pub struct NetStats {
     /// Frames the engine rejected as malformed (plus undecodable
     /// fragments, counted by the reassembler).
     pub malformed: u64,
+    /// Frames whose group envelope named a group this node does not host —
+    /// dropped after the 9-byte header read, before any PDU decode (the
+    /// genuineness counter).
+    pub foreign_group_frames: u64,
     /// Partial fragment transfers evicted on TTL.
     pub reassembly_evicted: u64,
     /// Protocol rounds begun.
@@ -190,6 +206,7 @@ struct NetCounters {
     dropped_backpressure: AtomicU64,
     frames_rx: AtomicU64,
     malformed: AtomicU64,
+    foreign_group_frames: AtomicU64,
     reassembly_evicted: AtomicU64,
     rounds: AtomicU64,
 }
@@ -203,6 +220,7 @@ impl NetCounters {
             dropped_backpressure: self.dropped_backpressure.load(Ordering::Relaxed),
             frames_rx: self.frames_rx.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
+            foreign_group_frames: self.foreign_group_frames.load(Ordering::Relaxed),
             reassembly_evicted: self.reassembly_evicted.load(Ordering::Relaxed),
             rounds: self.rounds.load(Ordering::Relaxed),
         }
@@ -431,7 +449,7 @@ pub fn spawn_member_on(
     let rx_socket = socket.try_clone()?;
     let tx_socket = socket;
 
-    let engine = Engine::new(me, cfg);
+    let node = Node::single(me, opts.group, cfg);
     let (tx, rx) = mpsc::sync_channel::<Event>(4096);
     let (evt_tx, evt_rx) = mpsc::channel::<AppEvent>();
     let stop = Arc::new(AtomicBool::new(false));
@@ -467,9 +485,7 @@ pub fn spawn_member_on(
         threads.push(
             thread::Builder::new()
                 .name(format!("urcgc-drv-{}", me.0))
-                .spawn(move || {
-                    driver_loop(engine, tx_socket, peers, opts, rx, &evt_tx, &net, &stop)
-                })
+                .spawn(move || driver_loop(node, tx_socket, peers, opts, rx, &evt_tx, &net, &stop))
                 .map_err(GroupError::Io)?,
         );
     }
@@ -512,7 +528,7 @@ pub fn workload_quiescent(engine: &Engine, submitted: u64, budget: u64) -> bool 
     if !engine.status().is_active() {
         return true; // a dead member has nothing left to do
     }
-    if submitted < budget || engine.pending_len() != 0 || engine.waiting_len() != 0 {
+    if submitted < budget || !engine.gauges().is_drained() {
         return false;
     }
     let d = engine.last_decision();
@@ -684,7 +700,7 @@ fn ticker_loop(period: Duration, tx: &SyncSender<Event>, stop: &AtomicBool) {
 
 #[allow(clippy::too_many_arguments)]
 fn driver_loop(
-    mut engine: Engine,
+    mut node: Node,
     socket: UdpSocket,
     peers: Vec<SocketAddr>,
     opts: NodeOptions,
@@ -693,13 +709,16 @@ fn driver_loop(
     net: &NetCounters,
     stop: &AtomicBool,
 ) {
-    let me = engine.me();
+    let me = node.me();
+    let group = opts.group;
     let clock = WallClock::new();
     let mut frag = Fragmenter::new(me, opts.mtu);
     let mut reasm = Reassembler::new(opts.reassembly_ttl);
     let mut round: u64 = 0;
     let mut barrier_done = false;
     let mut malformed_seen: u64 = 0;
+    let mut undecodable_seen: u64 = 0;
+    let mut foreign_seen: u64 = 0;
 
     loop {
         if stop.load(Ordering::Relaxed) {
@@ -716,7 +735,7 @@ fn driver_loop(
                 if !barrier_done {
                     continue; // hold the round clock until the group exists
                 }
-                engine.begin_round(Round(round));
+                node.begin_round(Round(round));
                 round += 1;
                 net.rounds.fetch_add(1, Ordering::Relaxed);
                 let evicted = reasm.evict_expired(clock.now());
@@ -724,11 +743,12 @@ fn driver_loop(
                     net.reassembly_evicted
                         .fetch_add(evicted as u64, Ordering::Relaxed);
                 }
-                if !flush(&mut engine, &mut frag, &socket, &peers, me, evt_tx, net) {
+                if !flush(&mut node, &mut frag, &socket, &peers, me, evt_tx, net) {
                     break;
                 }
-                if !engine.status().is_active() {
-                    let _ = evt_tx.send(AppEvent::StatusChanged(engine.status()));
+                let status = hosted(&node, group).status();
+                if !status.is_active() {
+                    let _ = evt_tx.send(AppEvent::StatusChanged(status));
                     break;
                 }
             }
@@ -745,8 +765,22 @@ fn driver_loop(
                     continue;
                 };
                 net.frames_rx.fetch_add(1, Ordering::Relaxed);
-                if engine.on_frame(from, &frame).is_err() {
-                    net.malformed.fetch_add(1, Ordering::Relaxed);
+                if node.on_frame(from, &frame).is_none() {
+                    // Either the envelope/PDU was undecodable or the frame
+                    // named a group this node does not host; reconcile both
+                    // monotonic counters against the net stats.
+                    let u = node.undecodable();
+                    if u > undecodable_seen {
+                        net.malformed
+                            .fetch_add(u - undecodable_seen, Ordering::Relaxed);
+                        undecodable_seen = u;
+                    }
+                    let fg = node.foreign_frames();
+                    if fg > foreign_seen {
+                        net.foreign_group_frames
+                            .fetch_add(fg - foreign_seen, Ordering::Relaxed);
+                        foreign_seen = fg;
+                    }
                     continue;
                 }
                 // Round synchronization: the paper's model is synchronous
@@ -754,12 +788,12 @@ fn driver_loop(
                 // round 0. Decisions carry the group's subrun clock; a
                 // process that is behind fast-forwards so its requests land
                 // in the subrun the rest of the group is actually running.
-                let group_subrun = engine.last_decision().subrun.0;
+                let group_subrun = hosted(&node, group).last_decision().subrun.0;
                 let sync_round = 2 * (group_subrun + 1);
                 if round < sync_round {
                     round = sync_round;
                 }
-                if !flush(&mut engine, &mut frag, &socket, &peers, me, evt_tx, net) {
+                if !flush(&mut node, &mut frag, &socket, &peers, me, evt_tx, net) {
                     break;
                 }
             }
@@ -769,19 +803,21 @@ fn driver_loop(
                     deps,
                     resp,
                 } => {
-                    let result = engine.submit(payload, &deps).map_err(|e| e.to_string());
+                    let result = node
+                        .submit(group, payload, &deps)
+                        .map_err(|e| e.to_string());
                     let _ = resp.send(result);
                 }
                 Cmd::Status { resp } => {
-                    let _ = resp.send(engine.status());
+                    let _ = resp.send(hosted(&node, group).status());
                 }
                 Cmd::Stats { resp } => {
-                    let _ = resp.send(engine.stats());
+                    let _ = resp.send(hosted(&node, group).stats());
                 }
                 Cmd::Snapshot { resp } => {
-                    let _ = resp.send(engine.snapshot());
+                    let _ = resp.send(hosted(&node, group).snapshot());
                 }
-                Cmd::Probe(f) => f(&engine),
+                Cmd::Probe(f) => f(hosted(&node, group)),
                 Cmd::Kill | Cmd::Shutdown => break,
             },
         }
@@ -791,10 +827,15 @@ fn driver_loop(
     stop.store(true, Ordering::Relaxed);
 }
 
-/// Drains engine outputs onto the socket / event channel. Returns false if
+/// The hosted group's engine (the runtime node always hosts exactly one).
+fn hosted(node: &Node, group: GroupId) -> &Engine {
+    node.engine(group).expect("runtime node hosts its group")
+}
+
+/// Drains node outputs onto the socket / event channel. Returns false if
 /// the application side is gone.
 fn flush(
-    engine: &mut Engine,
+    node: &mut Node,
     frag: &mut Fragmenter,
     socket: &UdpSocket,
     peers: &[SocketAddr],
@@ -802,19 +843,20 @@ fn flush(
     evt_tx: &Sender<AppEvent>,
     net: &NetCounters,
 ) -> bool {
-    while let Some(out) = engine.poll_output() {
+    while let Some((group, out)) = node.poll_output() {
         match out {
             Output::Send { to, pdu } => {
-                let frame = encode_pdu(&pdu);
+                let frame = node.encode(group, &pdu);
                 for gram in frag.split(&frame) {
                     let _ = socket.send_to(&gram, peers[to.index()]);
                     net.datagrams_tx.fetch_add(1, Ordering::Relaxed);
                 }
             }
             Output::Broadcast { pdu } => {
-                // Encode and fragment once; receivers key reassembly by
-                // (src, xfer), so the same fragments fan out to everyone.
-                let frame = encode_pdu(&pdu);
+                // Encode (with the group envelope) and fragment once;
+                // receivers key reassembly by (src, xfer), so the same
+                // fragments fan out to everyone.
+                let frame = node.encode(group, &pdu);
                 let grams = frag.split(&frame);
                 for (i, addr) in peers.iter().enumerate() {
                     if i != me.index() {

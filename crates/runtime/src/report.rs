@@ -13,11 +13,16 @@
 //! silently round them, so they travel as `"0x…"` hex strings.
 
 use urcgc_check::{fnv1a_stream, NodeObservation, Violation};
-use urcgc_metrics::Json;
+use urcgc_metrics::{Json, Schema};
 use urcgc_types::Mid;
 
 use crate::node::NetStats;
 use crate::proxy::ProxyStats;
+
+/// Schema of one member's end-of-run report document.
+pub const NODE_SCHEMA: Schema = Schema::new("urcgc-node", 1);
+/// Schema of the orchestrator's cluster document.
+pub const CLUSTER_SCHEMA: Schema = Schema::new("urcgc-cluster", 1);
 
 /// Checks a member's own delivery log against Uniform Ordering's local
 /// obligations: every declared cause processed before its dependent, and
@@ -132,8 +137,8 @@ pub struct NodeReport {
 impl NodeReport {
     /// Serializes as a `urcgc-node/1` document.
     pub fn to_json(&self) -> Json {
-        let mut j = Json::obj()
-            .with("schema", "urcgc-node/1")
+        let mut j = NODE_SCHEMA
+            .tag(Json::obj())
             .with("me", u64::from(self.me))
             .with("n", self.n)
             .with("status", self.status.as_str())
@@ -168,6 +173,7 @@ impl NodeReport {
                 .with("dropped_backpressure", self.net.dropped_backpressure)
                 .with("frames_rx", self.net.frames_rx)
                 .with("malformed", self.net.malformed)
+                .with("foreign_group_frames", self.net.foreign_group_frames)
                 .with("reassembly_evicted", self.net.reassembly_evicted)
                 .with("rounds", self.net.rounds),
         );
@@ -177,10 +183,7 @@ impl NodeReport {
 
     /// Parses a `urcgc-node/1` document.
     pub fn from_json(j: &Json) -> Result<NodeReport, String> {
-        let schema = get_str(j, "schema")?;
-        if schema != "urcgc-node/1" {
-            return Err(format!("unexpected schema {schema:?}"));
-        }
+        NODE_SCHEMA.expect(j)?;
         let frontier = j
             .get("frontier")
             .and_then(Json::items)
@@ -203,6 +206,8 @@ impl NodeReport {
             dropped_backpressure: get_u64(net_j, "dropped_backpressure")?,
             frames_rx: get_u64(net_j, "frames_rx")?,
             malformed: get_u64(net_j, "malformed")?,
+            // Absent in documents written before multi-group envelopes.
+            foreign_group_frames: get_u64(net_j, "foreign_group_frames").unwrap_or(0),
             reassembly_evicted: get_u64(net_j, "reassembly_evicted")?,
             rounds: get_u64(net_j, "rounds")?,
         };
@@ -267,8 +272,8 @@ impl ClusterReport {
 
     /// Serializes as a `urcgc-cluster/1` document.
     pub fn to_json(&self) -> Json {
-        Json::obj()
-            .with("schema", "urcgc-cluster/1")
+        CLUSTER_SCHEMA
+            .tag(Json::obj())
             .with("params", self.params.clone())
             .with("ok", self.ok())
             .with(
@@ -368,6 +373,7 @@ mod tests {
                 dropped_backpressure: 1,
                 frames_rx: 800,
                 malformed: 2,
+                foreign_group_frames: 0,
                 reassembly_evicted: 3,
                 rounds: 500,
             },

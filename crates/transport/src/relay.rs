@@ -18,7 +18,7 @@
 use std::collections::BTreeSet;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use urcgc_types::ProcessId;
+use urcgc_types::{fnv1a_32, ProcessId};
 
 /// First byte of every relay envelope. Distinct from the engine PDU tags
 /// (1–7) and the t-service frame tags (`0xD1`/`0xA1`/`0xB7`) so a relay
@@ -30,12 +30,7 @@ pub const RELAY_HEADER_LEN: usize = 1 + 2 + 8 + 4;
 
 /// FNV-1a over the envelope header (tag, origin, seq).
 fn header_checksum(header: &[u8]) -> u32 {
-    let mut h: u32 = 0x811C_9DC5;
-    for &b in header {
-        h ^= u32::from(b);
-        h = h.wrapping_mul(0x0100_0193);
-    }
-    h
+    fnv1a_32(header)
 }
 
 /// A decoded relay envelope: routing header plus the untouched inner frame.

@@ -1,9 +1,44 @@
-//! Process, message, round, and subrun identifiers.
+//! Process, group, message, round, and subrun identifiers.
 
 use core::fmt;
 
 /// Sequence-number sentinel meaning "no message yet" — mids number from 1.
 pub const NO_SEQ: u64 = 0;
+
+/// Identifier of one URCGC group among the many a node may host.
+///
+/// The paper treats the group as implicit — one process set, one group.
+/// Scaling past that means every frame, submission, and delivery must say
+/// *which* group it belongs to: `GroupId` is that key. It is dense only by
+/// convention (harnesses number groups `0..g`), but nothing requires it —
+/// unlike [`ProcessId`] it never doubles as a vector index, so the full
+/// `u32` space is usable as an opaque name.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// Deterministic group→shard assignment: groups spread round-robin over
+    /// `shards` shared-nothing shards. Every layer that partitions groups
+    /// (the bench job pool, future routing tables) must use this one rule so
+    /// a group's home shard never depends on scheduling.
+    #[inline]
+    pub fn shard(self, shards: usize) -> usize {
+        debug_assert!(shards > 0, "cannot shard over zero shards");
+        (self.0 as usize) % shards
+    }
+}
+
+impl fmt::Debug for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
 
 /// Identifier of a process in the group `G = {p_1, …, p_n}`.
 ///
@@ -208,6 +243,17 @@ mod tests {
         assert_eq!(format!("{:?}", Mid::new(ProcessId(2), 7)), "p2#7");
         assert_eq!(format!("{}", Round(4)), "r4");
         assert_eq!(format!("{}", Subrun(2)), "s2");
+        assert_eq!(format!("{}", GroupId(9)), "g9");
+        assert_eq!(format!("{:?}", GroupId(9)), "g9");
+    }
+
+    #[test]
+    fn group_shard_assignment_is_round_robin() {
+        for shards in 1..7usize {
+            for g in 0..40u32 {
+                assert_eq!(GroupId(g).shard(shards), (g as usize) % shards);
+            }
+        }
     }
 
     #[test]

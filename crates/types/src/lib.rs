@@ -27,6 +27,8 @@
 pub mod config;
 pub mod decision;
 pub mod error;
+pub mod fnv;
+pub mod group;
 pub mod id;
 pub mod pdu;
 pub mod view;
@@ -35,7 +37,12 @@ pub mod wire;
 pub use config::{CausalityMode, ConfigError, ProtocolConfig, ProtocolConfigBuilder};
 pub use decision::{Decision, MaxProcessed};
 pub use error::WireError;
-pub use id::{Mid, ProcessId, Round, Subrun, NO_SEQ};
+pub use fnv::{fnv1a_32, fnv1a_64, Fnv32, Fnv64};
+pub use group::{
+    decode_group, encode_group, group_of, is_group_frame, GroupEnvelopeError, GroupFrame,
+    GROUP_HEADER_LEN, GROUP_TAG,
+};
+pub use id::{GroupId, Mid, ProcessId, Round, Subrun, NO_SEQ};
 pub use pdu::{
     DataMsg, Pdu, PduKind, RecoveryBatch, RecoveryBatchRq, RecoveryReply, RecoveryRq, RecoveryRun,
     RecoveryWant, RequestMsg,

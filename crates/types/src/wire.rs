@@ -54,12 +54,7 @@ pub const FRAME_TRAILER_LEN: usize = 4;
 /// member exhausts its `R` budget. The trailer turns corruption back into
 /// the omission the model expects.
 fn frame_checksum(body: &[u8]) -> u32 {
-    let mut h: u32 = 0x811C_9DC5;
-    for &b in body {
-        h ^= b as u32;
-        h = h.wrapping_mul(0x0100_0193);
-    }
-    h
+    crate::fnv::fnv1a_32(body)
 }
 
 /// Appends the framed encoding of `pdu` (body + checksum trailer) to `buf`.

@@ -159,11 +159,19 @@ fn main() {
         })
     };
     late.on_pdu(ProcessId(3), grab(reply, &engines));
-    assert_eq!(late.waiting_len(), 1, "reply parked: note missing");
+    assert_eq!(late.gauges().waiting_len, 1, "reply parked: note missing");
     late.on_pdu(ProcessId(1), grab(note, &engines));
-    assert_eq!(late.waiting_len(), 2, "note parked too: stroke missing");
+    assert_eq!(
+        late.gauges().waiting_len,
+        2,
+        "note parked too: stroke missing"
+    );
     late.on_pdu(ProcessId(0), grab(stroke, &engines));
-    assert_eq!(late.waiting_len(), 0, "chain released in causal order");
+    assert_eq!(
+        late.gauges().waiting_len,
+        0,
+        "chain released in causal order"
+    );
     let mut late_order = Vec::new();
     while let Some(o) = late.poll_output() {
         if let Output::Deliver { msg } = o {

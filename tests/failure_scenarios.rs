@@ -176,7 +176,7 @@ fn orphan_sequence_destroyed_group_wide() {
     for e in [&mut e1, &mut e2] {
         e.on_pdu(ProcessId(0), data(m1, vec![]));
         e.on_pdu(ProcessId(0), data(m3, vec![m2]));
-        assert_eq!(e.waiting_len(), 1);
+        assert_eq!(e.gauges().waiting_len, 1);
         assert!(e.has_processed(m1));
     }
     // The coordinator's full-group decision after p0's crash: best alive
@@ -192,7 +192,7 @@ fn orphan_sequence_destroyed_group_wide() {
     d.min_waiting[0] = 3;
     for e in [&mut e1, &mut e2] {
         e.on_pdu(ProcessId(1), Pdu::Decision(d.clone()));
-        assert_eq!(e.waiting_len(), 0, "{} kept the orphan", e.me());
+        assert_eq!(e.gauges().waiting_len, 0, "{} kept the orphan", e.me());
         let mut discarded = Vec::new();
         while let Some(o) = e.poll_output() {
             if let Output::Discarded { mids } = o {
